@@ -1,0 +1,1 @@
+bench/ablations.ml: Array Debruijn Dhc Ffc Galois Graphlib Hashtbl List Printf String Util

@@ -1,0 +1,1 @@
+bench/figures.ml: Array Butterfly Debruijn Dhc Ffc Fun Galois Graphlib Hashtbl List Necklace_count Option Printf String

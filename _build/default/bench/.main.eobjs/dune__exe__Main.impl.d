@@ -1,0 +1,1 @@
+bench/main.ml: Ablations Array Figures List Open_problems Printf String Sweeps Sys Tables Timing

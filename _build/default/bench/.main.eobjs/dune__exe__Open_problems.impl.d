@@ -1,0 +1,1 @@
+bench/open_problems.ml: Array Debruijn Dhc Ffc Graphlib Hamsearch Kautz List Option Printf String Util

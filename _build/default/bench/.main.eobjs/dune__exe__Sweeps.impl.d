@@ -1,0 +1,1 @@
+bench/sweeps.ml: Array Butterfly Debruijn Dhc Ffc Graphlib Hypercube List Option Printf String Sys Util

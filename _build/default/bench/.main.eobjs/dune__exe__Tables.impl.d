@@ -1,0 +1,1 @@
+bench/tables.ml: Array Debruijn Dhc Ffc Graphlib List Option Printf String Util

@@ -1,0 +1,1 @@
+bench/timing.ml: Analyze Array Bechamel Benchmark Butterfly Core Debruijn Dhc Ffc Graphlib Hamsearch Hashtbl Hypercube Instance List Measure Necklace_count Printf Staged String Test Time Toolkit Util

@@ -1,0 +1,248 @@
+(* Reproduction of the thesis's figures and worked examples, as data. *)
+
+module W = Debruijn.Word
+module DG = Graphlib.Digraph
+module A = Ffc.Adjacency
+module Sp = Ffc.Spanning
+
+let hr = String.make 78 '-'
+
+let print_adjacency p g =
+  List.iter
+    (fun v ->
+      Printf.printf "  %s -> %s\n" (W.to_string p v)
+        (String.concat " " (List.map (W.to_string p) (DG.succs g v))))
+    (W.all p)
+
+let figure_1_1 () =
+  print_endline hr;
+  print_endline "FIGURE 1.1 - binary De Bruijn digraphs B(2,3) and B(2,4)";
+  print_endline hr;
+  let p23 = W.params ~d:2 ~n:3 in
+  print_endline "B(2,3):";
+  print_adjacency p23 (Debruijn.Graph.b p23);
+  let p24 = W.params ~d:2 ~n:4 in
+  Printf.printf "B(2,4): %d nodes, %d edges (adjacency omitted)\n" p24.W.size
+    (DG.n_edges (Debruijn.Graph.b p24))
+
+let figure_1_2 () =
+  print_endline hr;
+  print_endline "FIGURE 1.2 - undirected UB(2,3): loops deleted, parallels merged";
+  print_endline hr;
+  let p = W.params ~d:2 ~n:3 in
+  let ub = Debruijn.Graph.ub p in
+  let seen = Hashtbl.create 16 in
+  DG.iter_edges
+    (fun u v ->
+      if u < v && not (Hashtbl.mem seen (u, v)) then begin
+        Hashtbl.add seen (u, v) ();
+        Printf.printf "  %s -- %s\n" (W.to_string p u) (W.to_string p v)
+      end)
+    ub;
+  Printf.printf "degree census (degree, count): %s   [PR82: d of 2d-2, d(d-1) of 2d-1, rest 2d]\n"
+    (String.concat ", "
+       (List.map (fun (d, c) -> Printf.sprintf "(%d,%d)" d c)
+          (Debruijn.Graph.degree_census ub)))
+
+let example_2_1 () =
+  print_endline hr;
+  print_endline "FIGURES 2.3/2.4 + EXAMPLE 2.1 - FFC on B(3,3) minus {N(020), N(112)}";
+  print_endline hr;
+  let p = W.params ~d:3 ~n:3 in
+  let p2 = W.params ~d:3 ~n:2 in
+  let faults = [ W.of_string p "020"; W.of_string p "112" ] in
+  let b = Option.get (Ffc.Bstar.compute ~root_hint:0 p ~faults) in
+  let adj = A.build b in
+  Printf.printf "N* has %d necklaces (Figure 2.3 edges, labels w):\n"
+    (Array.length adj.A.reps);
+  let printed = Hashtbl.create 32 in
+  List.iter
+    (fun (i, j, w) ->
+      let key = (min i j, max i j, w) in
+      if not (Hashtbl.mem printed key) then begin
+        Hashtbl.add printed key ();
+        Printf.printf "  [%s] <-%s-> [%s]\n"
+          (W.to_string p adj.A.reps.(min i j))
+          (W.to_string p2 w)
+          (W.to_string p adj.A.reps.(max i j))
+      end)
+    adj.A.edges;
+  let tree = Sp.build adj in
+  print_endline "spanning tree T (Figure 2.4a), child <- parent with label:";
+  List.iter
+    (fun (par, child, w) ->
+      Printf.printf "  [%s] --%s--> [%s]\n"
+        (W.to_string p adj.A.reps.(par))
+        (W.to_string p2 w)
+        (W.to_string p adj.A.reps.(child)))
+    (Sp.tree_edges tree);
+  let m = Sp.modify tree in
+  print_endline "modified tree D (Figure 2.4b), w-cycles:";
+  List.iter
+    (fun (w, members) ->
+      Printf.printf "  %s: %s\n" (W.to_string p2 w)
+        (String.concat " -> "
+           (List.map (fun i -> "[" ^ W.to_string p adj.A.reps.(i) ^ "]") members)))
+    m.Sp.groups;
+  let e = Ffc.Embed.of_bstar b in
+  Printf.printf "H (%d nodes): %s\n"
+    (Array.length e.Ffc.Embed.cycle)
+    (String.concat " " (List.map (W.to_string p) (Array.to_list e.Ffc.Embed.cycle)));
+  print_endline
+    "(thesis: 000 001 011 111 110 101 012 122 222 221 212 120 201 010 102 022 220 202 021 210 100)"
+
+let example_3_1 () =
+  print_endline hr;
+  print_endline "FIGURE 3.1 / EXAMPLE 3.1 - maximal cycle in B(5,2) from x^2 - x - 3";
+  print_endline hr;
+  let gf5 = Galois.Gf.create 5 in
+  let poly = Galois.Gf_poly.of_coeffs gf5 [ Galois.Gf.of_int gf5 (-3); Galois.Gf.of_int gf5 (-1); 1 ] in
+  let lfsr = Dhc.Lfsr.of_poly gf5 poly in
+  let c = Dhc.Lfsr.maximal_cycle ~init:[| 0; 1 |] lfsr in
+  Printf.printf "C = [%s]\n" (String.concat "," (List.map string_of_int (Array.to_list c)));
+  print_endline "(thesis: [0,1,1,4,2,4,0,2,2,3,4,3,0,4,4,1,3,1,0,3,3,2,1,2])";
+  (* Figure 3.1 inserts s^n by replacing the edge a s^{n-1} -> s^{n-1} a^ *)
+  let t = Dhc.Shift_cycles.make_with_poly ~d:5 ~n:2 poly in
+  let h = Dhc.Shift_cycles.hamiltonize t ~s:0 ~k:1 in
+  Printf.printf "H_0 (k=1) = [%s]\n"
+    (String.concat "," (List.map string_of_int (Array.to_list h)))
+
+let example_3_4 () =
+  print_endline hr;
+  print_endline "EXAMPLE 3.4 - two disjoint Hamiltonian cycles in B(5,2)";
+  print_endline hr;
+  let gf5 = Galois.Gf.create 5 in
+  let poly = Galois.Gf_poly.of_coeffs gf5 [ Galois.Gf.of_int gf5 (-3); Galois.Gf.of_int gf5 (-1); 1 ] in
+  let t = Dhc.Shift_cycles.make_with_poly ~d:5 ~n:2 poly in
+  let choice = Dhc.Strategies.choose ~p:5 in
+  let f = Dhc.Strategies.replacement_function t choice in
+  let shifts = Dhc.Strategies.selected_shifts gf5 choice in
+  Printf.printf "selected shifts: {%s}\n"
+    (String.concat "," (List.map string_of_int shifts));
+  List.iter
+    (fun s ->
+      let h = Dhc.Shift_cycles.hamiltonize t ~s ~k:(f s) in
+      Printf.printf "H_%d = [%s]\n" s
+        (String.concat "," (List.map string_of_int (Array.to_list h))))
+    shifts;
+  print_endline "(thesis: H1 = [1,2,2,0,3,0,1,1,3,3,4,0,4,1,0,0,2,4,2,1,4,4,3,2,3],";
+  print_endline "         H4 = [4,0,0,3,1,3,4,1,1,2,3,2,4,3,3,0,2,0,4,4,2,2,1,0,1])"
+
+let figure_3_2 () =
+  print_endline hr;
+  print_endline "FIGURE 3.2 - conflict structure of {H_x} in B(13,n)";
+  print_endline hr;
+  let t = Dhc.Shift_cycles.make ~d:13 ~n:2 in
+  let choice = Dhc.Strategies.choose ~p:13 in
+  let f = Dhc.Strategies.replacement_function t choice in
+  (match choice with
+  | Dhc.Strategies.S2 { lambda; a; b } ->
+      Printf.printf "strategy 2 with lambda=%d, 2 = %d^%d + %d^%d (mod 13)\n" lambda lambda
+        a lambda b
+  | _ -> print_endline "unexpected strategy");
+  (* conflict degree census: each nonzero H_x should conflict with 4
+     others {l^A x, l^B x, l^-A x, l^-B x}, H_0 with 2 *)
+  let census = Hashtbl.create 8 in
+  List.iter
+    (fun x ->
+      let deg =
+        List.length
+          (List.filter
+             (fun y -> y <> x && Dhc.Shift_cycles.hs_conflicts t ~f x y)
+             (List.init 13 Fun.id))
+      in
+      Hashtbl.replace census deg (1 + Option.value ~default:0 (Hashtbl.find_opt census deg)))
+    (List.init 13 Fun.id);
+  Hashtbl.iter
+    (fun deg count -> Printf.printf "  %d cycles with %d conflicts\n" count deg)
+    census;
+  let shifts = Dhc.Strategies.selected_shifts t.Dhc.Shift_cycles.lfsr.Dhc.Lfsr.field choice in
+  Printf.printf "disjoint set of %d shifts: {%s}  (thesis: 7 = (13+1)/2)\n"
+    (List.length shifts)
+    (String.concat "," (List.map string_of_int shifts))
+
+let figure_3_3 () =
+  print_endline hr;
+  print_endline "FIGURE 3.3 / EXAMPLE 3.6 - Hamiltonian decomposition of UMB(2,3)";
+  print_endline hr;
+  let t = Dhc.Mdb.build ~d:2 ~n:3 in
+  let p = t.Dhc.Mdb.p in
+  List.iteri
+    (fun i c ->
+      Printf.printf "  H_%d: %s\n" i
+        (String.concat " " (List.map (W.to_string p) (Array.to_list c))))
+    t.Dhc.Mdb.cycles;
+  Printf.printf "  verified decomposition: %b; rerouted (non-B) edges: %d\n"
+    (Dhc.Mdb.verify t) (Dhc.Mdb.new_edge_count t)
+
+let figure_3_4_3_5 () =
+  print_endline hr;
+  print_endline "FIGURES 3.4/3.5 - butterfly F(2,3) and its De Bruijn partition";
+  print_endline hr;
+  let bf = Butterfly.Graph.create ~d:2 ~n:3 in
+  let p = bf.Butterfly.Graph.p in
+  Printf.printf "F(2,3): %d nodes; sample edges from level 0:\n" (Butterfly.Graph.n_nodes bf);
+  List.iter
+    (fun x ->
+      let v = Butterfly.Graph.encode bf ~level:0 ~column:x in
+      Printf.printf "  %s -> %s\n"
+        (Butterfly.Graph.to_string bf v)
+        (String.concat " "
+           (List.map (Butterfly.Graph.to_string bf) (Butterfly.Graph.successors bf v))))
+    (W.all p);
+  print_endline "classes S_x (Figure 3.5):";
+  List.iter
+    (fun x ->
+      Printf.printf "  S_%s = { %s }\n" (W.to_string p x)
+        (String.concat ", "
+           (List.map (Butterfly.Graph.to_string bf)
+              (List.init 3 (fun i -> Butterfly.Graph.s_node bf i x)))))
+    (W.all p)
+
+let chapter_4 () =
+  print_endline hr;
+  print_endline "CHAPTER 4 - necklace counting examples (closed form vs enumeration vs paper)";
+  print_endline hr;
+  let module NC = Necklace_count.Count in
+  let row label formula enum paper =
+    Printf.printf "  %-44s %8d %8d %8d\n" label formula enum paper
+  in
+  Printf.printf "  %-44s %8s %8s %8s\n" "" "formula" "enum" "paper";
+  row "necklaces of length 6 in B(2,12)"
+    (NC.of_length ~d:2 ~n:12 ~t:6)
+    (NC.enumerate_of_length ~d:2 ~n:12 ~t:6)
+    9;
+  row "total necklaces in B(2,12)" (NC.total ~d:2 ~n:12) (NC.enumerate_total ~d:2 ~n:12) 352;
+  row "weight-4 length-6 necklaces in B(2,12)"
+    (NC.of_weight_and_length ~d:2 ~n:12 ~k:4 ~t:6)
+    (NC.enumerate_of_weight_and_length ~d:2 ~n:12 ~k:4 ~t:6)
+    2;
+  row "weight-4 necklaces in B(2,12)"
+    (NC.of_weight ~d:2 ~n:12 ~k:4)
+    (NC.enumerate_of_weight ~d:2 ~n:12 ~k:4)
+    43;
+  row "weight-4 length-4 necklaces in B(3,4)"
+    (NC.of_weight_and_length ~d:3 ~n:4 ~k:4 ~t:4)
+    (NC.enumerate_of_weight_and_length ~d:3 ~n:4 ~k:4 ~t:4)
+    4;
+  row "tuples of type [0;3;2;1] (multinomial)" (NC.tuples_of_type [ 0; 3; 2; 1 ]) 60 60
+
+let run () =
+  figure_1_1 ();
+  print_newline ();
+  figure_1_2 ();
+  print_newline ();
+  example_2_1 ();
+  print_newline ();
+  example_3_1 ();
+  print_newline ();
+  example_3_4 ();
+  print_newline ();
+  figure_3_2 ();
+  print_newline ();
+  figure_3_3 ();
+  print_newline ();
+  figure_3_4_3_5 ();
+  print_newline ();
+  chapter_4 ();
+  print_newline ()

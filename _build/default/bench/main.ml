@@ -1,0 +1,29 @@
+(* Benchmark harness: regenerates every table and figure of the thesis,
+   runs the proposition-level sweeps, the design ablations, and the
+   bechamel micro-benchmarks.
+
+   Usage:
+     dune exec bench/main.exe              run everything
+     dune exec bench/main.exe -- tables    only the tables
+     (sections: tables figures sweeps ablations timing)                *)
+
+let sections =
+  [ ("tables", Tables.run); ("figures", Figures.run); ("sweeps", Sweeps.run);
+    ("ablations", Ablations.run); ("open-problems", Open_problems.run);
+    ("timing", Timing.run) ]
+
+let () =
+  let requested =
+    match Array.to_list Sys.argv with
+    | _ :: (_ :: _ as args) -> args
+    | _ -> List.map fst sections
+  in
+  List.iter
+    (fun name ->
+      match List.assoc_opt name sections with
+      | Some f -> f ()
+      | None ->
+          Printf.eprintf "unknown section %S (available: %s)\n" name
+            (String.concat " " (List.map fst sections));
+          exit 1)
+    requested

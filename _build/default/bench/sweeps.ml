@@ -1,0 +1,246 @@
+(* Proposition-level sweeps and the hypercube comparison. *)
+
+module W = Debruijn.Word
+module E = Ffc.Embed
+module B = Ffc.Bstar
+
+let hr = String.make 78 '-'
+
+let prop_2_2 () =
+  print_endline hr;
+  print_endline
+    "PROPOSITION 2.2 - cycle length >= d^n - nf and Theta(n) rounds for f <= d-2";
+  print_endline hr;
+  let rng = Util.Rng.create 221 in
+  Printf.printf "%10s %4s %8s %12s %12s %10s %10s\n" "graph" "f" "trials" "min length"
+    "bound" "max rounds" "2n";
+  List.iter
+    (fun (d, n) ->
+      let p = W.params ~d ~n in
+      for f = 1 to d - 2 do
+        let trials = 50 in
+        let min_len = ref max_int and max_rounds = ref 0 in
+        for _ = 1 to trials do
+          let faults = Util.Rng.sample_distinct rng ~k:f ~bound:p.W.size in
+          let b = Option.get (B.compute p ~faults) in
+          let e = E.of_bstar b in
+          assert (E.verify e);
+          min_len := min !min_len (E.length e);
+          let dist = Ffc.Distributed.run b in
+          assert (dist.Ffc.Distributed.successor = e.E.successor);
+          max_rounds :=
+            max !max_rounds dist.Ffc.Distributed.stats.Ffc.Distributed.broadcast_rounds
+        done;
+        Printf.printf "%10s %4d %8d %12d %12d %10d %10d\n"
+          (Printf.sprintf "B(%d,%d)" d n)
+          f trials !min_len
+          (E.length_lower_bound p f)
+          !max_rounds (2 * n)
+      done)
+    [ (4, 3); (5, 3); (6, 2); (7, 2) ];
+  print_endline "worst-case fault packs (cycle length must equal the bound exactly):";
+  List.iter
+    (fun (d, n, f) ->
+      let p = W.params ~d ~n in
+      let e = Option.get (E.embed p ~faults:(E.worst_case_faults p f)) in
+      Printf.printf "  B(%d,%d), f=%d: length %d = bound %d: %b\n" d n f (E.length e)
+        (E.length_lower_bound p f)
+        (E.length e = E.length_lower_bound p f))
+    [ (4, 3, 2); (5, 3, 3); (6, 2, 4); (7, 2, 5) ]
+
+let prop_2_3 () =
+  print_endline hr;
+  print_endline "PROPOSITION 2.3 - binary case, one fault: length >= 2^n - (n+1), exhaustive";
+  print_endline hr;
+  Printf.printf "%6s %12s %12s %12s\n" "n" "min length" "bound" "worst fault";
+  List.iter
+    (fun n ->
+      let p = W.params ~d:2 ~n in
+      let worst = ref (-1) and min_len = ref max_int in
+      for fault = 0 to p.W.size - 1 do
+        let e = Option.get (E.embed p ~faults:[ fault ]) in
+        if E.length e < !min_len then begin
+          min_len := E.length e;
+          worst := fault
+        end
+      done;
+      Printf.printf "%6d %12d %12d %12s\n" n !min_len
+        (p.W.size - (n + 1))
+        (W.to_string p !worst))
+    [ 4; 5; 6; 7; 8; 9; 10 ]
+
+let prop_3_3 () =
+  print_endline hr;
+  print_endline "PROPOSITIONS 3.3/3.4 - Hamiltonian cycles under f = tolerance edge faults";
+  print_endline hr;
+  let rng = Util.Rng.create 333 in
+  Printf.printf "%6s %6s %6s %8s %10s\n" "d" "n" "f" "trials" "successes";
+  List.iter
+    (fun (d, n) ->
+      let p = W.params ~d ~n in
+      let g = Debruijn.Graph.b p in
+      let f = Dhc.Psi.max_tolerance d in
+      if f >= 1 then begin
+        let trials = 40 in
+        let ok = ref 0 in
+        for _ = 1 to trials do
+          let rec pick acc =
+            if List.length acc >= f then acc
+            else begin
+              let u = Util.Rng.int rng p.W.size in
+              let a = Util.Rng.int rng d in
+              let v = W.snoc p (W.suffix p u) a in
+              if u <> v && not (List.mem (u, v) acc) then pick ((u, v) :: acc) else pick acc
+            end
+          in
+          let faults = pick [] in
+          match Dhc.Edge_fault.best_hc_avoiding ~d ~n ~faults with
+          | Some hc
+            when Graphlib.Cycle.is_hamiltonian g (Debruijn.Sequence.cycle_of_sequence p hc)
+                 && Graphlib.Cycle.avoids_edges
+                      (Debruijn.Sequence.cycle_of_sequence p hc)
+                      (fun e -> List.mem e faults) ->
+              incr ok
+          | _ -> ()
+        done;
+        Printf.printf "%6d %6d %6d %8d %10d\n" d n f trials !ok
+      end)
+    [ (3, 3); (4, 3); (5, 2); (6, 2); (8, 2); (9, 2); (10, 2); (12, 2); (15, 2) ]
+
+let prop_3_5 () =
+  print_endline hr;
+  print_endline "PROPOSITIONS 3.5/3.6 - butterflies F(d,n), gcd(d,n) = 1";
+  print_endline hr;
+  Printf.printf "%10s %8s %14s %16s\n" "graph" "nodes" "disjoint HCs" "HC w/ max faults";
+  let rng = Util.Rng.create 355 in
+  List.iter
+    (fun (d, n) ->
+      let bf = Butterfly.Graph.create ~d ~n in
+      let hcs = Butterfly.Embed.disjoint_hamiltonian_cycles bf in
+      let disjoint_ok =
+        List.for_all (Graphlib.Cycle.is_hamiltonian bf.Butterfly.Graph.graph) hcs
+        && Graphlib.Cycle.pairwise_edge_disjoint hcs
+      in
+      let f = Dhc.Psi.max_tolerance d in
+      let fault_ok =
+        if f = 0 then "f=0"
+        else begin
+          let rec pick acc =
+            if List.length acc >= f then acc
+            else begin
+              let u = Util.Rng.int rng (Butterfly.Graph.n_nodes bf) in
+              let succs = Butterfly.Graph.successors bf u in
+              let v = List.nth succs (Util.Rng.int rng (List.length succs)) in
+              if List.mem (u, v) acc then pick acc else pick ((u, v) :: acc)
+            end
+          in
+          let faults = pick [] in
+          match Butterfly.Embed.hc_avoiding bf ~faults with
+          | Some hc
+            when Graphlib.Cycle.is_hamiltonian bf.Butterfly.Graph.graph hc
+                 && Graphlib.Cycle.avoids_edges hc (fun e -> List.mem e faults) ->
+              Printf.sprintf "ok (f=%d)" f
+          | _ -> "FAILED"
+        end
+      in
+      Printf.printf "%10s %8d %8d %s %16s\n"
+        (Printf.sprintf "F(%d,%d)" d n)
+        (Butterfly.Graph.n_nodes bf)
+        (List.length hcs)
+        (if disjoint_ok then "(verified)" else "(INVALID)")
+        fault_ok)
+    [ (2, 3); (3, 2); (2, 5); (3, 4); (4, 3); (5, 2); (5, 3) ]
+
+let comparison () =
+  print_endline hr;
+  print_endline "COMPARISON (Chapter 2 intro) - 4096-node hypercube vs De Bruijn, f = 2 faults";
+  print_endline hr;
+  (* Hypercube Q12: constructive ring of 4092. *)
+  let faults_q = [ 0b000011110000; 0b101010101010 ] in
+  let ring_q = Option.get (Hypercube.Ring.embed ~n:12 ~faults:faults_q) in
+  assert (Hypercube.Ring.verify ~n:12 ~faults:faults_q ring_q);
+  (* De Bruijn B(4,6): ring >= 4084. *)
+  let p = W.params ~d:4 ~n:6 in
+  let rng = Util.Rng.create 46 in
+  let faults_b = Util.Rng.sample_distinct rng ~k:2 ~bound:p.W.size in
+  let e = Option.get (E.embed p ~faults:faults_b) in
+  assert (E.verify e);
+  Printf.printf "%22s %12s %12s %12s %14s\n" "network" "nodes" "edges" "ring(f=2)" "paper says";
+  Printf.printf "%22s %12d %12d %12d %14s\n" "hypercube Q12" 4096
+    (Hypercube.Cube.n_edges_undirected 12)
+    (Array.length ring_q) ">= 4092";
+  Printf.printf "%22s %12d %12d %12d %14s\n" "De Bruijn B(4,6)" p.W.size
+    (Graphlib.Digraph.n_edges (Debruijn.Graph.b p))
+    (E.length e) ">= 4084";
+  print_endline
+    "(the thesis: the hypercube has 50% more edges - 24,576 vs 16,384 - in this instance)";
+  (* sweep: who wins at which f, B(4,6) vs Q12 *)
+  Printf.printf "\n%4s %16s %16s %16s\n" "f" "Q12 ring" "B(4,6) ring" "B(4,6) bound";
+  List.iter
+    (fun f ->
+      let fq = Util.Rng.sample_distinct rng ~k:f ~bound:4096 in
+      let q =
+        match Hypercube.Ring.embed ~n:12 ~faults:fq with
+        | Some c when Hypercube.Ring.verify ~n:12 ~faults:fq c -> Array.length c
+        | _ -> -1
+      in
+      let fb = Util.Rng.sample_distinct rng ~k:f ~bound:p.W.size in
+      let b = E.length (Option.get (E.embed p ~faults:fb)) in
+      Printf.printf "%4d %16d %16d %16d\n" f q b (E.length_lower_bound p f))
+    [ 1; 2; 4; 6; 8; 10 ]
+
+let scaling () =
+  print_endline hr;
+  print_endline "SCALING - FFC work and round counts vs network size (Theta(n) rounds)";
+  print_endline hr;
+  let rng = Util.Rng.create 888 in
+  Printf.printf "%10s %8s %4s | %10s %8s %8s %8s %10s\n" "graph" "nodes" "f" "ring"
+    "rounds" "ecc(R)" "3n" "msgs";
+  List.iter
+    (fun (d, n, f) ->
+      let p = W.params ~d ~n in
+      let faults = Util.Rng.sample_distinct rng ~k:f ~bound:p.W.size in
+      match B.compute p ~faults with
+      | None -> ()
+      | Some b ->
+          let r = Ffc.Distributed.run b in
+          let s = r.Ffc.Distributed.stats in
+          Printf.printf "%10s %8d %4d | %10d %8d %8d %8d %10d\n"
+            (Printf.sprintf "B(%d,%d)" d n)
+            p.W.size f
+            (Array.length r.Ffc.Distributed.cycle)
+            s.Ffc.Distributed.total_rounds (B.eccentricity_of_root b) (3 * n)
+            s.Ffc.Distributed.messages)
+    [ (2, 6, 1); (2, 8, 1); (2, 10, 1); (2, 12, 1); (3, 5, 1); (3, 7, 1);
+      (4, 4, 2); (4, 5, 2); (4, 6, 2); (5, 5, 3) ];
+  (* centralized pipeline at larger scale (wall-clock per embed) *)
+  Printf.printf "\ncentralized FFC at scale:\n";
+  Printf.printf "%10s %8s %4s | %10s %10s\n" "graph" "nodes" "f" "ring" "seconds";
+  List.iter
+    (fun (d, n, f) ->
+      let p = W.params ~d ~n in
+      let faults = Util.Rng.sample_distinct rng ~k:f ~bound:p.W.size in
+      let t0 = Sys.time () in
+      match E.embed p ~faults with
+      | None -> ()
+      | Some e ->
+          assert (E.verify e);
+          Printf.printf "%10s %8d %4d | %10d %10.3f\n"
+            (Printf.sprintf "B(%d,%d)" d n)
+            p.W.size f (E.length e)
+            (Sys.time () -. t0))
+    [ (2, 14, 1); (2, 16, 1); (4, 8, 2); (3, 10, 1); (6, 6, 4) ]
+
+let run () =
+  prop_2_2 ();
+  print_newline ();
+  prop_2_3 ();
+  print_newline ();
+  prop_3_3 ();
+  print_newline ();
+  prop_3_5 ();
+  print_newline ();
+  comparison ();
+  print_newline ();
+  scaling ();
+  print_newline ()

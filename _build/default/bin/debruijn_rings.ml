@@ -1,0 +1,187 @@
+(* debruijn-rings: command-line front end to the library.
+
+   Subcommands:
+     ffc       fault-free ring under node failures (Chapter 2)
+     edge      Hamiltonian ring under link failures (Chapter 3)
+     disjoint  edge-disjoint Hamiltonian rings
+     count     necklace counts (Chapter 4)
+     psi       the tolerance functions psi / phi / MAX
+     butterfly fault-free ring in a butterfly network (section 3.4)   *)
+
+open Cmdliner
+
+let d_arg =
+  Arg.(required & opt (some int) None & info [ "d" ] ~docv:"D" ~doc:"Alphabet size (degree).")
+
+let n_arg =
+  Arg.(required & opt (some int) None & info [ "n" ] ~docv:"N" ~doc:"Word length; the network has $(b,d^n) nodes.")
+
+let words_conv d n =
+  let p = Core.Word.params ~d ~n in
+  fun s ->
+    match Core.Word.of_string p s with
+    | w -> w
+    | exception _ -> failwith (Printf.sprintf "bad node %S (expected %d digits < %d)" s n d)
+
+let render p ring =
+  String.concat " " (List.map (Core.Word.to_string p) (Array.to_list ring))
+
+let ffc_cmd =
+  let faults =
+    Arg.(value & pos_all string [] & info [] ~docv:"FAULT" ~doc:"Faulty nodes as digit strings, e.g. 020 112.")
+  in
+  let run d n fault_strs distributed =
+    let p = Core.Word.params ~d ~n in
+    let faults = List.map (words_conv d n) fault_strs in
+    let result =
+      if distributed then
+        Option.map
+          (fun (ring, stats) ->
+            Printf.printf "# distributed run: %d rounds, %d messages\n"
+              stats.Core.Distributed.total_rounds stats.Core.Distributed.messages;
+            ring)
+          (Core.fault_free_ring_distributed ~d ~n ~faults)
+      else Core.fault_free_ring ~d ~n ~faults
+    in
+    match result with
+    | None ->
+        prerr_endline "no fault-free ring: every necklace is faulty";
+        exit 1
+    | Some ring ->
+        Printf.printf "# ring length %d of %d nodes (guarantee %d for f = %d)\n"
+          (Array.length ring) p.Core.Word.size
+          (Core.ring_length_guarantee ~d ~n ~f:(List.length faults))
+          (List.length faults);
+        print_endline (render p ring)
+  in
+  let distributed =
+    Arg.(value & flag & info [ "distributed" ] ~doc:"Run the network-level protocol on the simulator.")
+  in
+  Cmd.v
+    (Cmd.info "ffc" ~doc:"Fault-free ring under node failures (Chapter 2).")
+    Term.(const run $ d_arg $ n_arg $ faults $ distributed)
+
+let parse_edge d n s =
+  match String.split_on_char '-' s with
+  | [ u; v ] -> (words_conv d n u, words_conv d n v)
+  | _ -> failwith (Printf.sprintf "bad edge %S (expected U-V)" s)
+
+let edge_cmd =
+  let faults =
+    Arg.(value & pos_all string [] & info [] ~docv:"EDGE" ~doc:"Faulty links as U-V, e.g. 01-12.")
+  in
+  let run d n fault_strs =
+    let p = Core.Word.params ~d ~n in
+    let faults = List.map (parse_edge d n) fault_strs in
+    Printf.printf "# tolerance MAX(psi-1, phi) = %d\n" (Core.edge_fault_tolerance d);
+    match Core.hamiltonian_ring_avoiding_edge_faults ~d ~n ~faults with
+    | None ->
+        prerr_endline "no fault-free Hamiltonian ring found";
+        exit 1
+    | Some ring -> print_endline (render p ring)
+  in
+  Cmd.v
+    (Cmd.info "edge" ~doc:"Hamiltonian ring under link failures (Chapter 3).")
+    Term.(const run $ d_arg $ n_arg $ faults)
+
+let disjoint_cmd =
+  let run d n =
+    let p = Core.Word.params ~d ~n in
+    let rings = Core.disjoint_rings ~d ~n in
+    Printf.printf "# %d edge-disjoint Hamiltonian rings (psi(%d) = %d)\n"
+      (List.length rings) d (Core.Psi.psi d);
+    List.iter (fun r -> print_endline (render p r)) rings
+  in
+  Cmd.v
+    (Cmd.info "disjoint" ~doc:"Edge-disjoint Hamiltonian rings of B(d,n).")
+    Term.(const run $ d_arg $ n_arg)
+
+let count_cmd =
+  let length =
+    Arg.(value & opt (some int) None & info [ "length" ] ~docv:"T" ~doc:"Restrict to necklaces of length $(docv).")
+  in
+  let weight =
+    Arg.(value & opt (some int) None & info [ "weight" ] ~docv:"K" ~doc:"Restrict to nodes of weight $(docv).")
+  in
+  let run d n length weight =
+    let c =
+      match (length, weight) with
+      | None, None -> Core.Count.total ~d ~n
+      | Some t, None -> Core.Count.of_length ~d ~n ~t
+      | None, Some k -> Core.Count.of_weight ~d ~n ~k
+      | Some t, Some k -> Core.Count.of_weight_and_length ~d ~n ~k ~t
+    in
+    print_int c;
+    print_newline ()
+  in
+  Cmd.v
+    (Cmd.info "count" ~doc:"Necklace counts (Chapter 4).")
+    Term.(const run $ d_arg $ n_arg $ length $ weight)
+
+let psi_cmd =
+  let d_pos = Arg.(required & pos 0 (some int) None & info [] ~docv:"D") in
+  let run d =
+    Printf.printf "psi(%d) = %d\nphi(%d) = %d\nMAX(psi-1, phi) = %d\n" d (Core.Psi.psi d) d
+      (Core.Psi.phi_bound d) (Core.Psi.max_tolerance d)
+  in
+  Cmd.v (Cmd.info "psi" ~doc:"Tolerance functions of Chapter 3.") Term.(const run $ d_pos)
+
+let butterfly_cmd =
+  let faults =
+    Arg.(value & pos_all string [] & info [] ~docv:"EDGE"
+           ~doc:"Faulty butterfly links as L,COL-L,COL e.g. 0,010-1,110.")
+  in
+  let run d n fault_strs =
+    let bf = Core.Butterfly_graph.create ~d ~n in
+    let parse s =
+      let node part =
+        match String.split_on_char ',' part with
+        | [ l; c ] ->
+            Core.Butterfly_graph.encode bf ~level:(int_of_string l)
+              ~column:(words_conv d n c)
+        | _ -> failwith (Printf.sprintf "bad butterfly node %S" part)
+      in
+      match String.split_on_char '-' s with
+      | [ u; v ] -> (node u, node v)
+      | _ -> failwith (Printf.sprintf "bad edge %S" s)
+    in
+    let faults = List.map parse fault_strs in
+    match Core.butterfly_ring_avoiding_edge_faults ~d ~n ~faults with
+    | None ->
+        prerr_endline "no Hamiltonian ring (is gcd(d,n) = 1 and f within tolerance?)";
+        exit 1
+    | Some ring ->
+        Printf.printf "# Hamiltonian ring of F(%d,%d), %d nodes\n" d n (Array.length ring);
+        print_endline
+          (String.concat " " (List.map (Core.Butterfly_graph.to_string bf) (Array.to_list ring)))
+  in
+  Cmd.v
+    (Cmd.info "butterfly" ~doc:"Fault-free ring in a butterfly network (section 3.4).")
+    Term.(const run $ d_arg $ n_arg $ faults)
+
+let route_cmd =
+  let src = Arg.(required & pos 0 (some string) None & info [] ~docv:"SRC") in
+  let dst = Arg.(required & pos 1 (some string) None & info [] ~docv:"DST") in
+  let faults =
+    Arg.(value & opt_all string [] & info [ "fault" ] ~docv:"NODE" ~doc:"A faulty node (repeatable).")
+  in
+  let run d n src dst fault_strs =
+    let p = Core.Word.params ~d ~n in
+    let conv = words_conv d n in
+    let faults = List.map conv fault_strs in
+    match Core.route ~d ~n ~faults (conv src) (conv dst) with
+    | None ->
+        prerr_endline "no fault-free route (endpoint on a faulty necklace?)";
+        exit 1
+    | Some path ->
+        Printf.printf "# %d hops (bound 2n = %d)\n" (List.length path - 1) (2 * n);
+        print_endline (String.concat " -> " (List.map (Core.Word.to_string p) path))
+  in
+  Cmd.v
+    (Cmd.info "route" ~doc:"Fault-free routing through faulty necklaces (Prop 2.2).")
+    Term.(const run $ d_arg $ n_arg $ src $ dst $ faults)
+
+let () =
+  let doc = "fault-tolerant ring embedding in De Bruijn networks (Rowley & Bose)" in
+  let info = Cmd.info "debruijn-rings" ~version:"1.0.0" ~doc in
+  exit (Cmd.eval (Cmd.group info [ ffc_cmd; edge_cmd; disjoint_cmd; count_cmd; psi_cmd; butterfly_cmd; route_cmd ]))

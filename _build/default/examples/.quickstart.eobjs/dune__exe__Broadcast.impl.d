@@ -1,0 +1,1 @@
+examples/broadcast.ml: Array Core Graphlib Hashtbl List Netsim Printf Queue

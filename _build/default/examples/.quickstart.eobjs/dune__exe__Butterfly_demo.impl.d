@@ -1,0 +1,1 @@
+examples/butterfly_demo.ml: Array Core List Printf String

@@ -1,0 +1,1 @@
+examples/fault_injection.ml: Array Core List Printf Sys

@@ -1,0 +1,1 @@
+examples/routing_demo.ml: Core List Printf String

@@ -1,0 +1,1 @@
+examples/sequences.ml: Array Core List Printf String

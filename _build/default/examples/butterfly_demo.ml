@@ -1,0 +1,54 @@
+(* Butterfly networks: the section 3.4 extension.
+
+   Shows (a) the [ABR90] partition under which F(2,3) contracts to
+   B(2,3) (Figure 3.5), and (b) fault-tolerant Hamiltonian ring
+   embedding in F(3,4) with faulty links, via the Phi map.
+
+   Run with:  dune exec examples/butterfly_demo.exe *)
+
+module W = Core.Word
+module BG = Core.Butterfly_graph
+module BE = Core.Butterfly_embed
+
+let () =
+  (* Part 1: Figure 3.5 — the classes S_x of F(2,3). *)
+  let f23 = BG.create ~d:2 ~n:3 in
+  let p = f23.BG.p in
+  print_endline "F(2,3) partitioned into De Bruijn classes (Figure 3.5):";
+  List.iter
+    (fun x ->
+      let members = List.init 3 (fun i -> BG.s_node f23 i x) in
+      Printf.printf "  S_%s = { %s }\n" (W.to_string p x)
+        (String.concat ", " (List.map (BG.to_string f23) members)))
+    (W.all p);
+  (* Part 2: fault-tolerant ring in F(3,4): gcd(3,4) = 1. *)
+  let d = 3 and n = 4 in
+  let bf = BG.create ~d ~n in
+  Printf.printf "\nF(%d,%d): %d nodes; tolerating up to MAX(psi-1, phi) = %d faulty links\n"
+    d n (BG.n_nodes bf) (Core.edge_fault_tolerance d);
+  let rng = Core.Rng.create 7 in
+  let random_edge () =
+    let u = Core.Rng.int rng (BG.n_nodes bf) in
+    let succs = BG.successors bf u in
+    (u, List.nth succs (Core.Rng.int rng (List.length succs)))
+  in
+  let faults = [ random_edge () ] in
+  List.iter
+    (fun (u, v) ->
+      Printf.printf "  faulty link: %s -> %s\n" (BG.to_string bf u) (BG.to_string bf v))
+    faults;
+  match BE.hc_avoiding bf ~faults with
+  | None -> print_endline "no fault-free Hamiltonian ring found"
+  | Some ring ->
+      assert (Core.Cycle.is_hamiltonian bf.BG.graph ring);
+      assert (Core.Cycle.avoids_edges ring (fun e -> List.mem e faults));
+      Printf.printf "  fault-free Hamiltonian ring of all %d butterfly nodes found\n"
+        (Array.length ring);
+      Printf.printf "  first stops: %s ...\n"
+        (String.concat " -> "
+           (List.map (BG.to_string bf) (Array.to_list (Array.sub ring 0 6))));
+      (* Part 3: disjoint rings in the butterfly (Proposition 3.6). *)
+      let disjoint = BE.disjoint_hamiltonian_cycles bf in
+      Printf.printf "\nF(%d,%d) also admits %d edge-disjoint Hamiltonian rings (psi(%d))\n" d
+        n (List.length disjoint) d;
+      assert (Core.Cycle.pairwise_edge_disjoint disjoint)

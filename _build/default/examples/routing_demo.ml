@@ -1,0 +1,49 @@
+(* Routing around failures.
+
+   Proposition 2.2's proof is secretly a routing algorithm: between any
+   two live processors there are d necklace-disjoint "drain" paths into
+   the constant nodes and d−1 disjoint "fill" paths back out, so up to
+   d−2 faulty necklaces can always be detoured around within 2n hops.
+
+   This demo routes a fixed message pair across B(4,4) while processors
+   keep failing, printing each detour.
+
+   Run with:  dune exec examples/routing_demo.exe *)
+
+module W = Core.Word
+
+let () =
+  let d = 4 and n = 4 in
+  let p = W.params ~d ~n in
+  let src = W.of_string p "1230" and dst = W.of_string p "3021" in
+  Printf.printf "B(%d,%d): routing %s -> %s while processors fail (tolerance d-2 = %d)\n\n"
+    d n (W.to_string p src) (W.to_string p dst) (d - 2);
+  (* an adversary always kills a processor ON the current route (but
+     spares the endpoints' own necklaces), forcing a detour each time *)
+  let protected_ = Core.Necklace.nodes p src @ Core.Necklace.nodes p dst in
+  let faults = ref [] in
+  let stop = ref false in
+  while not !stop do
+    (match Core.route ~d ~n ~faults:!faults src dst with
+    | Some path ->
+        Printf.printf "%d faults: %2d hops   %s\n" (List.length !faults)
+          (List.length path - 1)
+          (String.concat " -> " (List.map (W.to_string p) path));
+        (match
+           List.find_opt
+             (fun v -> not (List.mem v protected_ || List.mem v !faults))
+             (List.rev path)
+         with
+        | Some victim when List.length !faults <= d - 2 ->
+            Printf.printf "          adversary kills %s\n" (W.to_string p victim);
+            faults := victim :: !faults
+        | _ -> stop := true)
+    | None ->
+        Printf.printf "%d faults: no 2n-hop route survives\n" (List.length !faults);
+        stop := true)
+  done;
+  print_newline ();
+  Printf.printf
+    "Beyond d-2 = %d faults the 2n-hop guarantee lapses, though routes often\n\
+     still exist; the FFC ring of Chapter 2 degrades the same way.\n"
+    (d - 2)

@@ -1,0 +1,1 @@
+lib/butterfly/embed.ml: Array Debruijn Dhc Graph List Numtheory Option

@@ -1,0 +1,1 @@
+lib/butterfly/embed.mli: Graph

@@ -1,0 +1,1 @@
+lib/butterfly/graph.ml: Array Debruijn Graphlib List Printf

@@ -1,0 +1,1 @@
+lib/butterfly/graph.mli: Debruijn Graphlib

@@ -1,0 +1,38 @@
+module W = Debruijn.Word
+
+let phi (t : Graph.t) cycle =
+  let k = Array.length cycle in
+  if k = 0 then invalid_arg "Butterfly.Embed.phi: empty cycle";
+  let n = t.Graph.p.W.n in
+  let len = Numtheory.lcm k n in
+  Array.init len (fun i -> Graph.s_node t (i mod n) cycle.(i mod k))
+
+let coprime (t : Graph.t) = Numtheory.gcd t.Graph.p.W.d t.Graph.p.W.n = 1
+
+let hamiltonian_cycle t =
+  if not (coprime t) then None
+  else begin
+    let p = t.Graph.p in
+    let seq = Dhc.Compose.disjoint_hamiltonian_cycles ~d:p.W.d ~n:p.W.n in
+    match seq with
+    | [] -> None
+    | hc :: _ -> Some (phi t (Debruijn.Sequence.cycle_of_sequence p hc))
+  end
+
+let disjoint_hamiltonian_cycles t =
+  if not (coprime t) then []
+  else begin
+    let p = t.Graph.p in
+    Dhc.Compose.disjoint_hamiltonian_cycles ~d:p.W.d ~n:p.W.n
+    |> List.map (fun hc -> phi t (Debruijn.Sequence.cycle_of_sequence p hc))
+  end
+
+let hc_avoiding t ~faults =
+  if not (coprime t) then None
+  else begin
+    let p = t.Graph.p in
+    let projected = List.map (Graph.edge_to_de_bruijn t) faults in
+    Option.map
+      (fun hc -> phi t (Debruijn.Sequence.cycle_of_sequence p hc))
+      (Dhc.Edge_fault.best_hc_avoiding ~d:p.W.d ~n:p.W.n ~faults:projected)
+  end

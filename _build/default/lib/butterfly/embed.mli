@@ -1,0 +1,27 @@
+(** The Φ embedding of De Bruijn cycles into butterflies and its
+    fault-tolerance consequences (Lemmas 3.9/3.10, Propositions
+    3.5/3.6).
+
+    A k-cycle C = (v₀,…,v_{k−1}) of B(d,n) maps to the
+    LCM(k,n)-cycle Φ(C) = (S{_{v₀}}{^0}, S{_{v₁}}{^1}, …) of F(d,n);
+    when gcd(d,n) = 1 this takes Hamiltonian cycles to Hamiltonian
+    cycles (LCM(dⁿ,n) = n·dⁿ), edge-disjoint cycles to edge-disjoint
+    cycles, and a De Bruijn HC avoiding the projections of f faulty
+    butterfly edges to a fault-free butterfly HC. *)
+
+val phi : Graph.t -> int array -> int array
+(** Φ(C) for a cycle C of B(d,n) given as node codes; the result is a
+    cycle of F(d,n) of length LCM(|C|, n). *)
+
+val hamiltonian_cycle : Graph.t -> int array option
+(** A Hamiltonian cycle of F(d,n), via Φ of a De Bruijn HC; [None]
+    when gcd(d,n) ≠ 1 (Φ then yields shorter cycles). *)
+
+val disjoint_hamiltonian_cycles : Graph.t -> int array list
+(** ψ(d) pairwise edge-disjoint HCs of F(d,n) (Proposition 3.6).
+    Empty when gcd(d,n) ≠ 1. *)
+
+val hc_avoiding : Graph.t -> faults:(int * int) list -> int array option
+(** Proposition 3.5: a fault-free HC of F(d,n) under at most
+    MAX(ψ(d)−1, φ(d)) faulty butterfly edges, for gcd(d,n) = 1.
+    Faults must be butterfly edges. *)

@@ -1,0 +1,66 @@
+module Word = Debruijn.Word
+module Necklace = Debruijn.Necklace
+module Graph = Debruijn.Graph
+module Sequence = Debruijn.Sequence
+module Digraph = Graphlib.Digraph
+module Cycle = Graphlib.Cycle
+module Bstar = Ffc.Bstar
+module Embed = Ffc.Embed
+module Distributed = Ffc.Distributed
+module Selftimed = Ffc.Selftimed
+module Routing = Ffc.Routing
+module Shift_cycles = Dhc.Shift_cycles
+module Strategies = Dhc.Strategies
+module Edge_fault = Dhc.Edge_fault
+module Psi = Dhc.Psi
+module Mdb = Dhc.Mdb
+module Butterfly_graph = Butterfly.Graph
+module Butterfly_embed = Butterfly.Embed
+module Count = Necklace_count.Count
+module Hypercube_ring = Hypercube.Ring
+module Rng = Util.Rng
+
+let fault_free_ring ~d ~n ~faults =
+  let p = Word.params ~d ~n in
+  Option.map (fun e -> e.Ffc.Embed.cycle) (Ffc.Embed.embed p ~faults)
+
+let fault_free_ring_distributed ~d ~n ~faults =
+  let p = Word.params ~d ~n in
+  Option.map
+    (fun bstar ->
+      let r = Ffc.Distributed.run bstar in
+      (r.Ffc.Distributed.cycle, r.Ffc.Distributed.stats))
+    (Ffc.Bstar.compute p ~faults)
+
+let ring_length_guarantee ~d ~n ~f =
+  Ffc.Embed.length_lower_bound (Word.params ~d ~n) f
+
+let hamiltonian_ring_avoiding_edge_faults ~d ~n ~faults =
+  let p = Word.params ~d ~n in
+  Option.map
+    (Sequence.cycle_of_sequence p)
+    (Dhc.Edge_fault.best_hc_avoiding ~d ~n ~faults)
+
+let edge_fault_tolerance = Dhc.Psi.max_tolerance
+
+let disjoint_rings ~d ~n =
+  let p = Word.params ~d ~n in
+  List.map (Sequence.cycle_of_sequence p) (Dhc.Compose.disjoint_hamiltonian_cycles ~d ~n)
+
+let butterfly_ring_avoiding_edge_faults ~d ~n ~faults =
+  let bf = Butterfly.Graph.create ~d ~n in
+  Butterfly.Embed.hc_avoiding bf ~faults
+
+let de_bruijn_sequence ~d ~n =
+  let p = Word.params ~d ~n in
+  match Ffc.Embed.embed p ~faults:[] with
+  | Some e -> Sequence.sequence_of_cycle p e.Ffc.Embed.cycle
+  | None -> assert false
+
+let route ~d ~n ~faults x y =
+  let p = Word.params ~d ~n in
+  let flags = Necklace.mark_faulty_necklaces p faults in
+  Ffc.Routing.route p ~faulty_necklace:(fun v -> flags.(v)) x y
+
+let necklace_count ~d ~n = Necklace_count.Count.total ~d ~n
+let necklace_count_of_length ~d ~n ~t = Necklace_count.Count.of_length ~d ~n ~t

@@ -1,0 +1,1 @@
+lib/debruijn/graph.ml: Array Graphlib Hashtbl List Option Word

@@ -1,0 +1,1 @@
+lib/debruijn/graph.mli: Graphlib Word

@@ -1,0 +1,1 @@
+lib/debruijn/necklace.ml: Array List Word

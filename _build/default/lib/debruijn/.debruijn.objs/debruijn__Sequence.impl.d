@@ -1,0 +1,1 @@
+lib/debruijn/sequence.ml: Array Fun Hashtbl List Word

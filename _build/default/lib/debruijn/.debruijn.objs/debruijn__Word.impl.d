@@ -1,0 +1,1 @@
+lib/debruijn/word.ml: Array Char Fun List Numtheory String

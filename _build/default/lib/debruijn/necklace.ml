@@ -1,0 +1,34 @@
+let canonical p x =
+  let rec go best cur i =
+    if i = 0 then best
+    else
+      let cur = Word.rotl p cur in
+      go (min best cur) cur (i - 1)
+  in
+  go x x (p.Word.n - 1)
+
+let length p x = Word.period p x
+
+let nodes_from p x =
+  let t = length p x in
+  let rec go acc cur i = if i = t then List.rev acc else go (cur :: acc) (Word.rotl p cur) (i + 1) in
+  go [] x 0
+
+let nodes p x = nodes_from p (canonical p x)
+
+let same p x y = canonical p x = canonical p y
+
+let successor = Word.rotl
+
+let all_representatives p =
+  List.filter (fun x -> canonical p x = x) (Word.all p)
+
+let count p = List.length (all_representatives p)
+
+let representatives_of_nodes p xs =
+  List.sort_uniq compare (List.map (canonical p) xs)
+
+let mark_faulty_necklaces p faults =
+  let faulty = Array.make p.Word.size false in
+  List.iter (fun x -> List.iter (fun y -> faulty.(y) <- true) (nodes p x)) faults;
+  faulty

@@ -1,0 +1,56 @@
+let window p c i =
+  let k = Array.length c in
+  if k = 0 then invalid_arg "Sequence.window: empty sequence";
+  let rec go acc j =
+    if j = p.Word.n then acc else go ((acc * p.Word.d) + c.((i + j) mod k)) (j + 1)
+  in
+  go 0 0
+
+let nodes_of_sequence p c = Array.init (Array.length c) (window p c)
+
+let is_cycle_sequence p c =
+  Array.length c > 0
+  &&
+  let seen = Hashtbl.create (2 * Array.length c) in
+  Array.for_all
+    (fun v ->
+      if Hashtbl.mem seen v then false
+      else begin
+        Hashtbl.add seen v ();
+        true
+      end)
+    (nodes_of_sequence p c)
+
+let is_de_bruijn_sequence p c =
+  Array.length c = p.Word.size && is_cycle_sequence p c
+
+let cycle_of_sequence p c =
+  if not (is_cycle_sequence p c) then invalid_arg "Sequence.cycle_of_sequence: repeated window";
+  nodes_of_sequence p c
+
+let sequence_of_cycle p cyc = Array.map (Word.first_digit p) cyc
+
+let edge_windows p c =
+  let k = Array.length c in
+  let q = Word.params ~d:p.Word.d ~n:(p.Word.n + 1) in
+  List.sort compare (List.init k (fun i -> window q c i))
+
+let edge_disjoint p a b =
+  let wa = edge_windows p a in
+  let tbl = Hashtbl.create (2 * List.length wa) in
+  List.iter (fun w -> Hashtbl.replace tbl w ()) wa;
+  not (List.exists (Hashtbl.mem tbl) (edge_windows p b))
+
+let add_scalar add c s = Array.map (fun ci -> add ci s) c
+
+let rotate c i =
+  let k = Array.length c in
+  if k = 0 then c
+  else
+    let i = ((i mod k) + k) mod k in
+    Array.init k (fun j -> c.((i + j) mod k))
+
+let equal_cyclically a b =
+  Array.length a = Array.length b
+  && (Array.length a = 0
+     || List.exists (fun i -> rotate a i = b) (List.init (Array.length a) Fun.id))

@@ -1,0 +1,42 @@
+(** Circular sequences and their correspondence with cycles (§3.1).
+
+    The circular sequence C = [c₀, c₁, …, c_{k−1}] denotes the closed
+    path of length k in B(d,n) in which node cᵢc_{i+1}…c_{i+n−1} is
+    followed by c_{i+1}…c_{i+n} (indices mod k).  C is a cycle iff all
+    the n-windows are distinct; two sequences are edge-disjoint iff
+    their (n+1)-window sets are disjoint.  A sequence of length dⁿ whose
+    windows exhaust ℤ_dⁿ is a De Bruijn sequence (Hamiltonian cycle). *)
+
+val window : Word.params -> int array -> int -> int
+(** [window p c i] is the node cᵢ…c_{i+n−1} (indices mod length). *)
+
+val nodes_of_sequence : Word.params -> int array -> int array
+(** All k node codes, in order. *)
+
+val is_cycle_sequence : Word.params -> int array -> bool
+(** All n-windows distinct (and the sequence nonempty). *)
+
+val is_de_bruijn_sequence : Word.params -> int array -> bool
+(** Length dⁿ and Hamiltonian. *)
+
+val cycle_of_sequence : Word.params -> int array -> int array
+(** The cycle as node codes. @raise Invalid_argument if windows repeat. *)
+
+val sequence_of_cycle : Word.params -> int array -> int array
+(** Inverse: cᵢ = first digit of vᵢ.  Any cycle of B(d,n) qualifies. *)
+
+val edge_windows : Word.params -> int array -> int list
+(** The k (n+1)-windows (edge codes in the line-graph sense), sorted. *)
+
+val edge_disjoint : Word.params -> int array -> int array -> bool
+(** Disjoint (n+1)-window sets. *)
+
+val add_scalar : (int -> int -> int) -> int array -> int -> int array
+(** [add_scalar add c s] is the sequence s + C = [s+c₀, …] under the
+    supplied addition (field addition for Chapter 3). *)
+
+val rotate : int array -> int -> int array
+(** Rotate a sequence left by i positions (cyclic re-indexing). *)
+
+val equal_cyclically : int array -> int array -> bool
+(** Are two sequences equal up to rotation? *)

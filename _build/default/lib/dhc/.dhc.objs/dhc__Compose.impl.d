@@ -1,0 +1,1 @@
+lib/dhc/compose.ml: Array List Numtheory Strategies

@@ -1,0 +1,1 @@
+lib/dhc/compose.mli:

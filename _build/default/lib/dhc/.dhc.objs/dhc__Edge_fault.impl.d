@@ -1,0 +1,1 @@
+lib/dhc/edge_fault.ml: Array Compose Debruijn Ffc Fun Graphlib List Numtheory Option Psi Shift_cycles

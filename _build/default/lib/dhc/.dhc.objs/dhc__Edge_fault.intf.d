@@ -1,0 +1,1 @@
+lib/dhc/edge_fault.mli:

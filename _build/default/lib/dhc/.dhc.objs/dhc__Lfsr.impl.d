@@ -1,0 +1,1 @@
+lib/dhc/lfsr.ml: Array Galois Numtheory

@@ -1,0 +1,1 @@
+lib/dhc/mdb.ml: Array Debruijn Fun Galois Graphlib List Numtheory Option Shift_cycles

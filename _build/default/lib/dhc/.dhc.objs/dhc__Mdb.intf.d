@@ -1,0 +1,1 @@
+lib/dhc/mdb.mli: Debruijn Graphlib

@@ -1,0 +1,1 @@
+lib/dhc/psi.ml: List Numtheory Strategies

@@ -1,0 +1,1 @@
+lib/dhc/shift_cycles.ml: Array Debruijn Galois Lfsr

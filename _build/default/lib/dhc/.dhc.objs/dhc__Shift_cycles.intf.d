@@ -1,0 +1,1 @@
+lib/dhc/shift_cycles.mli: Debruijn Galois Lfsr

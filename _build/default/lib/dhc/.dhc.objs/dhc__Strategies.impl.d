@@ -1,0 +1,1 @@
+lib/dhc/strategies.ml: Galois Hashtbl Lfsr List Numtheory Option Shift_cycles

@@ -1,0 +1,1 @@
+lib/dhc/strategies.mli: Galois Shift_cycles

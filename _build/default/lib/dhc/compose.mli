@@ -1,0 +1,20 @@
+(** The Rees product of Hamiltonian cycles (Lemmas 3.6/3.7) and disjoint
+    HCs for arbitrary d (Proposition 3.2).
+
+    For gcd(s,t) = 1, HCs A of B(s,n) and B of B(t,n) combine into the
+    HC (A,B) of B(st,n) whose i-th element is a_{i mod sⁿ}·t +
+    b_{i mod tⁿ}; products are disjoint as soon as one factor pair is. *)
+
+val product : s:int -> t:int -> int array -> int array -> int array
+(** [product ~s ~t a b] — [a] must have length sⁿ and [b] length tⁿ for
+    a common n, and gcd(s,t) = 1.
+    @raise Invalid_argument otherwise. *)
+
+val split_digit : t:int -> int -> int * int
+(** [split_digit ~t v] = (v / t, v mod t): the inverse digit map used to
+    project edges of B(st,n) to their factor edges. *)
+
+val disjoint_hamiltonian_cycles : d:int -> n:int -> int array list
+(** ψ(d) pairwise edge-disjoint HCs of B(d,n) for any d ≥ 2, n ≥ 2,
+    built by composing the prime-power families over the factorization
+    of d. *)

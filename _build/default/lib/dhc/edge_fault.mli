@@ -1,0 +1,42 @@
+(** Fault-free Hamiltonian cycles under edge failures (§3.3).
+
+    Proposition 3.3 (constructive): B(d,n) admits an HC avoiding any
+    f ≤ φ(d) = Σpᵢᵉⁱ − 2k faulty edges.
+    - Prime-power d: the d cycles s + C are edge-disjoint, so some s + C
+      is fault-free; of its d−1 insertion pairs {αᵢsⁿ, sⁿα̂ᵢ} a fault
+      kills at most one, so some pair survives and H_s is fault-free.
+    - Composite d = s·t (coprime): every edge of (A,B) projects to an
+      edge of A and an edge of B; route each fault to one side, at most
+      φ(s) to A and φ(t) to B, and recurse.
+
+    Proposition 3.4 adds the alternative of picking a fault-free member
+    of the ψ(d) disjoint HCs, tolerating ψ(d)−1 faults. *)
+
+type fault = int * int
+(** A faulty edge as a node pair of B(d,n). *)
+
+val hc_avoiding : d:int -> n:int -> faults:fault list -> int array option
+(** The Proposition 3.3 construction; returns the HC as a sequence of
+    length dⁿ, or [None] if the search fails (guaranteed to succeed for
+    |faults| ≤ φ(d); may also succeed beyond).  Requires n ≥ 2.
+    Non-De-Bruijn-edge faults are rejected with [Invalid_argument]. *)
+
+val hc_avoiding_via_disjoint : d:int -> n:int -> faults:fault list -> int array option
+(** Pick a fault-free cycle among the ψ(d) disjoint HCs — handles up to
+    ψ(d)−1 faults. *)
+
+val best_hc_avoiding : d:int -> n:int -> faults:fault list -> int array option
+(** Try {!hc_avoiding}, falling back to {!hc_avoiding_via_disjoint} —
+    realizes the MAX(ψ(d)−1, φ(d)) bound of Proposition 3.4. *)
+
+val via_node_masking : d:int -> n:int -> faults:fault list -> int array option
+(** The strawman the chapter opens with: declare every endpoint of a
+    faulty link faulty and fall back to the Chapter 2 node-fault
+    algorithm.  Always succeeds when anything survives, but needlessly
+    drops live processors — the ring is not Hamiltonian.  Exposed for
+    the ablation benchmark comparing it against {!hc_avoiding}. *)
+
+val worst_case_edge_faults : d:int -> n:int -> int -> fault list
+(** [worst_case_edge_faults ~d ~n f] gives f of the d−1 non-loop edges
+    terminating at node 0ⁿ — removing all d−1 of them makes the graph
+    non-Hamiltonian, so d−2 is the best possible tolerance. *)

@@ -1,0 +1,65 @@
+module G = Galois.Gf
+module GP = Galois.Gf_poly
+
+type t = {
+  field : G.t;
+  n : int;
+  charpoly : GP.t;
+  coeffs : int array;
+  omega : int;
+}
+
+let of_poly field poly =
+  if not (GP.is_primitive field poly) then
+    invalid_arg "Lfsr.of_poly: polynomial is not primitive";
+  let n = GP.degree poly in
+  (* p(x) = xⁿ − a_{n−1}x^{n−1} − … − a₀, so aᵢ = −(coefficient of xⁱ). *)
+  let coeffs = Array.init n (fun i -> G.neg field (GP.coeff poly i)) in
+  let omega = G.sum field (Array.to_list coeffs) in
+  { field; n; charpoly = poly; coeffs; omega }
+
+let make field ~n = of_poly field (GP.find_primitive field n)
+
+let next t c i =
+  let f = t.field in
+  let acc = ref 0 in
+  for j = 0 to t.n - 1 do
+    acc := G.add f !acc (G.mul f t.coeffs.(j) c.(i + j))
+  done;
+  !acc
+
+let maximal_cycle ?init t =
+  let d = G.order t.field in
+  let period = Numtheory.pow d t.n - 1 in
+  let init =
+    match init with
+    | None ->
+        let a = Array.make t.n 0 in
+        a.(t.n - 1) <- 1;
+        a
+    | Some a ->
+        if Array.length a <> t.n then invalid_arg "Lfsr.maximal_cycle: init length";
+        if Array.for_all (fun x -> x = 0) a then
+          invalid_arg "Lfsr.maximal_cycle: init must be nonzero";
+        a
+  in
+  let c = Array.make (period + t.n) 0 in
+  Array.blit init 0 c 0 t.n;
+  for i = 0 to period - 1 do
+    c.(t.n + i) <- next t c i
+  done;
+  (* The tail wraps onto the head by maximality; return one period. *)
+  Array.sub c 0 period
+
+let satisfies_recurrence t ?(affine = 0) c =
+  let f = t.field in
+  let k = Array.length c in
+  let ok = ref (k > 0) in
+  for i = 0 to k - 1 do
+    let acc = ref affine in
+    for j = 0 to t.n - 1 do
+      acc := G.add f !acc (G.mul f t.coeffs.(j) c.((i + j) mod k))
+    done;
+    if c.((i + t.n) mod k) <> !acc then ok := false
+  done;
+  !ok

@@ -1,0 +1,35 @@
+(** Linear feedback shift registers over GF(d) and maximal cycles (§3.1).
+
+    A sequence C with c_{n+i} = a_{n−1}c_{n−1+i} + … + a₀cᵢ over GF(d)
+    and primitive characteristic polynomial
+    p(x) = xⁿ − a_{n−1}x^{n−1} − … − a₀ has period dⁿ − 1 and visits
+    every node of B(d,n) except 0ⁿ — a {e maximal cycle}. *)
+
+type t = {
+  field : Galois.Gf.t;
+  n : int;
+  charpoly : Galois.Gf_poly.t;  (** monic primitive, degree n *)
+  coeffs : int array;  (** a₀ … a_{n−1}, field elements *)
+  omega : int;  (** ω = a₀ + … + a_{n−1} *)
+}
+
+val of_poly : Galois.Gf.t -> Galois.Gf_poly.t -> t
+(** Build from a given primitive polynomial.
+    @raise Invalid_argument if the polynomial is not primitive. *)
+
+val make : Galois.Gf.t -> n:int -> t
+(** Use the least primitive polynomial of degree n over the field. *)
+
+val next : t -> int array -> int -> int
+(** [next t c i] computes c_{n+i} from the previous n entries
+    [c.(i) … c.(i+n−1)]. *)
+
+val maximal_cycle : ?init:int array -> t -> int array
+(** The full period-(dⁿ−1) sequence; [init] gives the first n entries
+    (nonzero; default 0,…,0,1).
+    @raise Invalid_argument if [init] is all-zero or has wrong length. *)
+
+val satisfies_recurrence : t -> ?affine:int -> int array -> bool
+(** Does the circular sequence satisfy
+    c_{n+i} = Σ aⱼc_{j+i} + [affine] (cyclically)?  [affine] defaults
+    to 0; Lemma 3.2 gives affine = s(1 − ω) for s + C. *)

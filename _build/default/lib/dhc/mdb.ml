@@ -1,0 +1,213 @@
+module G = Galois.Gf
+module W = Debruijn.Word
+module Seq_ = Debruijn.Sequence
+module DG = Graphlib.Digraph
+module C = Graphlib.Cycle
+
+type t = {
+  p : W.params;
+  cycles : int array list;
+  graph : DG.t;
+}
+
+(* Insert [node] into [cycle] right after position [i]. *)
+let insert_after cycle i node =
+  let k = Array.length cycle in
+  Array.init (k + 1) (fun j ->
+      if j <= i then cycle.(j) else if j = i + 1 then node else cycle.(j - 1))
+
+let find_index cycle x =
+  let rec go i =
+    if i >= Array.length cycle then raise Not_found
+    else if cycle.(i) = x then i
+    else go (i + 1)
+  in
+  go 0
+
+(* Fallback for the rare boundary cases where no p-edge is usable (the
+   concrete one is d = 3, n = 2, where every primitive quadratic has
+   a₀ = 1 and hence every p-edge's rerouting collides with a real
+   De Bruijn edge).  Reroute, for each s, an arbitrary edge of s + C
+   through sⁿ and test the resulting decomposition outright: note the
+   valid solutions here are subtler than the thesis's — a rerouted edge
+   may coincide with a B(d,n) edge that another cycle dropped, which
+   both preserves disjointness and restores the UB adjacency.  The
+   search is exhaustive and therefore gated to tiny graphs. *)
+let generic_reroute (t : Shift_cycles.t) field =
+  let p = t.Shift_cycles.p in
+  let d = G.order field in
+  if p.W.size > 16 then
+    failwith "Mdb: no usable p-edge and graph too large for exhaustive fallback";
+  let cycles = Array.init d (fun s -> Seq_.nodes_of_sequence p (Shift_cycles.shifted t s)) in
+  let len = Array.length cycles.(0) in
+  let const s = W.constant p s in
+  let build choice = List.mapi (fun s i -> insert_after cycles.(s) i (const s)) choice in
+  let ub = Debruijn.Graph.ub p in
+  let check cs =
+    let bld = DG.Builder.create p.W.size in
+    List.iter
+      (fun cyc -> List.iter (fun (u, v) -> DG.Builder.add_edge bld u v) (C.edges_of_cycle cyc))
+      cs;
+    let g = DG.Builder.build bld in
+    C.pairwise_edge_disjoint cs
+    && List.for_all (fun cyc -> C.is_hamiltonian g cyc) cs
+    &&
+    let ok = ref true in
+    DG.iter_edges
+      (fun u v -> if u < v && not (DG.mem_edge g u v || DG.mem_edge g v u) then ok := false)
+      ub;
+    !ok
+  in
+  let rec search s acc =
+    if s = d then
+      let cs = build (List.rev acc) in
+      if check cs then Some cs else None
+    else
+      List.find_map (fun i -> search (s + 1) (i :: acc)) (List.init len Fun.id)
+  in
+  match search 0 [] with
+  | None -> failwith "Mdb: no Hamiltonian decomposition found"
+  | Some cs -> (p, cs)
+
+let build_odd_prime_power ~d ~n =
+  let field = G.create d in
+  (* Find a maximal cycle C carrying a usable p-edge (αβ̃ → βα̃): a
+     length-(n+1) alternating window.  For n = 2 the rerouted edges
+     (α+s)(β+s) → ss and ss → (β+s)(α+s) are genuine De Bruijn edges
+     exactly when β = 0 (independent of s), which would collide with
+     another H_{s'}; insist on β ≠ 0 there — any p-edge works for
+     n ≥ 3.  Different primitive polynomials distribute the p-edges
+     differently, so search over all of them. *)
+  (* A p-edge found with pattern (α', β') on s₀ + C corresponds to the
+     base pattern (α' − s₀, β' − s₀) on C; the rerouted edges of every
+     H_s avoid B(d,n) iff the base β = β' − s₀ is nonzero (only needed
+     for n = 2), so scan every shifted cycle, not just C. *)
+  let try_poly poly =
+    let t = Shift_cycles.make_with_poly ~d ~n poly in
+    let p = t.Shift_cycles.p in
+    let scan_shift s0 =
+      let nodes = Seq_.nodes_of_sequence p (Shift_cycles.shifted t s0) in
+      let len = Array.length nodes in
+      let is_p_edge_start i =
+        let u = nodes.(i) in
+        let alpha = W.digit p u 1 and beta = W.digit p u 2 in
+        alpha <> beta
+        && (n > 2 || G.sub field beta s0 <> 0)
+        && u = W.alternating p alpha beta
+        && nodes.((i + 1) mod len) = W.alternating p beta alpha
+      in
+      let rec find i =
+        if i >= len then None else if is_p_edge_start i then Some i else find (i + 1)
+      in
+      Option.map
+        (fun i ->
+          let u = nodes.(i) in
+          ( G.sub field (W.digit p u 1) s0,
+            G.sub field (W.digit p u 2) s0 ))
+        (find 0)
+    in
+    Option.map (fun ab -> (t, ab)) (List.find_map scan_shift (G.elements field))
+  in
+  let primitives =
+    List.filter (Galois.Gf_poly.is_primitive field) (Galois.Gf_poly.all_monic field n)
+  in
+  match List.find_map try_poly primitives with
+  | None ->
+      (* Tiny boundary cases (e.g. d = 3, n = 2, where every primitive
+         quadratic has a₀ = 1 and hence every p-edge collides): fall
+         back to a backtracking search over generalized reroutings —
+         any edge of s + C may be routed through sⁿ as long as the two
+         new edges are not De Bruijn edges and don't collide across
+         shifts. *)
+      generic_reroute (Shift_cycles.make ~d ~n) field
+  | Some (t, (alpha, beta)) ->
+      let p = t.Shift_cycles.p in
+      let cycles =
+        List.map
+          (fun s ->
+            let nodes = Seq_.nodes_of_sequence p (Shift_cycles.shifted t s) in
+            let a' = G.add field alpha s and b' = G.add field beta s in
+            let u = W.alternating p a' b' in
+            let i = find_index nodes u in
+            (* Replace the p-edge u → v by u → sⁿ → v. *)
+            insert_after nodes i (W.constant p s))
+          (G.elements field)
+      in
+      (p, cycles)
+
+let build_binary ~n =
+  let t = Shift_cycles.make ~d:2 ~n in
+  let p = t.Shift_cycles.p in
+  let c0 = Seq_.nodes_of_sequence p t.Shift_cycles.base in
+  let c1 = Seq_.nodes_of_sequence p (Shift_cycles.shifted t 1) in
+  let zero = W.constant p 0 and one = W.constant p 1 in
+  (* H₀: insert 0ⁿ between 10ⁿ⁻¹ and 0ⁿ⁻¹1 on C. *)
+  let ten = W.cons p 1 (W.prefix p zero) in
+  let h0 = insert_after c0 (find_index c0 ten) zero in
+  (* H₁: delete 0ⁿ from 1+C, then reroute its alternating p-edge
+     through 0ⁿ and 1ⁿ. *)
+  let without_zero =
+    let i = find_index c1 zero in
+    Array.init (Array.length c1 - 1) (fun j -> if j < i then c1.(j) else c1.(j + 1))
+  in
+  (* The p-edge of 1+C is whichever of (01̃ → 10̃), (10̃ → 01̃) it holds. *)
+  let e01 = W.alternating p 0 1 and e10 = W.alternating p 1 0 in
+  let len = Array.length without_zero in
+  let idx_of u v =
+    let i = find_index without_zero u in
+    if without_zero.((i + 1) mod len) = v then Some i else None
+  in
+  let i, u2 =
+    match (idx_of e01 e10, idx_of e10 e01) with
+    | Some i, _ -> (i, e10)
+    | None, Some i -> (i, e01)
+    | None, None -> failwith "Mdb: no alternating p-edge in 1+C"
+  in
+  ignore u2;
+  let h1 = insert_after (insert_after without_zero i zero) (i + 1) one in
+  (p, [ h0; h1 ])
+
+let build ~d ~n =
+  if n < 2 then invalid_arg "Mdb.build: n must be >= 2";
+  if d = 2 && n < 3 then
+    (* The edge 1ⁿ → 10̃ added by the binary construction is a real
+       De Bruijn edge when n = 2, so the decomposition needs n ≥ 3. *)
+    invalid_arg "Mdb.build: the binary construction requires n >= 3";
+  let p, cycles =
+    if d = 2 then build_binary ~n
+    else
+      match Numtheory.is_prime_power d with
+      | Some (pr, _) when pr <> 2 -> build_odd_prime_power ~d ~n
+      | _ -> invalid_arg "Mdb.build: d must be 2 or an odd prime power"
+  in
+  let bld = DG.Builder.create p.W.size in
+  List.iter
+    (fun cyc -> List.iter (fun (u, v) -> DG.Builder.add_edge bld u v) (C.edges_of_cycle cyc))
+    cycles;
+  { p; cycles; graph = DG.Builder.build bld }
+
+let contains_ub t =
+  let ub = Debruijn.Graph.ub t.p in
+  let ok = ref true in
+  DG.iter_edges
+    (fun u v ->
+      if u < v && not (DG.mem_edge t.graph u v || DG.mem_edge t.graph v u) then ok := false)
+    ub;
+  !ok
+
+let verify t =
+  List.for_all (fun c -> C.is_hamiltonian t.graph c) t.cycles
+  && C.pairwise_edge_disjoint t.cycles
+  && (let n = DG.n_nodes t.graph in
+      let rec regular v =
+        v >= n
+        || (DG.out_degree t.graph v = t.p.W.d
+           && DG.in_degree t.graph v = t.p.W.d
+           && regular (v + 1))
+      in
+      regular 0)
+  && contains_ub t
+
+let new_edge_count t =
+  let b = Debruijn.Graph.b t.p in
+  DG.fold_edges (fun acc u v -> if DG.mem_edge b u v then acc else acc + 1) 0 t.graph

@@ -1,0 +1,25 @@
+module N = Numtheory
+
+let psi_prime_power p e =
+  let d = N.pow p e in
+  if p = 2 then d - 1
+  else if (p - 1) / 2 mod 2 = 0 && Strategies.condition_b_holds ~p then (d + 1) / 2
+  else (d - 1) / 2
+
+let psi d =
+  if d < 2 then invalid_arg "Psi.psi: d < 2";
+  List.fold_left (fun acc (p, e) -> acc * psi_prime_power p e) 1 (N.factorize d)
+
+let phi_bound d =
+  if d < 2 then invalid_arg "Psi.phi_bound: d < 2";
+  let fs = N.factorize d in
+  List.fold_left (fun acc (p, e) -> acc + N.pow p e) 0 fs - (2 * List.length fs)
+
+let max_tolerance d = max (psi d - 1) (phi_bound d)
+
+let psi_lower_bound_corollary d =
+  let fs = N.factorize d in
+  let k = List.length fs in
+  let prod = List.fold_left (fun acc (p, e) -> acc * (N.pow p e - 1)) 1 fs in
+  (* ⌈prod / 2^k⌉ *)
+  (prod + (1 lsl k) - 1) / (1 lsl k)

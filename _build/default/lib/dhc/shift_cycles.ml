@@ -1,0 +1,87 @@
+module G = Galois.Gf
+module W = Debruijn.Word
+module Seq_ = Debruijn.Sequence
+
+type t = {
+  lfsr : Lfsr.t;
+  p : W.params;
+  base : int array;
+}
+
+let make_with_poly ~d ~n poly =
+  if n < 2 then invalid_arg "Shift_cycles.make: n must be >= 2";
+  let field = G.create d in
+  let lfsr = Lfsr.of_poly field poly in
+  if Galois.Gf_poly.degree poly <> n then
+    invalid_arg "Shift_cycles.make_with_poly: degree mismatch";
+  let p = W.params ~d ~n in
+  { lfsr; p; base = Lfsr.maximal_cycle lfsr }
+
+let make ~d ~n =
+  if n < 2 then invalid_arg "Shift_cycles.make: n must be >= 2";
+  let field = G.create d in
+  make_with_poly ~d ~n (Galois.Gf_poly.find_primitive field n)
+
+let field t = t.lfsr.Lfsr.field
+let shifted t s = Seq_.add_scalar (G.add (field t)) t.base s
+let omega t = t.lfsr.Lfsr.omega
+let a0 t = t.lfsr.Lfsr.coeffs.(0)
+
+let alpha_hat t ~s ~k =
+  let f = field t in
+  let one_minus_omega = G.sub f 1 (omega t) in
+  G.add f (G.mul f s (omega t)) (G.mul f k one_minus_omega)
+
+let alpha_for t ~s ~alpha_hat =
+  let f = field t in
+  G.add f s (G.mul f (G.inv f (a0 t)) (G.sub f alpha_hat s))
+
+let owner_of_window t w =
+  let f = field t in
+  let n = t.lfsr.Lfsr.n in
+  if Array.length w <> n + 1 then invalid_arg "Shift_cycles.owner_of_window: window length";
+  let acc = ref 0 in
+  for j = 0 to n - 1 do
+    acc := G.add f !acc (G.mul f t.lfsr.Lfsr.coeffs.(j) w.(j))
+  done;
+  let one_minus_omega = G.sub f 1 (omega t) in
+  (* 1 − ω ≠ 0: ω = 1 would make x = 1 a root of the primitive
+     characteristic polynomial. *)
+  G.mul f (G.sub f w.(n) !acc) (G.inv f one_minus_omega)
+
+let owner_of_edge t (u, v) =
+  let digits_u = W.decode t.p u in
+  let w = Array.append digits_u [| W.last_digit t.p v |] in
+  if W.suffix t.p u <> W.prefix t.p v then
+    invalid_arg "Shift_cycles.owner_of_edge: not a De Bruijn edge";
+  owner_of_window t w
+
+let hamiltonize t ~s ~k =
+  if s = k then invalid_arg "Shift_cycles.hamiltonize: k must differ from s";
+  let seq = shifted t s in
+  let len = Array.length seq in
+  let n = t.lfsr.Lfsr.n in
+  let a_hat = alpha_hat t ~s ~k in
+  let a = alpha_for t ~s ~alpha_hat:a_hat in
+  (* Locate the unique window α s^{n−1} α̂. *)
+  let matches i =
+    seq.(i) = a
+    && seq.((i + n) mod len) = a_hat
+    &&
+    let rec run j = j >= n || (seq.((i + j) mod len) = s && run (j + 1)) in
+    run 1
+  in
+  let rec find i =
+    if i >= len then failwith "Shift_cycles.hamiltonize: window not found"
+    else if matches i then i
+    else find (i + 1)
+  in
+  let i = find 0 in
+  let rot = Seq_.rotate seq i in
+  Array.concat [ Array.sub rot 0 n; [| s |]; Array.sub rot n (len - n) ]
+
+let hs_conflicts t ~f x y =
+  let fl = field t in
+  (* 2x − f(x), computed in the field. *)
+  let refl z = G.sub fl (G.add fl z z) (f z) in
+  y = f x || y = refl x || x = f y || x = refl y

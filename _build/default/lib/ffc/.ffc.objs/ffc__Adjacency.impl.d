@@ -1,0 +1,1 @@
+lib/ffc/adjacency.ml: Array Bstar Debruijn Graphlib Hashtbl List

@@ -1,0 +1,1 @@
+lib/ffc/adjacency.mli: Bstar Graphlib

@@ -1,0 +1,1 @@
+lib/ffc/bstar.ml: Array Debruijn Graphlib List Queue

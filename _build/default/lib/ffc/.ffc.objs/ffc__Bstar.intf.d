@@ -1,0 +1,1 @@
+lib/ffc/bstar.mli: Debruijn Graphlib

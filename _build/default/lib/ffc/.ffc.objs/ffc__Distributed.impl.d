@@ -1,0 +1,1 @@
+lib/ffc/distributed.ml: Array Bstar Debruijn Graphlib List Netsim Option

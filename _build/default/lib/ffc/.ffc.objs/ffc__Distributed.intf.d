@@ -1,0 +1,1 @@
+lib/ffc/distributed.mli: Bstar

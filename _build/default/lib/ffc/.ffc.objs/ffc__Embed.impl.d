@@ -1,0 +1,1 @@
+lib/ffc/embed.ml: Adjacency Array Bstar Debruijn Graphlib Hashtbl List Option Spanning

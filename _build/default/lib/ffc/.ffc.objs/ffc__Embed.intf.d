@@ -1,0 +1,1 @@
+lib/ffc/embed.mli: Bstar Debruijn Spanning

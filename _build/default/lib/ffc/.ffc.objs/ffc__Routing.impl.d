@@ -1,0 +1,1 @@
+lib/ffc/routing.ml: Array Debruijn Fun Hashtbl List Option

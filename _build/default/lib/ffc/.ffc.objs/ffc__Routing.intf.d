@@ -1,0 +1,1 @@
+lib/ffc/routing.mli: Debruijn

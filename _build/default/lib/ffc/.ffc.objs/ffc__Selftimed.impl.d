@@ -1,0 +1,1 @@
+lib/ffc/selftimed.ml: Array Bstar Debruijn Graphlib List Netsim Option

@@ -1,0 +1,1 @@
+lib/ffc/selftimed.mli: Bstar

@@ -1,0 +1,1 @@
+lib/ffc/spanning.ml: Adjacency Array Bstar Debruijn Fun Graphlib Hashtbl List Option

@@ -1,0 +1,1 @@
+lib/ffc/spanning.mli: Adjacency Hashtbl

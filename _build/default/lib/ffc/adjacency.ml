@@ -1,0 +1,94 @@
+module W = Debruijn.Word
+module Nk = Debruijn.Necklace
+module DG = Graphlib.Digraph
+
+type t = {
+  bstar : Bstar.t;
+  reps : int array;
+  idx_of_node : int array;
+  graph : DG.t;
+  edges : (int * int * int) list;
+}
+
+let build (bstar : Bstar.t) =
+  let p = bstar.Bstar.p in
+  let reps =
+    Array.of_list
+      (List.filter (fun r -> bstar.Bstar.in_bstar.(r)) (Nk.all_representatives p))
+  in
+  let index = Hashtbl.create (2 * Array.length reps) in
+  Array.iteri (fun i r -> Hashtbl.add index r i) reps;
+  let idx_of_node = Array.make p.W.size (-1) in
+  Array.iter
+    (fun r -> List.iter (fun x -> idx_of_node.(x) <- Hashtbl.find index r) (Nk.nodes p r))
+    reps;
+  (* Group live nodes by their (n−1)-suffix w: the nodes {αw} with a
+     common w induce a w-labeled clique (all pairs, both directions)
+     between their — necessarily distinct — necklaces. *)
+  let wsize = p.W.size / p.W.d in
+  let edges = ref [] in
+  let bld = DG.Builder.create (Array.length reps) in
+  for w = 0 to wsize - 1 do
+    let members = ref [] in
+    for a = p.W.d - 1 downto 0 do
+      let x = W.cons p a w in
+      if bstar.Bstar.in_bstar.(x) then members := idx_of_node.(x) :: !members
+    done;
+    let rec pairs = function
+      | [] -> ()
+      | i :: rest ->
+          List.iter
+            (fun j ->
+              edges := (i, j, w) :: (j, i, w) :: !edges;
+              DG.Builder.add_edge bld i j;
+              DG.Builder.add_edge bld j i)
+            rest;
+          pairs rest
+    in
+    pairs !members
+  done;
+  {
+    bstar;
+    reps;
+    idx_of_node;
+    graph = DG.Builder.build bld;
+    edges = List.rev !edges;
+  }
+
+let index_of_rep t rep =
+  let rec go i =
+    if i >= Array.length t.reps then raise Not_found
+    else if t.reps.(i) = rep then i
+    else go (i + 1)
+  in
+  go 0
+
+let rep_of_index t i = t.reps.(i)
+
+let node_with_suffix t idx w =
+  let p = t.bstar.Bstar.p in
+  let rec go a =
+    if a >= p.W.d then None
+    else
+      let x = W.cons p a w in
+      if t.idx_of_node.(x) = idx then Some x else go (a + 1)
+  in
+  go 0
+
+let node_with_prefix t idx w =
+  let p = t.bstar.Bstar.p in
+  let rec go b =
+    if b >= p.W.d then None
+    else
+      let x = W.snoc p w b in
+      if t.idx_of_node.(x) = idx then Some x else go (b + 1)
+  in
+  go 0
+
+let labels_between t i j =
+  List.sort compare
+    (List.filter_map (fun (a, b, w) -> if a = i && b = j then Some w else None) t.edges)
+
+let is_connected t =
+  Array.length t.reps <= 1
+  || Graphlib.Traversal.is_strongly_connected t.graph (fun _ -> true)

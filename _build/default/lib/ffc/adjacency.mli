@@ -1,0 +1,38 @@
+(** The necklace adjacency graph N\u{2217} (Definition, §2.2).
+
+    Nodes are the necklaces of B\u{2217}.  There is a directed edge labeled
+    w ∈ ℤ_d^{n−1} from \[X\] to \[Y\] iff αw ∈ \[X\] and βw ∈ \[Y\] for some
+    digits α ≠ β; every edge has an antiparallel twin with the same
+    label.  A necklace contains at most one node of the form αw for a
+    given w (nodes αw, βw with α ≠ β have different weights yet
+    rotations preserve weight), which makes entry/exit points unique. *)
+
+type t = {
+  bstar : Bstar.t;
+  reps : int array;  (** necklace representatives in B\u{2217}, increasing *)
+  idx_of_node : int array;  (** node → necklace index, −1 outside B\u{2217} *)
+  graph : Graphlib.Digraph.t;  (** N\u{2217} on necklace indices, unlabeled *)
+  edges : (int * int * int) list;  (** (src idx, dst idx, label w), both directions *)
+}
+
+val build : Bstar.t -> t
+
+val index_of_rep : t -> int -> int
+(** Necklace index of a representative. @raise Not_found if absent. *)
+
+val rep_of_index : t -> int -> int
+
+val node_with_suffix : t -> int -> int -> int option
+(** [node_with_suffix t idx w] is the unique node αw (suffix w) on the
+    necklace, if any — the potential exit point for w-edges. *)
+
+val node_with_prefix : t -> int -> int -> int option
+(** [node_with_prefix t idx w] is the unique node wβ (prefix w) on the
+    necklace, if any — the potential entry point for w-edges. *)
+
+val labels_between : t -> int -> int -> int list
+(** All labels w of edges from one necklace index to another, sorted. *)
+
+val is_connected : t -> bool
+(** N\u{2217} is connected iff B\u{2217} was a single component — always true by
+    construction; exposed for tests. *)

@@ -1,0 +1,92 @@
+module W = Debruijn.Word
+module Nk = Debruijn.Necklace
+module DG = Graphlib.Digraph
+module Tr = Graphlib.Traversal
+
+type t = {
+  p : W.params;
+  graph : DG.t;
+  faults : int list;
+  necklace_faulty : bool array;
+  in_bstar : bool array;
+  size : int;
+  root : int;
+}
+
+let finish p graph faults necklace_faulty members root_hint =
+  match members with
+  | [] -> None
+  | _ ->
+      let in_bstar = Array.make p.W.size false in
+      List.iter (fun v -> in_bstar.(v) <- true) members;
+      let root =
+        match root_hint with
+        | Some h when h >= 0 && h < p.W.size && in_bstar.(Nk.canonical p h) ->
+            Nk.canonical p h
+        | _ ->
+            (* Smallest representative in the component; representatives
+               are minimal on their necklaces so the smallest member is
+               itself a representative. *)
+            List.fold_left min max_int members
+      in
+      Some
+        {
+          p;
+          graph;
+          faults;
+          necklace_faulty;
+          in_bstar;
+          size = List.length members;
+          root;
+        }
+
+let compute ?root_hint p ~faults =
+  let graph = Debruijn.Graph.b p in
+  let necklace_faulty = Nk.mark_faulty_necklaces p faults in
+  let members = Tr.largest_weak_component graph (fun v -> not (necklace_faulty.(v))) in
+  finish p graph faults necklace_faulty members root_hint
+
+let component_of p ~faults node =
+  let graph = Debruijn.Graph.b p in
+  let necklace_faulty = Nk.mark_faulty_necklaces p faults in
+  if necklace_faulty.(node) then None
+  else begin
+    (* BFS in the symmetric closure restricted to live nodes. *)
+    let live v = not necklace_faulty.(v) in
+    let seen = Array.make p.W.size false in
+    let q = Queue.create () in
+    seen.(node) <- true;
+    Queue.push node q;
+    while not (Queue.is_empty q) do
+      let u = Queue.pop q in
+      let push v =
+        if live v && not seen.(v) then begin
+          seen.(v) <- true;
+          Queue.push v q
+        end
+      in
+      List.iter push (DG.succs graph u);
+      List.iter push (DG.preds graph u)
+    done;
+    let members = List.filter (fun v -> seen.(v)) (W.all p) in
+    finish p graph faults necklace_faulty members (Some node)
+  end
+
+let nodes t = List.filter (fun v -> t.in_bstar.(v)) (W.all t.p)
+
+let necklace_count t =
+  List.length (List.filter (fun r -> t.in_bstar.(r)) (Nk.all_representatives t.p))
+
+let eccentricity_of_root t =
+  let dist = Tr.bfs_dist_restricted t.graph (fun v -> t.in_bstar.(v)) t.root in
+  Array.fold_left max 0 dist
+
+let diameter t =
+  List.fold_left
+    (fun acc v ->
+      let dist = Tr.bfs_dist_restricted t.graph (fun u -> t.in_bstar.(u)) v in
+      max acc (Array.fold_left max 0 dist))
+    0 (nodes t)
+
+let is_strongly_connected t =
+  Tr.is_strongly_connected t.graph (fun v -> t.in_bstar.(v))

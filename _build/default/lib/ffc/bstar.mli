@@ -1,0 +1,48 @@
+(** B\u{2217}: the graph left after removing every faulty necklace.
+
+    Given faults F = {F₁,…,F_f}, the FFC algorithm works in
+    B\u{2217} = the largest component of B(d,n) − {N(F₁),…,N(F_f)}.
+    Because the removed set is a union of necklaces, every weak
+    component is strongly connected (any edge αw→wβ between two live
+    necklaces is matched by the edge βw→wα in the other direction), so
+    "component" is unambiguous. *)
+
+type t = {
+  p : Debruijn.Word.params;
+  graph : Graphlib.Digraph.t;  (** the full B(d,n) *)
+  faults : int list;  (** the faulty nodes as given *)
+  necklace_faulty : bool array;  (** node-level: lies on a faulty necklace *)
+  in_bstar : bool array;  (** node-level membership in B\u{2217} *)
+  size : int;  (** |B\u{2217}| — the fault-free cycle length *)
+  root : int;  (** the distinguished node R with N(R) = \[R\] *)
+}
+
+val compute : ?root_hint:int -> Debruijn.Word.params -> faults:int list -> t option
+(** The largest component after removing faulty necklaces; [None] when
+    every node is on a faulty necklace.  The root is the necklace
+    representative of [root_hint] when that lies inside the chosen
+    component (the thesis's tables use R = 0…01); otherwise the smallest
+    necklace representative in the component.  Ties between equal-size
+    components break toward the one containing the smallest node. *)
+
+val component_of : Debruijn.Word.params -> faults:int list -> int -> t option
+(** The component containing the given node, with that node's necklace
+    representative as root; [None] if the node lies on a faulty
+    necklace.  Used for the Table 2.1/2.2 experiments. *)
+
+val nodes : t -> int list
+(** Members of B\u{2217}, increasing. *)
+
+val necklace_count : t -> int
+(** Number of live necklaces inside B\u{2217}. *)
+
+val eccentricity_of_root : t -> int
+(** max distance from the root within B\u{2217} — the broadcast round count
+    of Step 1.1. *)
+
+val diameter : t -> int
+(** The thesis's K: the diameter of B\u{2217} (O(|B\u{2217}|·edges); meant for
+    experiment sizes). *)
+
+val is_strongly_connected : t -> bool
+(** Sanity: B\u{2217} should always be strongly connected. *)

@@ -1,0 +1,63 @@
+module W = Debruijn.Word
+
+type t = {
+  bstar : Bstar.t;
+  modified : Spanning.modified;
+  successor : int array;
+  cycle : int array;
+}
+
+let successor_map (m : Spanning.modified) =
+  let adj = m.Spanning.tree.Spanning.adj in
+  let bstar = adj.Adjacency.bstar in
+  let p = bstar.Bstar.p in
+  let succ = Array.make p.W.size (-1) in
+  for x = 0 to p.W.size - 1 do
+    if bstar.Bstar.in_bstar.(x) then begin
+      let w = W.suffix p x in
+      let idx = adj.Adjacency.idx_of_node.(x) in
+      match Hashtbl.find_opt m.Spanning.out_edge (idx, w) with
+      | Some next_idx -> (
+          match Adjacency.node_with_prefix adj next_idx w with
+          | Some target -> succ.(x) <- target
+          | None -> assert false)
+      | None -> succ.(x) <- W.rotl p x
+    end
+  done;
+  succ
+
+let of_bstar bstar =
+  let adj = Adjacency.build bstar in
+  let tree = Spanning.build adj in
+  let modified = Spanning.modify tree in
+  let successor = successor_map modified in
+  let cycle =
+    match
+      Graphlib.Cycle.of_successor_map ~start:bstar.Bstar.root (fun v -> successor.(v))
+    with
+    | Some c -> c
+    | None -> failwith "Ffc.Embed: successor map did not close into a cycle"
+  in
+  { bstar; modified; successor; cycle }
+
+let embed ?root_hint p ~faults =
+  Option.map of_bstar (Bstar.compute ?root_hint p ~faults)
+
+let verify t =
+  let bstar = t.bstar in
+  Graphlib.Cycle.is_hamiltonian bstar.Bstar.graph
+    ~subset:(fun v -> bstar.Bstar.in_bstar.(v))
+    t.cycle
+  && Graphlib.Cycle.avoids_nodes t.cycle (fun v -> bstar.Bstar.necklace_faulty.(v))
+
+let length t = Array.length t.cycle
+
+let length_lower_bound p f = p.W.size - (p.W.n * f)
+
+let worst_case_faults p f =
+  if f < 0 || f > p.W.d then invalid_arg "Embed.worst_case_faults";
+  (* α^{n−1}(d−1): digits α,…,α followed by d−1. *)
+  List.init f (fun a ->
+      let digits = Array.make p.W.n a in
+      digits.(p.W.n - 1) <- p.W.d - 1;
+      W.encode p digits)

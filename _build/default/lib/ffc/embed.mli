@@ -1,0 +1,40 @@
+(** Step 3 of the FFC algorithm and the end-to-end driver.
+
+    The successor of a node αw of B\u{2217} (α its first digit, w the
+    (n−1)-suffix) is
+    - the entry node wβ of \[Y\] when D carries a w-edge \[X\]→\[Y\] out of
+      αw's necklace \[X\], and
+    - its necklace successor wα otherwise.
+
+    Proposition 2.1: following these successors yields a Hamiltonian
+    cycle H of B\u{2217}; Proposition 2.2 bounds its length below by
+    dⁿ − nf when f ≤ d−2. *)
+
+type t = {
+  bstar : Bstar.t;
+  modified : Spanning.modified;
+  successor : int array;  (** node → its successor in H, −1 outside B\u{2217} *)
+  cycle : int array;  (** H, starting at the root R *)
+}
+
+val successor_map : Spanning.modified -> int array
+
+val of_bstar : Bstar.t -> t
+(** Run steps 1–3 on an already-computed B\u{2217}. *)
+
+val embed : ?root_hint:int -> Debruijn.Word.params -> faults:int list -> t option
+(** Full pipeline: compute B\u{2217}, build N\u{2217}, T, D, and H.  [None] when
+    no live necklace remains. *)
+
+val verify : t -> bool
+(** H is a Hamiltonian cycle of B\u{2217} avoiding all faulty necklaces. *)
+
+val length : t -> int
+
+val length_lower_bound : Debruijn.Word.params -> int -> int
+(** dⁿ − n·f — the Proposition 2.2 guarantee for f ≤ d−2 (and the
+    benchmark tables' reference column for any f). *)
+
+val worst_case_faults : Debruijn.Word.params -> int -> int list
+(** The adversarial fault set {α^{n−1}(d−1) | 0 ≤ α ≤ f−1} from §2.5
+    for which no cycle longer than dⁿ − nf exists. *)

@@ -1,0 +1,95 @@
+module W = Debruijn.Word
+module Nk = Debruijn.Necklace
+
+let path_p p x a =
+  let rec go acc v k =
+    if k = 0 then List.rev acc
+    else begin
+      let v' = W.snoc p (W.suffix p v) a in
+      go (v' :: acc) v' (k - 1)
+    end
+  in
+  go [ x ] x p.W.n
+
+let path_q p a i y =
+  if i < 1 || i > p.W.d - 1 then invalid_arg "Routing.path_q: i out of range";
+  let a' = (a + i) mod p.W.d in
+  let start = W.constant p a in
+  let u1 = W.snoc p (W.suffix p start) a' in
+  let ydigits = W.decode p y in
+  let rec go acc v j =
+    if j = p.W.n then List.rev acc
+    else
+      let v' = W.snoc p (W.suffix p v) ydigits.(j) in
+      go (v' :: acc) v' (j + 1)
+  in
+  go [ u1; start ] u1 0
+
+let interior_necklaces p path =
+  match path with
+  | [] | [ _ ] | [ _; _ ] -> []
+  | _ :: rest ->
+      let interior = List.filteri (fun i _ -> i < List.length rest - 1) rest in
+      List.sort_uniq compare (List.map (Nk.canonical p) interior)
+
+(* Remove cycles from a walk, keeping it a simple path with the same
+   endpoints (every removed node was on the walk, so liveness is
+   preserved). *)
+let loop_erase walk =
+  let seen = Hashtbl.create 64 in
+  let rec go acc = function
+    | [] -> List.rev acc
+    | v :: rest ->
+        if Hashtbl.mem seen v then begin
+          (* drop back to the previous occurrence of v *)
+          let rec pop = function
+            | w :: acc' when w <> v ->
+                Hashtbl.remove seen w;
+                pop acc'
+            | acc' -> acc'
+          in
+          go (pop acc) rest
+        end
+        else begin
+          Hashtbl.add seen v ();
+          go (v :: acc) rest
+        end
+  in
+  go [] walk
+
+let route p ~faulty_necklace x y =
+  if faulty_necklace x || faulty_necklace y then None
+  else if x = y then Some [ x ]
+  else begin
+    let live v = not (faulty_necklace v) in
+    let live_interior path = List.for_all (fun v -> live v) path in
+    (* try each a: P_a fault-free in its interior, then each i with Q_i
+       fault-free; splice skipping aⁿ. *)
+    let try_a a =
+      let pa = path_p p x a in
+      (* drop the final aⁿ; the interior to check is everything after x *)
+      let before_last = List.filteri (fun i _ -> i < p.W.n) pa in
+      match before_last with
+      | [] -> None
+      | _ :: interior_p ->
+          if not (live_interior interior_p) then None
+          else
+            let try_i i =
+              match path_q p a i y with
+              | _ :: tail ->
+                  (* tail = u₁ … y; interior is everything but y *)
+                  let interior_q = List.filteri (fun j _ -> j < List.length tail - 1) tail in
+                  if live_interior interior_q then Some (before_last @ tail) else None
+              | [] -> None
+            in
+            List.find_map try_i (List.init (p.W.d - 1) (fun i -> i + 1))
+    in
+    Option.map loop_erase (List.find_map try_a (List.init p.W.d Fun.id))
+  end
+
+let verify_path p path =
+  let rec go = function
+    | a :: (b :: _ as rest) -> W.suffix p a = W.prefix p b && go rest
+    | _ -> true
+  in
+  go path

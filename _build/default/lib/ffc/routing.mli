@@ -1,0 +1,33 @@
+(** Fault-tolerant routing through faulty necklaces — the constructive
+    content of Proposition 2.2's proof.
+
+    For any nodes x, y of B(d,n):
+    - the d paths P_a : x → x₂…xₙa → x₃…xₙaa → … → aⁿ (a ∈ ℤ_d) are
+      pairwise {e necklace-disjoint} in their interior, and
+    - the d−1 paths Q_i : aⁿ → aⁿ⁻¹(a+i) → … → (a+i)y₁…y_{n−1} → y
+      (1 ≤ i ≤ d−1) are also pairwise necklace-disjoint,
+
+    so with f ≤ d−2 faulty necklaces some P_a and some Q_i survive, and
+    splicing them (skipping aⁿ via the edge xₙa…a → a…a(a+i)) yields a
+    fault-free x→y path of length ≤ 2n.  This is both the diameter
+    bound for B\u{2217} and a routing algorithm. *)
+
+val path_p : Debruijn.Word.params -> int -> int -> int list
+(** [path_p p x a]: the n+1 nodes x, x₂…xₙa, …, aⁿ. *)
+
+val path_q : Debruijn.Word.params -> int -> int -> int -> int list
+(** [path_q p a i y] for 1 ≤ i ≤ d−1: the n+2 nodes aⁿ, aⁿ⁻¹(a+i), …,
+    (a+i)y₁…y_{n−1}, y. *)
+
+val interior_necklaces : Debruijn.Word.params -> int list -> int list
+(** The necklace representatives of a path's interior (endpoints
+    excluded) — the Sₚ of the thesis. *)
+
+val route :
+  Debruijn.Word.params -> faulty_necklace:(int -> bool) -> int -> int -> int list option
+(** A fault-free x→y path of length ≤ 2n through live necklaces only
+    (both endpoints must be live).  Guaranteed to exist when at most
+    d−2 necklaces are faulty; [None] if every splice is blocked. *)
+
+val verify_path : Debruijn.Word.params -> int list -> bool
+(** Consecutive elements are De Bruijn edges. *)

@@ -1,0 +1,41 @@
+(** A self-timed, single-program variant of the distributed FFC
+    protocol.
+
+    {!Distributed} runs the five phases as separate simulator runs with
+    an external orchestrator deciding when each phase has finished.  A
+    real synchronous machine has no such orchestrator: under the
+    f ≤ d−2 regime of Proposition 2.2 the diameter of B\u{2217} is at most
+    2n, so every phase can be given a {e fixed} round budget known to
+    all processors in advance, and the whole algorithm becomes one
+    program in which nodes switch phases by their local round counter:
+
+    {v
+    rounds [0, n]             necklace probe
+    rounds [n, 3n+1]          broadcast flood from R
+    rounds [3n+2, 4n+2]       choose-Y circulation
+    rounds [4n+3, 4n+4]       T_w exchange
+    rounds [4n+4, 5n+4]       membership circulation
+    v}
+
+    Total: 5n + 4 rounds, independent of the fault pattern — the
+    strongest form of the thesis's Θ(n) claim.  The output successor
+    map equals {!Embed.successor_map} whenever every live necklace is
+    within distance 2n+1 of R (guaranteed for f ≤ d−2; for heavier
+    fault patterns use {!Distributed}, which waits as long as needed). *)
+
+type t = {
+  bstar : Bstar.t;
+  successor : int array;
+  cycle : int array;
+  total_rounds : int;  (** always 5n + 4 *)
+  messages : int;
+}
+
+val schedule_length : n:int -> int
+(** 5n + 4. *)
+
+val run : Bstar.t -> t
+(** Execute the self-timed protocol.
+    @raise Failure if the successor map does not close into a cycle
+    (possible only beyond the f ≤ d−2 guarantee, when 2n+1 rounds do
+    not suffice for the broadcast). *)

@@ -1,0 +1,121 @@
+module W = Debruijn.Word
+module DG = Graphlib.Digraph
+module Tr = Graphlib.Traversal
+
+type tree = {
+  adj : Adjacency.t;
+  root_idx : int;
+  dist : int array;
+  node_parent : int array;
+  parent : int array;
+  label : int array;
+  chosen : int array;
+}
+
+let build (adj : Adjacency.t) =
+  let bstar = adj.Adjacency.bstar in
+  let p = bstar.Bstar.p in
+  let g = bstar.Bstar.graph in
+  let in_bstar v = bstar.Bstar.in_bstar.(v) in
+  let root = bstar.Bstar.root in
+  let dist = Tr.bfs_dist_restricted g in_bstar root in
+  (* T′ parent: minimal predecessor one BFS level up, inside B*. *)
+  let node_parent = Array.make p.W.size (-1) in
+  for v = 0 to p.W.size - 1 do
+    if in_bstar v && v <> root && dist.(v) > 0 then begin
+      let best = ref max_int in
+      List.iter
+        (fun u -> if in_bstar u && dist.(u) = dist.(v) - 1 && u < !best then best := u)
+        (DG.preds g v);
+      if !best < max_int then node_parent.(v) <- !best
+    end
+  done;
+  let m = Array.length adj.Adjacency.reps in
+  let root_idx = adj.Adjacency.idx_of_node.(root) in
+  let parent = Array.make m (-1) in
+  let label = Array.make m (-1) in
+  let chosen = Array.make m (-1) in
+  for i = 0 to m - 1 do
+    let members = Debruijn.Necklace.nodes p adj.Adjacency.reps.(i) in
+    (* Earliest receipt, ties toward the minimal node: necklace nodes
+       are visited in increasing order so the first minimum wins. *)
+    let y =
+      List.fold_left
+        (fun best v ->
+          match best with
+          | None -> Some v
+          | Some b -> if dist.(v) < dist.(b) || (dist.(v) = dist.(b) && v < b) then Some v else Some b)
+        None (List.sort compare members)
+    in
+    match y with
+    | None -> assert false
+    | Some y ->
+        chosen.(i) <- y;
+        if i <> root_idx then begin
+          let par_node = node_parent.(y) in
+          assert (par_node >= 0);
+          parent.(i) <- adj.Adjacency.idx_of_node.(par_node);
+          label.(i) <- W.prefix p y
+        end
+  done;
+  (* The root's chosen node is R itself (distance 0). *)
+  chosen.(root_idx) <- root;
+  { adj; root_idx; dist; node_parent; parent; label; chosen }
+
+let tree_edges t =
+  let m = Array.length t.adj.Adjacency.reps in
+  List.filter_map
+    (fun i -> if i = t.root_idx then None else Some (t.parent.(i), i, t.label.(i)))
+    (List.init m Fun.id)
+
+let check_height_one t =
+  let by_label = Hashtbl.create 16 in
+  List.for_all
+    (fun (par, _, w) ->
+      match Hashtbl.find_opt by_label w with
+      | None ->
+          Hashtbl.add by_label w par;
+          true
+      | Some par' -> par = par')
+    (tree_edges t)
+
+type modified = {
+  tree : tree;
+  groups : (int * int list) list;
+  out_edge : (int * int, int) Hashtbl.t;
+}
+
+let modify t =
+  let by_label = Hashtbl.create 16 in
+  List.iter
+    (fun (par, child, w) ->
+      let cur = Option.value ~default:[] (Hashtbl.find_opt by_label w) in
+      let cur = if List.mem par cur then cur else par :: cur in
+      Hashtbl.replace by_label w (child :: cur))
+    (tree_edges t);
+  let rep i = t.adj.Adjacency.reps.(i) in
+  let groups =
+    Hashtbl.fold
+      (fun w members acc ->
+        (w, List.sort (fun a b -> compare (rep a) (rep b)) members) :: acc)
+      by_label []
+    |> List.sort compare
+  in
+  let out_edge = Hashtbl.create 64 in
+  List.iter
+    (fun (w, members) ->
+      let arr = Array.of_list members in
+      let k = Array.length arr in
+      Array.iteri (fun i idx -> Hashtbl.replace out_edge (idx, w) arr.((i + 1) mod k)) arr)
+    groups;
+  { tree = t; groups; out_edge }
+
+let is_spanning_subgraph m =
+  let adj = m.tree.adj in
+  Hashtbl.fold
+    (fun (src, w) dst acc ->
+      acc
+      && Option.is_some (Adjacency.node_with_suffix adj src w)
+      && Option.is_some (Adjacency.node_with_prefix adj dst w)
+      && src <> dst)
+    m.out_edge true

@@ -1,0 +1,47 @@
+(** Steps 1 and 2 of the FFC algorithm: the spanning tree T of N\u{2217}
+    whose w-subtrees T_w all have height one, and the modified tree D in
+    which each T_w becomes a directed w-labeled cycle.
+
+    T is derived from the broadcast tree T′ of B\u{2217} rooted at R:
+    - T′: BFS with the "first receipt, minimal-predecessor tie-break"
+      parent rule (Step 1.1);
+    - T: per necklace, pick the earliest-reached node Y (ties toward the
+      minimal node), let w = prefix(Y) and the parent necklace be the
+      necklace of Y's T′-parent (Step 1.2).
+
+    The height-one property of every T_w follows because sibling nodes
+    wα and wβ share their full predecessor set, hence their T′ parent. *)
+
+type tree = {
+  adj : Adjacency.t;
+  root_idx : int;  (** the necklace of R *)
+  dist : int array;  (** node-level BFS distance from R inside B\u{2217} (−1 outside) *)
+  node_parent : int array;  (** node-level T′ parent (−1 for R / outside) *)
+  parent : int array;  (** necklace-level parent index (−1 for root) *)
+  label : int array;  (** w label of the parent edge (−1 for root) *)
+  chosen : int array;  (** per necklace: the earliest-reached node Y *)
+}
+
+val build : Adjacency.t -> tree
+
+val check_height_one : tree -> bool
+(** Every label class T_w has a single common parent — guaranteed by
+    Lemma-level reasoning in the thesis; asserted in tests. *)
+
+val tree_edges : tree -> (int * int * int) list
+(** (parent idx, child idx, w) for every non-root necklace. *)
+
+type modified = {
+  tree : tree;
+  groups : (int * int list) list;  (** label w → members of T_w, sorted by representative *)
+  out_edge : (int * int, int) Hashtbl.t;
+      (** (necklace idx, w) → successor necklace idx on the w-cycle *)
+}
+
+val modify : tree -> modified
+(** Step 2: each T_w (parent and children) becomes the directed cycle
+    that steps through its members in increasing representative order
+    and wraps. *)
+
+val is_spanning_subgraph : modified -> bool
+(** Every D edge exists in N\u{2217} — exposed for tests. *)

@@ -1,0 +1,1 @@
+lib/galois/gf.ml: Array Fun List Numtheory Poly_zp

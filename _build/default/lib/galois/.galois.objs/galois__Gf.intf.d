@@ -1,0 +1,1 @@
+lib/galois/gf.mli: Poly_zp

@@ -1,0 +1,1 @@
+lib/galois/gf_poly.ml: Array Gf List Numtheory Printf String

@@ -1,0 +1,1 @@
+lib/galois/gf_poly.mli: Gf

@@ -1,0 +1,1 @@
+lib/galois/poly_zp.mli:

@@ -1,0 +1,75 @@
+(** The Galois field GF(p{^e}).
+
+    Chapter 3 of the thesis works over GF(d) for a prime power d = p{^e}:
+    maximal cycles are linear recurrences over GF(d) with a primitive
+    characteristic polynomial, and the disjoint-Hamiltonian-cycle
+    strategies manipulate field elements directly.
+
+    Elements are represented as integers in [0, d): the element with
+    polynomial representation c₀ + c₁α + … + c_{e−1}α^{e−1} (α a root of
+    the defining primitive polynomial) is encoded as the base-p numeral
+    Σ cᵢ pⁱ.  In particular 0 and 1 are the additive and multiplicative
+    identities, and the integers 0..p−1 encode the prime subfield. *)
+
+type t = private {
+  p : int;  (** characteristic *)
+  e : int;  (** extension degree *)
+  d : int;  (** order, p{^e} *)
+  modulus : Poly_zp.t;  (** defining primitive polynomial of degree e over ℤ_p *)
+  exp : int array;  (** exp.(i) = g{^i} for the canonical generator g, length d−1 *)
+  log : int array;  (** log.(g{^i}) = i; log.(0) is unused *)
+}
+
+type elt = int
+(** A field element, an integer in [0, d). *)
+
+val create : int -> t
+(** [create d] builds GF(d) for a prime power [d], choosing the least
+    primitive polynomial of degree e over ℤ_p as modulus (for e = 1 the
+    modulus is x − g with g the least primitive root).
+    @raise Invalid_argument if [d] is not a prime power ≥ 2. *)
+
+val order : t -> int
+(** The number of elements, d. *)
+
+val elements : t -> elt list
+(** All elements, [0; 1; …; d−1]. *)
+
+val nonzero : t -> elt list
+(** All nonzero elements. *)
+
+val generator : t -> elt
+(** A fixed generator of the multiplicative group. *)
+
+val add : t -> elt -> elt -> elt
+val sub : t -> elt -> elt -> elt
+val neg : t -> elt -> elt
+val mul : t -> elt -> elt -> elt
+
+val inv : t -> elt -> elt
+(** @raise Division_by_zero on 0. *)
+
+val div : t -> elt -> elt -> elt
+val pow : t -> elt -> int -> elt
+(** [pow f a k] with [k] any integer (negative allowed for nonzero [a]). *)
+
+val of_int : t -> int -> elt
+(** Embed an integer via reduction mod p into the prime subfield. *)
+
+val scalar_mul : t -> int -> elt -> elt
+(** [scalar_mul f k a] is the sum of [k] copies of [a] — equivalently
+    [mul f (of_int f k) a]. *)
+
+val log : t -> elt -> int
+(** Discrete log base [generator].  @raise Division_by_zero on 0. *)
+
+val elt_order : t -> elt -> int
+(** Multiplicative order of a nonzero element. *)
+
+val sum : t -> elt list -> elt
+val product : t -> elt list -> elt
+
+val has_characteristic_2 : t -> bool
+
+val to_string : t -> elt -> string
+(** Render an element as its integer code (the thesis's d-ary digit). *)

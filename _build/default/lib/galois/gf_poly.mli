@@ -1,0 +1,58 @@
+(** Dense polynomials over GF(q).
+
+    Used to find the primitive characteristic polynomials of degree n
+    over GF(d) that define maximal cycles in B(d,n) (§3.1 of the thesis).
+    Representation mirrors {!Poly_zp}: an [int array] of field-element
+    codes in ascending degree order, normalized. *)
+
+type t = int array
+
+val zero : t
+val one : t
+val x : t
+
+val of_coeffs : Gf.t -> int list -> t
+val normalize : Gf.t -> t -> t
+val degree : t -> int
+val is_zero : t -> bool
+val equal : t -> t -> bool
+val coeff : t -> int -> int
+val leading : t -> int
+
+val add : Gf.t -> t -> t -> t
+val sub : Gf.t -> t -> t -> t
+val mul : Gf.t -> t -> t -> t
+val scale : Gf.t -> int -> t -> t
+
+val divmod : Gf.t -> t -> t -> t * t
+(** @raise Division_by_zero on a zero divisor. *)
+
+val rem : Gf.t -> t -> t -> t
+val mul_mod : Gf.t -> t -> t -> t -> t
+val pow_mod : Gf.t -> t -> t -> int -> t
+val gcd : Gf.t -> t -> t -> t
+val monic : Gf.t -> t -> t
+val eval : Gf.t -> t -> int -> int
+
+val is_irreducible : Gf.t -> t -> bool
+(** Rabin's test over GF(q). *)
+
+val order_of_x : Gf.t -> t -> int
+(** [order_of_x f m] is the multiplicative order of the class of x in
+    GF(q)[x]/(m), for [m] with nonzero constant term.  The order divides
+    q{^deg m} − 1 when [m] is irreducible; for the reducible case the
+    function still terminates by scanning divisors of q{^deg m} − 1 and
+    raises [Not_found] if none matches. *)
+
+val is_primitive : Gf.t -> t -> bool
+(** Monic, irreducible, constant term nonzero, and x has order
+    q{^n} − 1 — the defining property of the characteristic polynomial
+    of a maximal-period linear recurrence (De Bruijn §3.1). *)
+
+val all_monic : Gf.t -> int -> t list
+
+val find_primitive : Gf.t -> int -> t
+(** Least monic primitive polynomial of the given degree over GF(q).
+    @raise Not_found if none exists (cannot happen for n ≥ 1). *)
+
+val to_string : Gf.t -> t -> string

@@ -1,0 +1,76 @@
+(** Dense polynomials over the prime field ℤ_p.
+
+    A polynomial is an [int array] of coefficients in ascending degree
+    order, normalized so that the last coefficient is nonzero (the zero
+    polynomial is the empty array).  All operations take the prime [p]
+    explicitly; coefficients are kept in [0, p). *)
+
+type t = int array
+
+val zero : t
+val one : t
+val x : t
+
+val of_coeffs : int -> int list -> t
+(** [of_coeffs p cs] builds the polynomial with ascending coefficients
+    [cs], reduced mod [p] and normalized. *)
+
+val normalize : int -> t -> t
+(** Reduce coefficients mod [p] and strip trailing zeros. *)
+
+val degree : t -> int
+(** Degree; the zero polynomial has degree [-1]. *)
+
+val is_zero : t -> bool
+val equal : t -> t -> bool
+val leading : t -> int
+
+val coeff : t -> int -> int
+(** [coeff f i] is the coefficient of x^i (0 beyond the degree). *)
+
+val add : int -> t -> t -> t
+val sub : int -> t -> t -> t
+val neg : int -> t -> t
+val mul : int -> t -> t -> t
+val scale : int -> int -> t -> t
+
+val divmod : int -> t -> t -> t * t
+(** [divmod p a b] is the (quotient, remainder) of [a] by [b] in ℤ_p[x].
+    @raise Division_by_zero if [b] is the zero polynomial. *)
+
+val rem : int -> t -> t -> t
+val mul_mod : int -> t -> t -> t -> t
+(** [mul_mod p m a b] is [a·b mod m]. *)
+
+val pow_mod : int -> t -> t -> int -> t
+(** [pow_mod p m f e] is [f^e mod m] by binary exponentiation, [e ≥ 0]. *)
+
+val gcd : int -> t -> t -> t
+(** Monic greatest common divisor. *)
+
+val eval : int -> t -> int -> int
+
+val monic : int -> t -> t
+(** Divide by the leading coefficient. *)
+
+val is_irreducible : int -> t -> bool
+(** Rabin's irreducibility test over ℤ_p: [f] of degree n ≥ 1 is
+    irreducible iff x^(p^n) ≡ x (mod f) and gcd(x^(p^(n/q)) − x, f) = 1
+    for every prime q dividing n. *)
+
+val is_primitive : int -> t -> bool
+(** [is_primitive p f]: [f] monic irreducible of degree n and the class
+    of x generates the multiplicative group of ℤ_p[x]/(f), i.e. the
+    order of x is p^n − 1. *)
+
+val find_primitive : int -> int -> t
+(** [find_primitive p n] is the lexicographically least monic primitive
+    polynomial of degree [n] over ℤ_p.
+    @raise Not_found if none exists (cannot happen for prime p, n ≥ 1). *)
+
+val all_monic : int -> int -> t list
+(** All monic polynomials of the given degree over ℤ_p, in lexicographic
+    order of coefficient vectors (constant term varies fastest). *)
+
+val to_string : t -> string
+(** Human-readable form like ["x^2 + 2x + 1"]. *)

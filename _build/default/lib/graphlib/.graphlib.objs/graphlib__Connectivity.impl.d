@@ -1,0 +1,1 @@
+lib/graphlib/connectivity.ml: Array Digraph Hashtbl List Option Queue

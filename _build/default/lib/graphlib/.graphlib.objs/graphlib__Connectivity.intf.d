@@ -1,0 +1,1 @@
+lib/graphlib/connectivity.mli: Digraph

@@ -1,0 +1,1 @@
+lib/graphlib/cycle.ml: Array Digraph Hashtbl List

@@ -1,0 +1,1 @@
+lib/graphlib/cycle.mli: Digraph Hashtbl

@@ -1,0 +1,1 @@
+lib/graphlib/euler.ml: Array Digraph Hashtbl List Option Traversal

@@ -1,0 +1,1 @@
+lib/graphlib/euler.mli: Digraph

@@ -1,0 +1,52 @@
+(** Directed graphs on integer nodes [0 .. n−1].
+
+    The representation is a frozen adjacency structure (arrays of
+    successor lists, with predecessor lists built on demand); build one
+    with {!Builder}.  Parallel edges and loops are allowed — De Bruijn
+    digraphs have loops at the d constant nodes. *)
+
+type t
+
+module Builder : sig
+  type graph := t
+  type t
+
+  val create : int -> t
+  (** [create n] starts an empty graph on nodes [0 .. n−1]. *)
+
+  val add_edge : t -> int -> int -> unit
+  (** Append a directed edge; duplicates are kept. *)
+
+  val build : t -> graph
+end
+
+val of_edges : int -> (int * int) list -> t
+val of_successors : int -> (int -> int list) -> t
+(** [of_successors n succ] builds the graph with edge set
+    {(v, w) | v ∈ [0,n), w ∈ succ v}. *)
+
+val n_nodes : t -> int
+val n_edges : t -> int
+val succs : t -> int -> int list
+val preds : t -> int -> int list
+val out_degree : t -> int -> int
+val in_degree : t -> int -> int
+val mem_edge : t -> int -> int -> bool
+val iter_edges : (int -> int -> unit) -> t -> unit
+val fold_edges : ('a -> int -> int -> 'a) -> 'a -> t -> 'a
+val edges : t -> (int * int) list
+
+val remove_nodes : t -> (int -> bool) -> t
+(** [remove_nodes g faulty] keeps the node ids but drops every edge
+    incident to a node satisfying [faulty] — the thesis's total-failure
+    model (faulty processors neither compute nor route). *)
+
+val remove_edges : t -> ((int * int) -> bool) -> t
+(** Drop every edge satisfying the predicate. *)
+
+val reverse : t -> t
+val undirected_view : t -> t
+(** Symmetric closure (each edge doubled); loops kept single per copy. *)
+
+val is_balanced : t -> bool
+(** Every node has equal in- and out-degree (counting multiplicity). *)

@@ -1,0 +1,1 @@
+lib/hamsearch/search.ml: Array Graphlib Hashtbl List Option

@@ -1,0 +1,1 @@
+lib/hamsearch/search.mli: Graphlib

@@ -1,0 +1,154 @@
+module DG = Graphlib.Digraph
+
+type outcome = Found of int array | Not_found | Exhausted
+
+(* Core enumerator.  Cycles are produced in canonical form: rooted at
+   their minimal node, so each simple cycle is seen exactly once.  The
+   callback returns [true] to continue enumerating.  [steps] persists
+   across calls so that nested searches share one budget.  The result
+   says whether the space was fully swept. *)
+type sweep = Complete | Stopped | Ran_out
+
+let count_usable g usable_node =
+  let n = DG.n_nodes g in
+  let rec go v acc = if v >= n then acc else go (v + 1) (if usable_node v then acc + 1 else acc) in
+  go 0 0
+
+let enumerate ~steps ~budget ~usable_node ~usable_edge ~length g ~on_found =
+  let n = DG.n_nodes g in
+  let visited = Array.make n false in
+  let path = Array.make (max 1 (min length n)) 0 in
+  let exception Stop in
+  let exception Out_of_budget in
+  let rec extend start depth u =
+    incr steps;
+    if !steps > budget then raise Out_of_budget;
+    if depth = length then begin
+      if usable_edge (u, start) && DG.mem_edge g u start then
+        if not (on_found (Array.sub path 0 length)) then raise Stop
+    end
+    else
+      List.iter
+        (fun v ->
+          (* canonicity: only nodes above the root may appear *)
+          if v > start && usable_node v && (not visited.(v)) && usable_edge (u, v)
+          then begin
+            visited.(v) <- true;
+            path.(depth) <- v;
+            extend start (depth + 1) v;
+            visited.(v) <- false
+          end)
+        (DG.succs g u)
+  in
+  let hamiltonian = length = count_usable g usable_node in
+  let result = ref Complete in
+  (try
+     if length = 1 then
+       for v = 0 to n - 1 do
+         incr steps;
+         if !steps > budget then raise Out_of_budget;
+         if usable_node v && usable_edge (v, v) && DG.mem_edge g v v then begin
+           path.(0) <- v;
+           if not (on_found [| v |]) then raise Stop
+         end
+       done
+     else begin
+       let tried_one = ref false in
+       for start = 0 to n - 1 do
+         (* a Hamiltonian cycle must contain the minimal usable node, so
+            only the first start can succeed in that case *)
+         if usable_node start && not (hamiltonian && !tried_one) then begin
+           tried_one := true;
+           visited.(start) <- true;
+           path.(0) <- start;
+           extend start 1 start;
+           visited.(start) <- false
+         end
+       done
+     end
+   with
+  | Stop -> result := Stopped
+  | Out_of_budget -> result := Ran_out);
+  !result
+
+let default_budget = 2_000_000
+
+let cycle ?(budget = default_budget) ?(avoid_nodes = fun _ -> false)
+    ?(avoid_edges = fun _ -> false) ?length g =
+  let usable_node v = not (avoid_nodes v) in
+  let usable_edge e = not (avoid_edges e) in
+  let total = count_usable g usable_node in
+  let length = Option.value length ~default:total in
+  if length < 1 || length > total then Not_found
+  else begin
+    let answer = ref None in
+    let steps = ref 0 in
+    let sweep =
+      enumerate ~steps ~budget ~usable_node ~usable_edge ~length g ~on_found:(fun c ->
+          answer := Some c;
+          false)
+    in
+    match (!answer, sweep) with
+    | Some c, _ -> Found c
+    | None, Complete -> Not_found
+    | None, (Ran_out | Stopped) -> Exhausted
+  end
+
+let count_cycles ?(budget = default_budget) ?(avoid_nodes = fun _ -> false)
+    ?(avoid_edges = fun _ -> false) ?length g =
+  let usable_node v = not (avoid_nodes v) in
+  let usable_edge e = not (avoid_edges e) in
+  let total = count_usable g usable_node in
+  let length = Option.value length ~default:total in
+  if length < 1 || length > total then Some 0
+  else begin
+    let count = ref 0 in
+    let steps = ref 0 in
+    match
+      enumerate ~steps ~budget ~usable_node ~usable_edge ~length g ~on_found:(fun _ ->
+          incr count;
+          true)
+    with
+    | Complete | Stopped -> Some !count
+    | Ran_out -> None
+  end
+
+let hamiltonian ?budget ?avoid_nodes ?avoid_edges g =
+  cycle ?budget ?avoid_nodes ?avoid_edges g
+
+let disjoint_hamiltonian_cycles ?(budget = default_budget) ~k g =
+  let steps = ref 0 in
+  let exhausted = ref false in
+  (* Edge set already used by chosen cycles. *)
+  let used = Hashtbl.create 1024 in
+  let with_cycle c body =
+    let es = Graphlib.Cycle.edges_of_cycle c in
+    List.iter (fun e -> Hashtbl.replace used e ()) es;
+    let r = body () in
+    List.iter (fun e -> Hashtbl.remove used e) es;
+    r
+  in
+  let rec level i acc =
+    if i = k then Some (List.rev acc)
+    else begin
+      let found = ref None in
+      let sweep =
+        enumerate ~steps ~budget
+          ~usable_node:(fun _ -> true)
+          ~usable_edge:(fun e -> not (Hashtbl.mem used e))
+          ~length:(DG.n_nodes g) g
+          ~on_found:(fun c ->
+            match with_cycle c (fun () -> level (i + 1) (c :: acc)) with
+            | Some _ as r ->
+                found := r;
+                false
+            | None -> true)
+      in
+      (match sweep with
+      | Ran_out -> exhausted := true
+      | Complete | Stopped -> ());
+      !found
+    end
+  in
+  let r = level 0 [] in
+  (r, !exhausted)

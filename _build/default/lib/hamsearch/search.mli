@@ -1,0 +1,62 @@
+(** Bounded backtracking search for cycles in digraphs.
+
+    The constructions of Chapters 2–3 are certificate-producing and run
+    in polynomial time; this module is the complementary {e search}
+    tool used to probe the thesis's Chapter 5 open questions on small
+    instances (does B(d,n) admit a fault-free HC under d−2 edge faults
+    for composite d?  does it admit d−1 disjoint HCs?  what about the
+    undirected UB(d,n)?), and to exercise the pancyclicity remark of
+    §2.5.
+
+    All searches carry an explicit step [budget] (number of backtracking
+    node expansions); exceeding it yields [`Exhausted] rather than an
+    answer, so callers can report "unknown" honestly. *)
+
+type outcome = Found of int array | Not_found | Exhausted
+
+val cycle :
+  ?budget:int ->
+  ?avoid_nodes:(int -> bool) ->
+  ?avoid_edges:(int * int -> bool) ->
+  ?length:int ->
+  Graphlib.Digraph.t ->
+  outcome
+(** [cycle g] searches for a simple cycle of [g]:
+    - [length]: exact cycle length required (default: Hamiltonian on the
+      non-avoided nodes);
+    - [avoid_nodes] / [avoid_edges]: constraints;
+    - [budget]: maximum expansions (default 2,000,000).
+
+    The search starts from the smallest usable node, tries successors in
+    increasing order, and prunes when a non-visited node loses all its
+    usable in- or out-edges (a standard degree argument). *)
+
+val hamiltonian :
+  ?budget:int ->
+  ?avoid_nodes:(int -> bool) ->
+  ?avoid_edges:(int * int -> bool) ->
+  Graphlib.Digraph.t ->
+  outcome
+(** [cycle] with the Hamiltonian default made explicit. *)
+
+val count_cycles :
+  ?budget:int ->
+  ?avoid_nodes:(int -> bool) ->
+  ?avoid_edges:(int * int -> bool) ->
+  ?length:int ->
+  Graphlib.Digraph.t ->
+  int option
+(** Exhaustively count the simple cycles (default: Hamiltonian) —
+    [None] when the budget ran out before the sweep completed.  Used to
+    check the BEST-theorem corollary that B(d,n) has exactly
+    (d!)^(d^{n−1}) / dⁿ Hamiltonian cycles. *)
+
+val disjoint_hamiltonian_cycles :
+  ?budget:int -> k:int -> Graphlib.Digraph.t -> int array list option * bool
+(** Try to accumulate [k] pairwise edge-disjoint Hamiltonian cycles by
+    backtracking across levels (each level forbids the edges of the
+    cycles already chosen, and on failure the previous level resumes
+    from its next cycle).  Returns [(Some cycles, exhausted?)] on
+    success and [(None, exhausted?)] otherwise, where the flag reports
+    whether any branch hit the budget (so "no" is only conclusive when
+    it is [false]). *)

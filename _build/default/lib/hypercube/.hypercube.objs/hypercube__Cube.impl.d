@@ -1,0 +1,1 @@
+lib/hypercube/cube.ml: Array Graphlib List

@@ -1,0 +1,1 @@
+lib/hypercube/cube.mli: Graphlib

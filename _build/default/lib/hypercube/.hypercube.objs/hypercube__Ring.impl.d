@@ -1,0 +1,1 @@
+lib/hypercube/ring.ml: Array Cube Fun Graphlib Hashtbl List Option

@@ -1,0 +1,1 @@
+lib/hypercube/ring.mli:

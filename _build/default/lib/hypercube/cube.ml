@@ -1,0 +1,29 @@
+let neighbors ~n x = List.init n (fun i -> x lxor (1 lsl i))
+
+let graph n =
+  if n < 1 then invalid_arg "Cube.graph: n < 1";
+  Graphlib.Digraph.of_successors (1 lsl n) (neighbors ~n)
+
+let n_edges_undirected n = n * (1 lsl (n - 1))
+
+let gray_cycle n =
+  if n < 2 then invalid_arg "Cube.gray_cycle: n < 2";
+  Array.init (1 lsl n) (fun i -> i lxor (i lsr 1))
+
+let swap_bits x i j =
+  if i = j then x
+  else
+    let bi = (x lsr i) land 1 and bj = (x lsr j) land 1 in
+    if bi = bj then x else x lxor ((1 lsl i) lor (1 lsl j))
+
+let gray_cycle_through ~n (u, v) =
+  let diff = u lxor v in
+  if diff = 0 || diff land (diff - 1) <> 0 then
+    invalid_arg "Cube.gray_cycle_through: not a hypercube edge";
+  let b =
+    let rec go i = if diff lsr i = 1 then i else go (i + 1) in
+    go 0
+  in
+  (* The Gray cycle starts 0, 1, …: push it through the automorphism
+     x ↦ u xor swap₀ᵦ(x), which sends the edge (0,1) to (u,v). *)
+  Array.map (fun x -> u lxor swap_bits x 0 b) (gray_cycle n)

@@ -1,0 +1,22 @@
+(** The n-dimensional hypercube Q_n — the comparison network of the
+    Chapter 2 introduction ([WC92, CL91a]: a fault-free cycle of length
+    2ⁿ − 2f exists under f ≤ n−2 node faults). *)
+
+val graph : int -> Graphlib.Digraph.t
+(** Q_n as a symmetric digraph on 2ⁿ nodes (edges in both directions). *)
+
+val neighbors : n:int -> int -> int list
+(** The n nodes at Hamming distance 1. *)
+
+val n_edges_undirected : int -> int
+(** n·2^{n−1} — the edge count quoted in the thesis's comparison
+    (24,576 for Q₁₂ vs 16,384 for B(4,6)). *)
+
+val gray_cycle : int -> int array
+(** The reflected binary Gray code as a Hamiltonian cycle of Q_n,
+    n ≥ 2. *)
+
+val gray_cycle_through : n:int -> int * int -> int array
+(** A Hamiltonian cycle containing the given (Hamming-adjacent) edge as
+    a consecutive pair, obtained from the Gray cycle by a coordinate
+    automorphism.  @raise Invalid_argument if the pair is not an edge. *)

@@ -1,0 +1,128 @@
+let target_length ~n ~f = (1 lsl n) - (2 * f)
+
+(* ------------------------------------------------------------------ *)
+(* Exhaustive base case: a simple cycle of length ≥ target avoiding the
+   faults, by depth-first path extension.  Used only for n ≤ 4. *)
+
+let brute n faults target =
+  let size = 1 lsl n in
+  let faulty = Array.make size false in
+  List.iter (fun v -> faulty.(v) <- true) faults;
+  let target = max target 4 in
+  if target > size - List.length faults then None
+  else begin
+    let on_path = Array.make size false in
+    let path = ref [] in
+    let exception Found of int array in
+    let rec extend v len start =
+      on_path.(v) <- true;
+      path := v :: !path;
+      List.iter
+        (fun w ->
+          if (not faulty.(w)) && not on_path.(w) then extend w (len + 1) start
+          else if w = start && len >= target then
+            raise (Found (Array.of_list (List.rev !path))))
+        (Cube.neighbors ~n v);
+      on_path.(v) <- false;
+      path := List.tl !path
+    in
+    try
+      for start = 0 to size - 1 do
+        if not faulty.(start) then extend start 1 start
+      done;
+      None
+    with Found c -> Some c
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Merge two subcube cycles (given in full-cube codes, one per half of
+   dimension i) along a matching pair of cross edges. *)
+
+let splice c0 j seg =
+  let k0 = Array.length c0 in
+  Array.concat
+    [ Array.sub c0 0 (j + 1); seg; Array.sub c0 (j + 1) (k0 - j - 1) ]
+
+let merge i c0 c1 =
+  let len1 = Array.length c1 in
+  let pos = Hashtbl.create (2 * len1) in
+  Array.iteri (fun idx v -> Hashtbl.replace pos v idx) c1;
+  let bit = 1 lsl i in
+  let k0 = Array.length c0 in
+  let rec try_edge j =
+    if j >= k0 then None
+    else begin
+      let u = c0.(j) and v = c0.((j + 1) mod k0) in
+      match (Hashtbl.find_opt pos (u lxor bit), Hashtbl.find_opt pos (v lxor bit)) with
+      | Some a, Some b when (a + 1) mod len1 = b ->
+          (* u′ immediately precedes v′: walk c1 backwards from a. *)
+          let seg = Array.init len1 (fun s -> c1.(((a - s) mod len1 + len1) mod len1)) in
+          Some (splice c0 j seg)
+      | Some a, Some b when (b + 1) mod len1 = a ->
+          let seg = Array.init len1 (fun s -> c1.((a + s) mod len1)) in
+          Some (splice c0 j seg)
+      | _ -> try_edge (j + 1)
+    end
+  in
+  try_edge 0
+
+let compress i x = ((x lsr (i + 1)) lsl i) lor (x land ((1 lsl i) - 1))
+let expand i b y = ((y lsr i) lsl (i + 1)) lor (b lsl i) lor (y land ((1 lsl i) - 1))
+
+let rec go n faults =
+  let f = List.length faults in
+  if n < 2 then None
+  else if f = 0 then Some (Cube.gray_cycle n)
+  else if n <= 4 then brute n faults (target_length ~n ~f)
+  else begin
+    let split i =
+      List.partition (fun x -> (x lsr i) land 1 = 0) faults
+    in
+    let dims =
+      List.sort
+        (fun i j ->
+          let balance k =
+            let a, b = split k in
+            max (List.length a) (List.length b)
+          in
+          compare (balance i) (balance j))
+        (List.init n Fun.id)
+    in
+    List.find_map (fun i -> attempt n i (split i)) dims
+  end
+
+and attempt n i (f0, f1) =
+  let lift b cycle = Array.map (expand i b) cycle in
+  let sub_faults fs = List.map (compress i) fs in
+  match (f0, f1) with
+  | [], _ ->
+      (* Clean half 0: embed the faulty half first, then route a Gray
+         cycle of half 0 through the partners of one of its edges so the
+         merge is guaranteed. *)
+      Option.bind (go (n - 1) (sub_faults f1)) (fun c1 ->
+          let c1 = lift 1 c1 in
+          let x = compress i c1.(0) and y = compress i c1.(1) in
+          let c0 = lift 0 (Cube.gray_cycle_through ~n:(n - 1) (x, y)) in
+          merge i c0 c1)
+  | _, [] ->
+      Option.bind (go (n - 1) (sub_faults f0)) (fun c0 ->
+          let c0 = lift 0 c0 in
+          let x = compress i c0.(0) and y = compress i c0.(1) in
+          let c1 = lift 1 (Cube.gray_cycle_through ~n:(n - 1) (x, y)) in
+          merge i c0 c1)
+  | _ ->
+      Option.bind (go (n - 1) (sub_faults f0)) (fun c0 ->
+          Option.bind (go (n - 1) (sub_faults f1)) (fun c1 ->
+              merge i (lift 0 c0) (lift 1 c1)))
+
+let embed ~n ~faults =
+  let size = 1 lsl n in
+  let faults = List.sort_uniq compare faults in
+  List.iter
+    (fun v -> if v < 0 || v >= size then invalid_arg "Ring.embed: fault out of range")
+    faults;
+  go n faults
+
+let verify ~n ~faults c =
+  Graphlib.Cycle.is_cycle (Cube.graph n) c
+  && Graphlib.Cycle.avoids_nodes c (fun v -> List.mem v faults)

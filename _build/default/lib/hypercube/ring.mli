@@ -1,0 +1,21 @@
+(** Fault-tolerant ring embedding in hypercubes — the baseline the
+    thesis compares against ([WC92, CL91a]: with f ≤ n−2 faulty nodes,
+    Q_n contains a fault-free cycle of length 2ⁿ − 2f).
+
+    The implementation is the classic divide-and-merge: split along a
+    dimension that separates the faults, recursively embed a ring in
+    each (n−1)-subcube, and splice the rings along a matching pair of
+    cross edges.  All dimensions are tried before giving up, and the
+    fault-free base case is a Gray code (optionally routed through a
+    required edge so the merge can always anchor). *)
+
+val target_length : n:int -> f:int -> int
+(** 2ⁿ − 2f: the guaranteed cycle length for f ≤ n−2. *)
+
+val embed : n:int -> faults:int list -> int array option
+(** A fault-free cycle of length ≥ 2ⁿ − 2|faults| when |faults| ≤ n−2
+    (the search can also succeed beyond the bound).  Nodes are cube
+    codes in [0, 2ⁿ).  [None] if the construction fails. *)
+
+val verify : n:int -> faults:int list -> int array -> bool
+(** The cycle is a simple cycle of Q_n avoiding all faults. *)

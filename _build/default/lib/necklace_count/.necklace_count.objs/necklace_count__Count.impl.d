@@ -1,0 +1,1 @@
+lib/necklace_count/count.ml: Array Debruijn Fun List Numtheory

@@ -1,0 +1,1 @@
+lib/necklace_count/count.mli:

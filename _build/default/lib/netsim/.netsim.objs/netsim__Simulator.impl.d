@@ -1,0 +1,1 @@
+lib/netsim/simulator.ml: Array Graphlib List Option

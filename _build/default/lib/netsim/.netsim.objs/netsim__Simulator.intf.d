@@ -1,0 +1,1 @@
+lib/netsim/simulator.mli: Graphlib

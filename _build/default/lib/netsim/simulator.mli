@@ -1,0 +1,66 @@
+(** A synchronous, round-based message-passing network simulator.
+
+    This is the machine model the thesis assumes for its network-level
+    algorithm: processors are graph nodes; in each communication step a
+    node may send one message to {e each} of its neighbors (multi-port
+    communication) and receives everything sent to it in the previous
+    step; faulty processors are total failures — they neither compute
+    nor route (their in- and out-edges are dead).
+
+    The simulator charges one round per communication step, so a
+    protocol's [rounds] statistic is directly comparable with the
+    thesis's step bounds (Θ(n) for the FFC algorithm under f ≤ d−2
+    faults, O(K + n) in general).
+
+    Execution model:
+    - Round 0: every live node runs [step] with an empty inbox (it may
+      send its first messages).
+    - Round r ≥ 1: messages sent in round r−1 are delivered; each live
+      node with a nonempty inbox — plus any node that [wants_step] —
+      runs [step].
+    - The run ends when no messages are in flight and no node wants to
+      step, or when [max_rounds] is hit. *)
+
+type 'm outgoing = int * 'm
+(** (destination, payload).  The destination must be an out-neighbor of
+    the sender in the topology, else the send is rejected. *)
+
+type ('s, 'm) protocol = {
+  initial : int -> 's;  (** initial state per node id *)
+  step : round:int -> int -> 's -> (int * 'm) list -> 's * 'm outgoing list;
+      (** [step ~round v state inbox] — inbox is [(source, payload)]
+          sorted by source; returns the new state and sends. *)
+  wants_step : 's -> bool;
+      (** Request a step next round even with an empty inbox — used for
+          spontaneous phase transitions (e.g. a timeout after n rounds). *)
+}
+
+type 's result = {
+  rounds : int;  (** rounds executed (the last round with activity) *)
+  states : 's array;  (** final state of every node (faulty included, at their initial state) *)
+  delivered : int;  (** total messages delivered over the run *)
+  max_inflight : int;  (** peak messages delivered in a single round *)
+  max_port_load : int;
+      (** peak messages sent by one node in one round — 1 under
+          single-port communication; the thesis's "factor of d" remark
+          (§2.4) corresponds to a multi-port protocol with load d being
+          serialized over d single-port rounds *)
+}
+
+exception Illegal_send of { round : int; src : int; dst : int }
+(** Raised when a node tries to send to a non-neighbor. *)
+
+exception Did_not_converge of int
+(** Raised when [max_rounds] is exceeded; carries the limit. *)
+
+val run :
+  ?max_rounds:int ->
+  topology:Graphlib.Digraph.t ->
+  faulty:(int -> bool) ->
+  ('s, 'm) protocol ->
+  's result
+(** Execute the protocol on all non-faulty nodes of the topology.
+    [max_rounds] defaults to [4 * n_nodes + 64].  Messages sent to or
+    from faulty nodes are silently dropped — receivers cannot tell a
+    dead neighbor from a silent one, exactly as in the thesis's fault
+    model. *)

@@ -1,0 +1,1 @@
+lib/shuffle/shuffle_exchange.ml: Debruijn Graphlib Hashtbl

@@ -1,0 +1,1 @@
+lib/shuffle/shuffle_exchange.mli: Debruijn Graphlib

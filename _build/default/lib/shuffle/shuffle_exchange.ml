@@ -1,0 +1,55 @@
+module W = Debruijn.Word
+module DG = Graphlib.Digraph
+
+type t = {
+  p : W.params;
+  graph : DG.t;
+}
+
+let create ~d ~n =
+  let p = W.params ~d ~n in
+  let bld = DG.Builder.create p.W.size in
+  let add_undirected u v =
+    if u <> v then begin
+      DG.Builder.add_edge bld u v;
+      DG.Builder.add_edge bld v u
+    end
+  in
+  let seen = Hashtbl.create (4 * p.W.size) in
+  let add_once u v =
+    let key = (min u v, max u v) in
+    if u <> v && not (Hashtbl.mem seen key) then begin
+      Hashtbl.add seen key ();
+      add_undirected u v
+    end
+  in
+  for x = 0 to p.W.size - 1 do
+    (* shuffle: x — π(x) *)
+    add_once x (W.rotl p x);
+    (* exchange: x — (x with a different last digit) *)
+    let base = x - W.last_digit p x in
+    for a = 0 to d - 1 do
+      add_once x (base + a)
+    done
+  done;
+  { p; graph = DG.Builder.build bld }
+
+let is_shuffle_edge t (u, v) =
+  u <> v && (W.rotl t.p u = v || W.rotl t.p v = u)
+
+let is_exchange_edge t (u, v) =
+  u <> v && W.prefix t.p u = W.prefix t.p v
+
+let shuffle_orbit t x = Debruijn.Necklace.nodes t.p x
+
+let necklace_count t = Debruijn.Necklace.count t.p
+
+let degree_bounds t =
+  let n = DG.n_nodes t.graph in
+  let rec go v mn mx =
+    if v >= n then (mn, mx)
+    else
+      let d = DG.out_degree t.graph v in
+      go (v + 1) (min mn d) (max mx d)
+  in
+  go 0 max_int 0

@@ -1,0 +1,31 @@
+(** Shuffle-exchange graphs SE(d,n).
+
+    Chapter 4's necklace-counting results are stated for both De Bruijn
+    and shuffle-exchange graphs (the [LMR88] routing scheme and the
+    [Lei83] VLSI layout both organize SE by necklaces); this module
+    provides the graph so the necklace machinery can be exercised on
+    it.
+
+    SE(d,n) has the dⁿ words over ℤ_d as nodes, undirected {e shuffle}
+    edges {x, π(x)} (cyclic left shift) and {e exchange} edges between
+    words differing only in the last digit.  The shuffle orbits are
+    exactly the necklaces of B(d,n). *)
+
+type t = {
+  p : Debruijn.Word.params;
+  graph : Graphlib.Digraph.t;  (** symmetric digraph *)
+}
+
+val create : d:int -> n:int -> t
+
+val is_shuffle_edge : t -> int * int -> bool
+val is_exchange_edge : t -> int * int -> bool
+
+val shuffle_orbit : t -> int -> int list
+(** The shuffle orbit of a node = its De Bruijn necklace. *)
+
+val necklace_count : t -> int
+(** Number of shuffle orbits — must agree with Chapter 4's formula. *)
+
+val degree_bounds : t -> int * int
+(** (min, max) degree; at most d+1 (shuffle in/out merged + exchange). *)

@@ -1,0 +1,35 @@
+type t = { mutable state : int64 }
+
+let create seed = { state = Int64.of_int seed }
+
+(* splitmix64, Steele et al. *)
+let next t =
+  t.state <- Int64.add t.state 0x9E3779B97F4A7C15L;
+  let z = t.state in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let int t bound =
+  if bound < 1 then invalid_arg "Rng.int: bound < 1";
+  (* Take the top bits reduced mod bound; the modulo bias is negligible
+     for the small bounds used here (≤ a few million vs 2^62). *)
+  Int64.to_int (Int64.rem (Int64.shift_right_logical (next t) 2) (Int64.of_int bound))
+
+let sample_distinct t ~k ~bound =
+  if k < 0 || k > bound then invalid_arg "Rng.sample_distinct";
+  (* Floyd's algorithm: k distinct values without building [0,bound). *)
+  let chosen = Hashtbl.create (2 * k) in
+  for j = bound - k to bound - 1 do
+    let r = int t (j + 1) in
+    if Hashtbl.mem chosen r then Hashtbl.replace chosen j () else Hashtbl.replace chosen r ()
+  done;
+  List.sort compare (Hashtbl.fold (fun x () acc -> x :: acc) chosen [])
+
+let shuffle t arr =
+  for i = Array.length arr - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = arr.(i) in
+    arr.(i) <- arr.(j);
+    arr.(j) <- tmp
+  done

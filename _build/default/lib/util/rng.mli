@@ -1,0 +1,24 @@
+(** A tiny deterministic PRNG (splitmix64) for reproducible experiments.
+
+    The thesis's simulation tables (2.1/2.2) were produced with random
+    fault distributions; we replace the unspecified generator with a
+    seeded splitmix64 so every table in this reproduction is exactly
+    re-runnable. *)
+
+type t
+
+val create : int -> t
+(** Seeded generator; equal seeds give equal streams. *)
+
+val next : t -> int64
+(** Raw 64-bit step. *)
+
+val int : t -> int -> int
+(** [int t bound] is uniform in [0, bound), [bound ≥ 1]. *)
+
+val sample_distinct : t -> k:int -> bound:int -> int list
+(** [k] distinct integers uniform over [0, bound), sorted increasingly.
+    @raise Invalid_argument if [k > bound] or [k < 0]. *)
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher–Yates. *)

@@ -1,0 +1,13 @@
+  $ debruijn-rings psi 28
+  $ debruijn-rings psi 13
+  $ debruijn-rings count -d 2 -n 12
+  $ debruijn-rings count -d 2 -n 12 --length 6
+  $ debruijn-rings count -d 2 -n 12 --weight 4
+  $ debruijn-rings count -d 2 -n 12 --weight 4 --length 6
+  $ debruijn-rings ffc -d 3 -n 3 020 112
+  $ debruijn-rings ffc -d 3 -n 3 --distributed 020 112 | tail -n 1
+  $ debruijn-rings edge -d 5 -n 2 01-12 12-21 | head -n 1
+  $ debruijn-rings disjoint -d 4 -n 2 | head -n 1
+  $ debruijn-rings route -d 3 -n 3 012 221 --fault 020
+  $ debruijn-rings route -d 3 -n 3 020 111
+  $ debruijn-rings route -d 3 -n 3 020 111 --fault 020 2>&1

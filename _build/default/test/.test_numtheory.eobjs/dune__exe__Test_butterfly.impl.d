@@ -1,0 +1,1 @@
+test/test_butterfly.ml: Alcotest Array Butterfly Debruijn Dhc Graphlib Hashtbl List Numtheory Option Printf QCheck QCheck_alcotest Test Util

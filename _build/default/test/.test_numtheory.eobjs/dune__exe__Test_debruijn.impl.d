@@ -1,0 +1,1 @@
+test/test_debruijn.ml: Alcotest Array Debruijn Fun Galois Graphlib List Printf QCheck QCheck_alcotest Test

@@ -1,0 +1,1 @@
+test/test_dhc.ml: Alcotest Array Debruijn Dhc Fun Galois Graphlib List Numtheory Printf QCheck QCheck_alcotest Test Util

@@ -1,0 +1,1 @@
+test/test_ffc.ml: Alcotest Array Debruijn Ffc Fun Gen Graphlib Hashtbl List Option Printf QCheck QCheck_alcotest Test Util

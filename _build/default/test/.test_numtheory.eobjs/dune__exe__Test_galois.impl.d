@@ -1,0 +1,1 @@
+test/test_galois.ml: Alcotest Galois Gen Hashtbl List Numtheory Printf QCheck QCheck_alcotest Test

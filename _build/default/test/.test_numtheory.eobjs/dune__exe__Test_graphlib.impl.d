@@ -1,0 +1,1 @@
+test/test_graphlib.ml: Alcotest Array Debruijn Fun Graphlib List Printf QCheck QCheck_alcotest Test

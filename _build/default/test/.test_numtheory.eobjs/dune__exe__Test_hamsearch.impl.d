@@ -1,0 +1,1 @@
+test/test_hamsearch.ml: Alcotest Array Debruijn Dhc Fun Graphlib Hamsearch List Numtheory Printf QCheck QCheck_alcotest Test

@@ -1,0 +1,1 @@
+test/test_hypercube.ml: Alcotest Array Debruijn Graphlib Hypercube List Printf QCheck QCheck_alcotest Test Util

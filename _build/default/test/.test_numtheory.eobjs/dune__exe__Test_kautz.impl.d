@@ -1,0 +1,1 @@
+test/test_kautz.ml: Alcotest Array Fun Graphlib Hamsearch Hashtbl Kautz List Numtheory Printf QCheck QCheck_alcotest Test

@@ -1,0 +1,1 @@
+test/test_necklace_count.ml: Alcotest Fun List Necklace_count Numtheory Printf QCheck QCheck_alcotest String Test

@@ -1,0 +1,1 @@
+test/test_numtheory.ml: Alcotest List Numtheory Printf QCheck QCheck_alcotest Test

@@ -1,0 +1,1 @@
+test/test_shuffle.ml: Alcotest Debruijn Graphlib List Necklace_count Printf Shuffle

@@ -1,0 +1,62 @@
+The psi / phi / MAX functions of Chapter 3 (Table 3.1 / 3.2 values):
+
+  $ debruijn-rings psi 28
+  psi(28) = 9
+  phi(28) = 7
+  MAX(psi-1, phi) = 8
+
+  $ debruijn-rings psi 13
+  psi(13) = 7
+  phi(13) = 11
+  MAX(psi-1, phi) = 11
+
+Chapter 4 necklace counts (the thesis's worked examples):
+
+  $ debruijn-rings count -d 2 -n 12
+  352
+
+  $ debruijn-rings count -d 2 -n 12 --length 6
+  9
+
+  $ debruijn-rings count -d 2 -n 12 --weight 4
+  43
+
+  $ debruijn-rings count -d 2 -n 12 --weight 4 --length 6
+  2
+
+Example 2.1: the 21-processor ring of B(3,3) minus {N(020), N(112)}:
+
+  $ debruijn-rings ffc -d 3 -n 3 020 112
+  # ring length 21 of 27 nodes (guarantee 21 for f = 2)
+  000 001 011 111 110 101 012 122 222 221 212 120 201 010 102 022 220 202 021 210 100
+
+The distributed protocol returns the same ring:
+
+  $ debruijn-rings ffc -d 3 -n 3 --distributed 020 112 | tail -n 1
+  000 001 011 111 110 101 012 122 222 221 212 120 201 010 102 022 220 202 021 210 100
+
+Edge faults (Chapter 3): a Hamiltonian ring avoiding two links of B(5,2):
+
+  $ debruijn-rings edge -d 5 -n 2 01-12 12-21 | head -n 1
+  # tolerance MAX(psi-1, phi) = 3
+
+Disjoint rings (psi(4) = 3):
+
+  $ debruijn-rings disjoint -d 4 -n 2 | head -n 1
+  # 3 edge-disjoint Hamiltonian rings (psi(4) = 3)
+
+Fault-tolerant routing (Proposition 2.2):
+
+  $ debruijn-rings route -d 3 -n 3 012 221 --fault 020
+  # 6 hops (bound 2n = 6)
+  012 -> 121 -> 211 -> 112 -> 122 -> 222 -> 221
+
+A dead endpoint is reported as an error:
+
+  $ debruijn-rings route -d 3 -n 3 020 111
+  # 5 hops (bound 2n = 6)
+  020 -> 200 -> 000 -> 001 -> 011 -> 111
+
+  $ debruijn-rings route -d 3 -n 3 020 111 --fault 020 2>&1
+  no fault-free route (endpoint on a faulty necklace?)
+  [1]

@@ -1,0 +1,603 @@
+(* Tests for Chapter 3: disjoint Hamiltonian cycles and edge faults. *)
+
+module G = Galois.Gf
+module GP = Galois.Gf_poly
+module W = Debruijn.Word
+module S = Debruijn.Sequence
+module C = Graphlib.Cycle
+module L = Dhc.Lfsr
+module SC = Dhc.Shift_cycles
+module St = Dhc.Strategies
+module Co = Dhc.Compose
+module P = Dhc.Psi
+module EF = Dhc.Edge_fault
+module M = Dhc.Mdb
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+(* The thesis's Example 3.1 setup: GF(5), p(x) = x² − x − 3. *)
+let gf5 = G.create 5
+let example_3_1_poly = GP.of_coeffs gf5 [ G.of_int gf5 (-3); G.of_int gf5 (-1); 1 ]
+
+(* ------------------------------------------------------------------ *)
+(* Lfsr *)
+
+let test_example_3_1_sequence () =
+  let lfsr = L.of_poly gf5 example_3_1_poly in
+  let c = L.maximal_cycle ~init:[| 0; 1 |] lfsr in
+  Alcotest.(check (array int)) "the thesis's maximal cycle in B(5,2)"
+    [| 0; 1; 1; 4; 2; 4; 0; 2; 2; 3; 4; 3; 0; 4; 4; 1; 3; 1; 0; 3; 3; 2; 1; 2 |]
+    c;
+  check_bool "satisfies recurrence" true (L.satisfies_recurrence lfsr c)
+
+let test_lfsr_rejects_non_primitive () =
+  (* x² + 1 over GF(5) is not primitive. *)
+  let bad = GP.of_coeffs gf5 [ 1; 0; 1 ] in
+  Alcotest.check_raises "non-primitive rejected"
+    (Invalid_argument "Lfsr.of_poly: polynomial is not primitive") (fun () ->
+      ignore (L.of_poly gf5 bad))
+
+let test_maximal_cycle_properties () =
+  (* A maximal cycle visits every node except 0ⁿ, over several fields. *)
+  List.iter
+    (fun (d, n) ->
+      let field = G.create d in
+      let lfsr = L.make field ~n in
+      let c = L.maximal_cycle lfsr in
+      let p = W.params ~d ~n in
+      check_int "period" (p.W.size - 1) (Array.length c);
+      check_bool "is a cycle" true (S.is_cycle_sequence p c);
+      let nodes = S.nodes_of_sequence p c in
+      check_bool "omits 0^n only" true
+        (not (Array.exists (fun v -> v = 0) nodes)
+        && Array.length nodes = p.W.size - 1))
+    [ (2, 3); (2, 5); (3, 2); (3, 3); (4, 2); (5, 2); (7, 2); (8, 2); (9, 2) ]
+
+let test_lfsr_bad_init () =
+  let lfsr = L.of_poly gf5 example_3_1_poly in
+  Alcotest.check_raises "zero init rejected"
+    (Invalid_argument "Lfsr.maximal_cycle: init must be nonzero") (fun () ->
+      ignore (L.maximal_cycle ~init:[| 0; 0 |] lfsr));
+  Alcotest.check_raises "wrong length"
+    (Invalid_argument "Lfsr.maximal_cycle: init length") (fun () ->
+      ignore (L.maximal_cycle ~init:[| 1 |] lfsr))
+
+(* ------------------------------------------------------------------ *)
+(* Shift_cycles: Lemmas 3.1–3.3 *)
+
+let test_shifted_are_cycles () =
+  List.iter
+    (fun (d, n) ->
+      let t = SC.make ~d ~n in
+      let p = t.SC.p in
+      List.iter
+        (fun s ->
+          let c = SC.shifted t s in
+          check_bool "Lemma 3.1: s+C is a cycle" true (S.is_cycle_sequence p c);
+          (* Lemma 3.2: affine recurrence with constant s(1 − ω). *)
+          let f = t.SC.lfsr.L.field in
+          let affine = G.mul f s (G.sub f 1 t.SC.lfsr.L.omega) in
+          check_bool "Lemma 3.2: affine recurrence" true
+            (L.satisfies_recurrence t.SC.lfsr ~affine c);
+          (* s + C omits exactly sⁿ. *)
+          let nodes = S.nodes_of_sequence p c in
+          check_bool "omits s^n" true
+            (not (Array.exists (fun v -> v = W.constant p s) nodes)))
+        (List.init d Fun.id))
+    [ (2, 4); (3, 3); (4, 2); (5, 2); (7, 2) ]
+
+let test_shifted_edge_disjoint_partition () =
+  (* Lemma 3.3 + the partition claim: the d cycles are pairwise
+     edge-disjoint and cover all d(dⁿ−1) non-loop edges. *)
+  List.iter
+    (fun (d, n) ->
+      let t = SC.make ~d ~n in
+      let p = t.SC.p in
+      let all_windows =
+        List.concat_map
+          (fun s -> S.edge_windows p (SC.shifted t s))
+          (List.init d Fun.id)
+      in
+      let distinct = List.sort_uniq compare all_windows in
+      check_int "pairwise disjoint (no duplicate edge)" (List.length all_windows)
+        (List.length distinct);
+      check_int "covers all non-loop edges" (d * (p.W.size - 1)) (List.length distinct))
+    [ (2, 4); (3, 3); (4, 2); (5, 2); (8, 2); (9, 2) ]
+
+let test_owner_of_edge () =
+  List.iter
+    (fun (d, n) ->
+      let t = SC.make ~d ~n in
+      let p = t.SC.p in
+      List.iter
+        (fun s ->
+          let cyc = S.cycle_of_sequence p (SC.shifted t s) in
+          List.iter
+            (fun e -> check_int "owner" s (SC.owner_of_edge t e))
+            (C.edges_of_cycle cyc))
+        (List.init d Fun.id))
+    [ (3, 3); (4, 2); (5, 2) ]
+
+let test_alpha_equations () =
+  (* Eq. 3.3 consistency: α̂ = a₀α + s(1 − a₀), and the k ↔ α̂ relation. *)
+  List.iter
+    (fun d ->
+      let t = SC.make ~d ~n:2 in
+      let f = t.SC.lfsr.L.field in
+      let a0 = t.SC.lfsr.L.coeffs.(0) in
+      List.iter
+        (fun s ->
+          List.iter
+            (fun k ->
+              if k <> s then begin
+                let a_hat = SC.alpha_hat t ~s ~k in
+                let a = SC.alpha_for t ~s ~alpha_hat:a_hat in
+                (* forward check of Eq. 3.3 *)
+                let rhs = G.add f (G.mul f a0 a) (G.mul f s (G.sub f 1 a0)) in
+                check_int "Eq 3.3" a_hat rhs;
+                check_bool "alpha <> s" true (a <> s)
+              end)
+            (G.elements f))
+        (G.elements f))
+    [ 3; 4; 5; 7; 9 ]
+
+let test_hamiltonize () =
+  List.iter
+    (fun (d, n) ->
+      let t = SC.make ~d ~n in
+      let p = t.SC.p in
+      let g = Debruijn.Graph.b p in
+      List.iter
+        (fun s ->
+          List.iter
+            (fun k ->
+              if k <> s then begin
+                let h = SC.hamiltonize t ~s ~k in
+                check_bool "H_s is a De Bruijn sequence" true (S.is_de_bruijn_sequence p h);
+                check_bool "Hamiltonian" true
+                  (C.is_hamiltonian g (S.cycle_of_sequence p h))
+              end)
+            (List.init d Fun.id))
+        (List.init d Fun.id))
+    [ (2, 3); (3, 2); (4, 2); (5, 2); (3, 3) ]
+
+let test_hamiltonize_new_edges_location () =
+  (* The two new edges of H_s live in k + C and (2s − k) + C. *)
+  let t = SC.make ~d:5 ~n:2 in
+  let f = t.SC.lfsr.L.field in
+  let p = t.SC.p in
+  List.iter
+    (fun s ->
+      List.iter
+        (fun k ->
+          if k <> s then begin
+            let a_hat = SC.alpha_hat t ~s ~k in
+            let a = SC.alpha_for t ~s ~alpha_hat:a_hat in
+            let sn = W.constant p s in
+            let exit_node = W.encode p [| a; s |] in
+            let entry_node = W.encode p [| s; a_hat |] in
+            check_int "s^n alpha_hat in k+C" k (SC.owner_of_edge t (sn, entry_node));
+            check_int "alpha s^n in (2s-k)+C"
+              (G.sub f (G.add f s s) k)
+              (SC.owner_of_edge t (exit_node, sn))
+          end)
+        (G.elements f))
+    (G.elements f)
+
+let test_hamiltonize_k_eq_s () =
+  let t = SC.make ~d:3 ~n:2 in
+  Alcotest.check_raises "k = s rejected"
+    (Invalid_argument "Shift_cycles.hamiltonize: k must differ from s") (fun () ->
+      ignore (SC.hamiltonize t ~s:1 ~k:1))
+
+(* ------------------------------------------------------------------ *)
+(* Strategies and the thesis's Example 3.4 *)
+
+let test_example_3_4 () =
+  (* d = 5, n = 2 with the thesis's polynomial: λ = 2 (2 = λ¹, odd), so
+     f(x) = 2x; selected shifts {1, 4}; H₁ and H₄ as printed. *)
+  let t = SC.make_with_poly ~d:5 ~n:2 example_3_1_poly in
+  let choice = St.choose ~p:5 in
+  (match choice with
+  | St.S3 { lambda; a } ->
+      check_int "2 = lambda^a odd" 2 (Numtheory.pow_mod lambda a 5);
+      check_int "a odd" 1 (a mod 2)
+  | _ -> Alcotest.fail "expected S3 for p = 5");
+  let f = St.replacement_function t choice in
+  let shifts = St.selected_shifts gf5 choice in
+  Alcotest.(check (list int)) "shifts {1,4}" [ 1; 4 ] shifts;
+  let h1 = SC.hamiltonize t ~s:1 ~k:(f 1) in
+  let h4 = SC.hamiltonize t ~s:4 ~k:(f 4) in
+  check_bool "H1 matches thesis" true
+    (S.equal_cyclically h1
+       [| 1; 2; 2; 0; 3; 0; 1; 1; 3; 3; 4; 0; 4; 1; 0; 0; 2; 4; 2; 1; 4; 4; 3; 2; 3 |]);
+  check_bool "H4 matches thesis" true
+    (S.equal_cyclically h4
+       [| 4; 0; 0; 3; 1; 3; 4; 1; 1; 2; 3; 2; 4; 3; 3; 0; 2; 0; 4; 4; 2; 2; 1; 0; 1 |]);
+  check_bool "disjoint" true (S.edge_disjoint (W.params ~d:5 ~n:2) h1 h4)
+
+let test_strategy_choices () =
+  check_bool "p=2 uses S1" true (St.choose ~p:2 = St.S1);
+  (* p = 13: thesis shows both conditions hold; (13−1)/2 = 6 even, so S2
+     must be chosen (it admits H₀). *)
+  (match St.choose ~p:13 with
+  | St.S2 { lambda; a; b } ->
+      check_int "2 = l^a + l^b" 2
+        ((Numtheory.pow_mod lambda a 13 + Numtheory.pow_mod lambda b 13) mod 13);
+      check_int "a odd" 1 (a mod 2);
+      check_int "b odd" 1 (b mod 2)
+  | _ -> Alcotest.fail "expected S2 for p = 13");
+  (* p = 5: only condition (a) per the thesis. *)
+  check_bool "p=5 condition (b) fails" false (St.condition_b_holds ~p:5);
+  check_bool "p=13 condition (b) holds" true (St.condition_b_holds ~p:13);
+  (* p ≡ ±1 (mod 8) implies condition (b) (2 is a QR). *)
+  List.iter
+    (fun p ->
+      if p mod 8 = 1 || p mod 8 = 7 then
+        check_bool (Printf.sprintf "p=%d" p) true (St.condition_b_holds ~p))
+    [ 7; 17; 23; 31 ]
+
+let test_replacement_function_fixed_point_free () =
+  List.iter
+    (fun d ->
+      let t = SC.make ~d ~n:2 in
+      let field = t.SC.lfsr.L.field in
+      let p = match Numtheory.is_prime_power d with Some (p, _) -> p | None -> assert false in
+      let f = St.replacement_function t (St.choose ~p) in
+      List.iter
+        (fun x -> check_bool "f(x) <> x" true (f x <> x))
+        (G.elements field))
+    [ 2; 3; 4; 5; 7; 8; 9; 11; 13; 16; 25; 27 ]
+
+let test_disjoint_hcs_prime_powers () =
+  List.iter
+    (fun (d, n) ->
+      let p = W.params ~d ~n in
+      let g = Debruijn.Graph.b p in
+      let hcs = St.disjoint_hamiltonian_cycles ~d ~n in
+      check_int "count = psi" (P.psi d) (List.length hcs);
+      let cycles = List.map (S.cycle_of_sequence p) hcs in
+      List.iter
+        (fun c -> check_bool "hamiltonian" true (C.is_hamiltonian g c))
+        cycles;
+      check_bool "pairwise disjoint" true (C.pairwise_edge_disjoint cycles))
+    [ (2, 4); (3, 3); (4, 2); (4, 3); (5, 2); (7, 2); (8, 2); (9, 2); (11, 2); (13, 2) ]
+
+(* ------------------------------------------------------------------ *)
+(* Compose: Example 3.5 and the general construction *)
+
+let test_example_3_5 () =
+  let a = [| 0; 0; 1; 1 |] and b = [| 0; 0; 2; 2; 1; 2; 0; 1; 1 |] in
+  let ab = Co.product ~s:2 ~t:3 a b in
+  Alcotest.(check (array int)) "the thesis's (A,B) in B(6,2)"
+    [| 0;0;5;5;1;2;3;4;1;0;3;5;2;1;5;3;1;1;3;3;2;2;4;5;0;1;4;3;0;2;5;4;2;0;4;4 |]
+    ab;
+  check_bool "is a Hamiltonian cycle of B(6,2)" true
+    (S.is_de_bruijn_sequence (W.params ~d:6 ~n:2) ab)
+
+let test_product_errors () =
+  Alcotest.check_raises "not coprime"
+    (Invalid_argument "Compose.product: s and t must be coprime") (fun () ->
+      ignore (Co.product ~s:2 ~t:4 [| 0; 0; 1; 1 |] [| 0 |]));
+  Alcotest.check_raises "bad lengths"
+    (Invalid_argument "Compose.product: lengths are not s^n and t^n for a common n")
+    (fun () -> ignore (Co.product ~s:2 ~t:3 [| 0; 0; 1; 1 |] [| 0; 1; 2 |]))
+
+let test_disjoint_hcs_composite () =
+  List.iter
+    (fun (d, n) ->
+      let p = W.params ~d ~n in
+      let g = Debruijn.Graph.b p in
+      let hcs = Co.disjoint_hamiltonian_cycles ~d ~n in
+      check_int "count = psi" (P.psi d) (List.length hcs);
+      let cycles = List.map (S.cycle_of_sequence p) hcs in
+      List.iter (fun c -> check_bool "hamiltonian" true (C.is_hamiltonian g c)) cycles;
+      check_bool "pairwise disjoint" true (C.pairwise_edge_disjoint cycles))
+    [ (6, 2); (10, 2); (12, 2); (15, 2); (6, 3); (20, 2) ]
+
+(* ------------------------------------------------------------------ *)
+(* Psi: Tables 3.1 / 3.2 *)
+
+let test_table_3_1 () =
+  let expected =
+    [ (2, 1); (3, 1); (4, 3); (5, 2); (6, 1); (7, 3); (8, 7); (9, 4); (10, 2);
+      (11, 5); (12, 3); (13, 7); (14, 3); (15, 2); (16, 15); (17, 9); (18, 4);
+      (19, 9); (20, 6); (21, 3); (22, 5); (23, 11); (24, 7); (25, 12); (26, 7);
+      (27, 13); (28, 9); (29, 15); (30, 2); (31, 15); (32, 31); (33, 5);
+      (34, 9); (35, 6); (36, 12); (37, 19); (38, 9) ]
+  in
+  List.iter
+    (fun (d, want) -> check_int (Printf.sprintf "psi(%d)" d) want (P.psi d))
+    expected
+
+let test_phi_bound () =
+  (* φ(pᵉ) = pᵉ − 2; sanity values for composites. *)
+  List.iter
+    (fun (d, want) -> check_int (Printf.sprintf "phi(%d)" d) want (P.phi_bound d))
+    [ (2, 0); (3, 1); (4, 2); (5, 3); (6, 1); (7, 5); (8, 6); (9, 7); (10, 3);
+      (12, 3); (15, 4); (30, 4); (36, 9) ]
+
+let test_table_3_2 () =
+  (* MAX(ψ−1, φ): spot checks plus the thesis's remark that d = 28 is
+     the sole value ≤ 35 where ψ(d)−1 beats φ(d). *)
+  check_int "d=28" 8 (P.max_tolerance 28);
+  check_bool "28 is psi-dominated" true (P.psi 28 - 1 > P.phi_bound 28);
+  for d = 2 to 35 do
+    if d <> 28 then
+      check_int
+        (Printf.sprintf "phi dominates at d=%d" d)
+        (P.phi_bound d) (P.max_tolerance d)
+  done;
+  (* Prime powers attain the absolute optimum d − 2. *)
+  List.iter
+    (fun d -> check_int (Printf.sprintf "optimal at prime power %d" d) (d - 2) (P.max_tolerance d))
+    [ 3; 4; 5; 7; 8; 9; 11; 13; 16; 25; 27; 32 ]
+
+let test_corollary_3_1 () =
+  for d = 2 to 40 do
+    check_bool
+      (Printf.sprintf "psi(%d) >= corollary bound" d)
+      true
+      (P.psi d >= P.psi_lower_bound_corollary d)
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Edge faults: Proposition 3.3 / 3.4 *)
+
+let random_nonloop_edges rng p f =
+  let rec grow acc =
+    if List.length acc >= f then acc
+    else begin
+      let u = Util.Rng.int rng p.W.size in
+      let a = Util.Rng.int rng p.W.d in
+      let v = W.snoc p (W.suffix p u) a in
+      if u <> v && not (List.mem (u, v) acc) then grow ((u, v) :: acc) else grow acc
+    end
+  in
+  grow []
+
+let test_prop_3_3_random () =
+  let rng = Util.Rng.create 5 in
+  List.iter
+    (fun (d, n) ->
+      let p = W.params ~d ~n in
+      let g = Debruijn.Graph.b p in
+      let phi = P.phi_bound d in
+      for _ = 1 to 30 do
+        let f = 1 + Util.Rng.int rng (max 1 phi) in
+        let f = min f phi in
+        if f >= 1 then begin
+          let faults = random_nonloop_edges rng p f in
+          match EF.hc_avoiding ~d ~n ~faults with
+          | None -> Alcotest.fail (Printf.sprintf "no HC found d=%d n=%d f=%d" d n f)
+          | Some hc ->
+              let cyc = S.cycle_of_sequence p hc in
+              check_bool "hamiltonian" true (C.is_hamiltonian g cyc);
+              check_bool "avoids faults" true
+                (C.avoids_edges cyc (fun e -> List.mem e faults))
+        end
+      done)
+    [ (3, 3); (4, 2); (4, 3); (5, 2); (6, 2); (8, 2); (9, 2); (10, 2); (12, 2); (15, 2) ]
+
+let test_prop_3_3_worst_case_pack () =
+  (* d−2 of the d−1 non-loop edges into 0ⁿ fail: the construction must
+     still find an HC (optimal for prime powers). *)
+  List.iter
+    (fun (d, n) ->
+      let p = W.params ~d ~n in
+      let g = Debruijn.Graph.b p in
+      let faults = EF.worst_case_edge_faults ~d ~n (d - 2) in
+      match EF.hc_avoiding ~d ~n ~faults with
+      | None -> Alcotest.fail "should tolerate d-2 targeted faults"
+      | Some hc ->
+          let cyc = S.cycle_of_sequence p hc in
+          check_bool "valid" true
+            (C.is_hamiltonian g cyc && C.avoids_edges cyc (fun e -> List.mem e faults)))
+    [ (3, 3); (4, 2); (5, 2); (7, 2); (8, 2); (9, 2) ]
+
+let test_d_minus_1_faults_impossible () =
+  (* Removing all d−1 non-loop edges into 0ⁿ leaves only the loop, so no
+     HC can exist; the construction must return None. *)
+  List.iter
+    (fun (d, n) ->
+      let faults = EF.worst_case_edge_faults ~d ~n (d - 1) in
+      check_bool "no HC possible" true (EF.hc_avoiding ~d ~n ~faults = None);
+      check_bool "disjoint route also fails" true
+        (EF.hc_avoiding_via_disjoint ~d ~n ~faults = None))
+    [ (3, 2); (4, 2); (5, 2) ]
+
+let test_prop_3_4_psi_route () =
+  (* d = 28 would be the ψ showcase but is too big to enumerate here;
+     use d = 4 (ψ−1 = 2 = φ) and check the disjoint-HC route tolerates
+     ψ−1 arbitrary faults. *)
+  let rng = Util.Rng.create 17 in
+  List.iter
+    (fun (d, n) ->
+      let p = W.params ~d ~n in
+      let g = Debruijn.Graph.b p in
+      let f = P.psi d - 1 in
+      if f >= 1 then
+        for _ = 1 to 20 do
+          let faults = random_nonloop_edges rng p f in
+          match EF.best_hc_avoiding ~d ~n ~faults with
+          | None -> Alcotest.fail "psi route failed"
+          | Some hc ->
+              let cyc = S.cycle_of_sequence p hc in
+              check_bool "valid" true
+                (C.is_hamiltonian g cyc && C.avoids_edges cyc (fun e -> List.mem e faults))
+        done)
+    [ (4, 2); (5, 2); (8, 2); (9, 2) ]
+
+let test_via_node_masking () =
+  (* The Chapter 3 strawman: masking endpoints always yields a valid
+     (non-Hamiltonian) ring, strictly shorter than the Prop 3.3 HC. *)
+  let d = 5 and n = 3 in
+  let p = W.params ~d ~n in
+  let g = Debruijn.Graph.b p in
+  let rng = Util.Rng.create 41 in
+  for _ = 1 to 10 do
+    let faults = random_nonloop_edges rng p 3 in
+    (match EF.via_node_masking ~d ~n ~faults with
+    | None -> Alcotest.fail "masking should leave survivors"
+    | Some ring ->
+        check_bool "valid cycle" true (C.is_cycle g ring);
+        check_bool "avoids fault endpoints" true
+          (C.avoids_nodes ring (fun v ->
+               List.exists (fun (a, b) -> v = a || v = b) faults));
+        check_bool "strictly shorter than Hamiltonian" true
+          (Array.length ring < p.W.size));
+    match EF.hc_avoiding ~d ~n ~faults with
+    | Some hc -> check_int "construction keeps everyone" p.W.size (Array.length hc)
+    | None -> Alcotest.fail "construction should succeed at f = 3 <= phi(5)"
+  done
+
+let test_fault_validation () =
+  Alcotest.check_raises "non-edge rejected"
+    (Invalid_argument "Edge_fault: fault is not a De Bruijn edge") (fun () ->
+      ignore (EF.hc_avoiding ~d:3 ~n:2 ~faults:[ (0, 8) ]))
+
+(* ------------------------------------------------------------------ *)
+(* MB(d,n): Hamiltonian decompositions *)
+
+let test_mdb_sizes () =
+  List.iter
+    (fun (d, n) ->
+      let t = M.build ~d ~n in
+      check_int "d cycles" d (List.length t.M.cycles);
+      List.iter
+        (fun c -> check_int "cycle covers all nodes" (t.M.p.W.size) (Array.length c))
+        t.M.cycles;
+      check_bool (Printf.sprintf "verify MB(%d,%d)" d n) true (M.verify t))
+    [ (2, 3); (2, 4); (2, 5); (3, 2); (3, 3); (3, 4); (5, 2); (5, 3); (7, 2); (9, 2) ]
+
+let test_mdb_example_3_6 () =
+  (* d = 2, n = 3: the thesis's explicit decomposition exists; check the
+     structural facts it states: H₀ = C + 000 inserted between 100 and
+     001; H₁ passes 010 → 000 → 111 → 101 style reroutes; both HCs. *)
+  let t = M.build ~d:2 ~n:3 in
+  let p = t.M.p in
+  let h0 = List.nth t.M.cycles 0 in
+  let zero = W.of_string p "000" in
+  let i = ref (-1) in
+  Array.iteri (fun j v -> if v = zero then i := j) h0;
+  let len = Array.length h0 in
+  check_int "000 preceded by 100" (W.of_string p "100") h0.((!i + len - 1) mod len);
+  check_int "000 followed by 001" (W.of_string p "001") h0.((!i + 1) mod len);
+  check_int "3 new edges overall" 3 (M.new_edge_count t)
+
+let test_mdb_new_edge_counts () =
+  (* Odd prime powers: 2 rerouted edges per cycle, all new → 2d; binary:
+     exactly 3 new edges (Example 3.6). *)
+  List.iter
+    (fun (d, n, want) -> check_int (Printf.sprintf "MB(%d,%d)" d n) want (M.new_edge_count (M.build ~d ~n)))
+    [ (2, 4, 3); (3, 3, 6); (5, 2, 10); (7, 2, 14); (9, 2, 18) ]
+
+let test_mdb_errors () =
+  Alcotest.check_raises "d=2 n=2 impossible"
+    (Invalid_argument "Mdb.build: the binary construction requires n >= 3") (fun () ->
+      ignore (M.build ~d:2 ~n:2));
+  Alcotest.check_raises "composite d rejected"
+    (Invalid_argument "Mdb.build: d must be 2 or an odd prime power") (fun () ->
+      ignore (M.build ~d:6 ~n:2));
+  Alcotest.check_raises "even prime power rejected"
+    (Invalid_argument "Mdb.build: d must be 2 or an odd prime power") (fun () ->
+      ignore (M.build ~d:4 ~n:2))
+
+(* ------------------------------------------------------------------ *)
+(* properties *)
+
+let qsuite =
+  let open QCheck in
+  let pp_gen = oneofl [ (3, 2); (3, 3); (4, 2); (5, 2); (7, 2); (8, 2); (9, 2) ] in
+  [
+    Test.make ~name:"H_s is Hamiltonian for random (s,k)" ~count:100
+      (pair pp_gen (pair (int_range 0 100) (int_range 0 100)))
+      (fun ((d, n), (s0, k0)) ->
+        let t = SC.make ~d ~n in
+        let p = t.SC.p in
+        let s = s0 mod d in
+        let k = k0 mod d in
+        QCheck.assume (s <> k);
+        S.is_de_bruijn_sequence p (SC.hamiltonize t ~s ~k));
+    Test.make ~name:"Lemma 3.4 conflict predicate is symmetric" ~count:200
+      (triple (int_range 0 100) (int_range 0 100) (int_range 0 100))
+      (fun (x, y, seed) ->
+        let d = 9 in
+        let t = SC.make ~d ~n:2 in
+        let field = t.SC.lfsr.L.field in
+        let x = x mod d and y = y mod d in
+        (* a random fixed-point-free f from the seed *)
+        let f v = (v + 1 + (seed mod (d - 1))) mod d in
+        QCheck.assume (List.for_all (fun v -> f v <> v) (G.elements field));
+        SC.hs_conflicts t ~f x y = SC.hs_conflicts t ~f y x);
+    Test.make ~name:"product of HCs is an HC" ~count:40
+      (pair (int_range 0 2) (int_range 0 1))
+      (fun (i, j) ->
+        let has = St.disjoint_hamiltonian_cycles ~d:4 ~n:2 in
+        let hbs = St.disjoint_hamiltonian_cycles ~d:3 ~n:2 in
+        let a = List.nth has (i mod List.length has) in
+        let b = List.nth hbs (j mod List.length hbs) in
+        S.is_de_bruijn_sequence (W.params ~d:12 ~n:2) (Co.product ~s:4 ~t:3 a b));
+  ]
+
+let () =
+  Alcotest.run "dhc"
+    [
+      ( "lfsr",
+        [
+          Alcotest.test_case "Example 3.1 sequence" `Quick test_example_3_1_sequence;
+          Alcotest.test_case "rejects non-primitive" `Quick test_lfsr_rejects_non_primitive;
+          Alcotest.test_case "maximal cycle properties" `Quick test_maximal_cycle_properties;
+          Alcotest.test_case "bad init" `Quick test_lfsr_bad_init;
+        ] );
+      ( "shift-cycles",
+        [
+          Alcotest.test_case "Lemmas 3.1/3.2 (cycles, recurrence)" `Quick test_shifted_are_cycles;
+          Alcotest.test_case "Lemma 3.3 (edge-disjoint partition)" `Quick
+            test_shifted_edge_disjoint_partition;
+          Alcotest.test_case "owner of edge" `Quick test_owner_of_edge;
+          Alcotest.test_case "Eq. 3.3" `Quick test_alpha_equations;
+          Alcotest.test_case "hamiltonize" `Quick test_hamiltonize;
+          Alcotest.test_case "new edge locations" `Quick test_hamiltonize_new_edges_location;
+          Alcotest.test_case "k = s rejected" `Quick test_hamiltonize_k_eq_s;
+        ] );
+      ( "strategies",
+        [
+          Alcotest.test_case "Example 3.4 (B(5,2))" `Quick test_example_3_4;
+          Alcotest.test_case "strategy selection" `Quick test_strategy_choices;
+          Alcotest.test_case "f is fixed-point free" `Quick
+            test_replacement_function_fixed_point_free;
+          Alcotest.test_case "disjoint HCs (prime powers)" `Quick test_disjoint_hcs_prime_powers;
+        ] );
+      ( "compose",
+        [
+          Alcotest.test_case "Example 3.5" `Quick test_example_3_5;
+          Alcotest.test_case "errors" `Quick test_product_errors;
+          Alcotest.test_case "disjoint HCs (composite)" `Quick test_disjoint_hcs_composite;
+        ] );
+      ( "psi",
+        [
+          Alcotest.test_case "Table 3.1" `Quick test_table_3_1;
+          Alcotest.test_case "phi bound" `Quick test_phi_bound;
+          Alcotest.test_case "Table 3.2 / d=28" `Quick test_table_3_2;
+          Alcotest.test_case "Corollary 3.1" `Quick test_corollary_3_1;
+        ] );
+      ( "edge-fault",
+        [
+          Alcotest.test_case "Prop 3.3 random" `Quick test_prop_3_3_random;
+          Alcotest.test_case "Prop 3.3 worst-case pack" `Quick test_prop_3_3_worst_case_pack;
+          Alcotest.test_case "d-1 faults impossible" `Quick test_d_minus_1_faults_impossible;
+          Alcotest.test_case "Prop 3.4 psi route" `Quick test_prop_3_4_psi_route;
+          Alcotest.test_case "node masking strawman" `Quick test_via_node_masking;
+          Alcotest.test_case "validation" `Quick test_fault_validation;
+        ] );
+      ( "mdb",
+        [
+          Alcotest.test_case "decompositions verify" `Quick test_mdb_sizes;
+          Alcotest.test_case "Example 3.6 structure" `Quick test_mdb_example_3_6;
+          Alcotest.test_case "new edge counts" `Quick test_mdb_new_edge_counts;
+          Alcotest.test_case "errors" `Quick test_mdb_errors;
+        ] );
+      ("properties", List.map (QCheck_alcotest.to_alcotest ~long:false) qsuite);
+    ]

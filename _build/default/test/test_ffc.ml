@@ -1,0 +1,669 @@
+(* Tests for Chapter 2: the fault-free cycle algorithm. *)
+
+module W = Debruijn.Word
+module Nk = Debruijn.Necklace
+module B = Ffc.Bstar
+module A = Ffc.Adjacency
+module Sp = Ffc.Spanning
+module E = Ffc.Embed
+module Dist = Ffc.Distributed
+module C = Graphlib.Cycle
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let p33 = W.params ~d:3 ~n:3
+
+let example_faults = [ W.of_string p33 "020"; W.of_string p33 "112" ]
+
+let example_bstar () =
+  Option.get (B.compute ~root_hint:(W.of_string p33 "000") p33 ~faults:example_faults)
+
+(* ------------------------------------------------------------------ *)
+(* B* *)
+
+let test_bstar_example () =
+  let b = example_bstar () in
+  check_int "21 nodes survive" 21 b.B.size;
+  check_int "root is 000" (W.of_string p33 "000") b.B.root;
+  check_bool "faulty node flagged" true b.B.necklace_faulty.(W.of_string p33 "020");
+  check_bool "rotation of faulty flagged" true b.B.necklace_faulty.(W.of_string p33 "200");
+  check_bool "live node kept" true b.B.in_bstar.(W.of_string p33 "012");
+  check_bool "strongly connected" true (B.is_strongly_connected b);
+  check_int "9 live necklaces" 9 (B.necklace_count b)
+
+let test_bstar_no_faults () =
+  let b = Option.get (B.compute p33 ~faults:[]) in
+  check_int "everything" 27 b.B.size;
+  check_int "root is minimal rep" 0 b.B.root
+
+let test_bstar_all_faulty () =
+  let p = W.params ~d:2 ~n:2 in
+  (* Faults covering all four necklaces of B(2,2). *)
+  let faults = List.map (W.of_string p) [ "00"; "01"; "11" ] in
+  check_bool "empty" true (B.compute p ~faults = None)
+
+let test_bstar_component_of () =
+  (* d=2, wt(x)=1 fault isolates 0^n's side: removing N(0...01)
+     disconnects node 0000... from the rest?  Per Prop 2.3, removing a
+     weight-1 necklace leaves the weight-0 node isolated. *)
+  let p = W.params ~d:2 ~n:4 in
+  let fault = W.of_string p "0001" in
+  let big = Option.get (B.compute p ~faults:[ fault ]) in
+  (* 16 − 4 (faulty necklace) − 1 (isolated 0000) = 11 *)
+  check_int "largest component size" 11 big.B.size;
+  let isolated = B.component_of p ~faults:[ fault ] (W.of_string p "0000") in
+  check_int "0000 isolated" 1 (Option.get isolated).B.size;
+  check_bool "faulty node has no component" true
+    (B.component_of p ~faults:[ fault ] fault = None)
+
+let test_bstar_root_hint () =
+  let b =
+    Option.get (B.compute ~root_hint:(W.of_string p33 "221") p33 ~faults:example_faults)
+  in
+  (* hint 221 normalizes to its necklace representative 122. *)
+  check_int "root canonicalized" (W.of_string p33 "122") b.B.root
+
+let test_bstar_eccentricity () =
+  let b = example_bstar () in
+  let ecc = B.eccentricity_of_root b in
+  check_bool "ecc within [n, 2n]" true (ecc >= 3 && ecc <= 6);
+  check_bool "diameter >= ecc" true (B.diameter b >= ecc)
+
+(* ------------------------------------------------------------------ *)
+(* N* (Figure 2.3) *)
+
+let test_adjacency_figure_2_3 () =
+  let b = example_bstar () in
+  let adj = A.build b in
+  check_int "9 necklaces" 9 (Array.length adj.A.reps);
+  let idx s = A.index_of_rep adj (W.of_string p33 s) in
+  let labels a bb = List.map (W.to_string (W.params ~d:3 ~n:2)) (A.labels_between adj (idx a) (idx bb)) in
+  (* Edges of Figure 2.3, derived by hand from the definition: an edge
+     labeled w joins two live necklaces holding αw and βw, α ≠ β.
+     E.g. suffix 10 is held by 010 ∈ [001], 110 ∈ [011], 210 ∈ [021] —
+     a 10-labeled triangle. *)
+  Alcotest.(check (list string)) "[000]-[001]" [ "00" ] (labels "000" "001");
+  Alcotest.(check (list string)) "[001]-[011]" [ "01"; "10" ] (labels "001" "011");
+  Alcotest.(check (list string)) "[011]-[111]" [ "11" ] (labels "011" "111");
+  Alcotest.(check (list string)) "[001]-[021]" [ "10" ] (labels "001" "021");
+  Alcotest.(check (list string)) "[011]-[021]" [ "10" ] (labels "011" "021");
+  Alcotest.(check (list string)) "[021]-[022]" [ "02" ] (labels "021" "022");
+  Alcotest.(check (list string)) "[021]-[122]" [ "21" ] (labels "021" "122");
+  Alcotest.(check (list string)) "[012]-[022]" [ "20" ] (labels "012" "022");
+  Alcotest.(check (list string)) "[012]-[122]" [ "12" ] (labels "012" "122");
+  Alcotest.(check (list string)) "[122]-[222]" [ "22" ] (labels "122" "222");
+  Alcotest.(check (list string)) "[011]-[012]" [ "01" ] (labels "011" "012");
+  (* Symmetry of N*. *)
+  List.iter
+    (fun (i, j, w) ->
+      check_bool "antiparallel twin" true (List.mem (j, i, w) adj.A.edges))
+    adj.A.edges;
+  check_bool "connected" true (A.is_connected adj);
+  (* no edges between non-adjacent necklaces *)
+  Alcotest.(check (list string)) "[000]-[111]" [] (labels "000" "111")
+
+let test_adjacency_entry_exit () =
+  let b = example_bstar () in
+  let adj = A.build b in
+  let p2 = W.params ~d:3 ~n:2 in
+  let idx s = A.index_of_rep adj (W.of_string p33 s) in
+  (* necklace [011] contains 101 = α·01 with α=1 (exit for w=01) and
+     011 = 01·β with β=1 (entry for w=01). *)
+  Alcotest.(check (option int)) "exit 101" (Some (W.of_string p33 "101"))
+    (A.node_with_suffix adj (idx "011") (W.of_string p2 "01"));
+  Alcotest.(check (option int)) "entry 011" (Some (W.of_string p33 "011"))
+    (A.node_with_prefix adj (idx "011") (W.of_string p2 "01"));
+  Alcotest.(check (option int)) "no exit for foreign w" None
+    (A.node_with_suffix adj (idx "000") (W.of_string p2 "12"))
+
+let test_adjacency_unique_alpha_w () =
+  (* A necklace contains at most one node αw for a given w (weight
+     argument in §2.2) — check exhaustively on a fault-free B(3,3). *)
+  let b = Option.get (B.compute p33 ~faults:[]) in
+  let adj = A.build b in
+  let p2 = W.params ~d:3 ~n:2 in
+  Array.iteri
+    (fun i _ ->
+      for w = 0 to p2.W.size - 1 do
+        let hits =
+          List.filter
+            (fun a -> adj.A.idx_of_node.(W.cons p33 a w) = i)
+            [ 0; 1; 2 ]
+        in
+        check_bool "at most one" true (List.length hits <= 1)
+      done)
+    adj.A.reps
+
+(* ------------------------------------------------------------------ *)
+(* spanning tree and modified tree *)
+
+let test_spanning_height_one () =
+  let b = example_bstar () in
+  let t = Sp.build (A.build b) in
+  check_bool "height one" true (Sp.check_height_one t);
+  check_int "spanning: 8 tree edges for 9 necklaces" 8 (List.length (Sp.tree_edges t))
+
+let test_spanning_height_one_random () =
+  let rng = Util.Rng.create 7 in
+  List.iter
+    (fun (d, n) ->
+      let p = W.params ~d ~n in
+      for _ = 1 to 25 do
+        let f = 1 + Util.Rng.int rng (d + 2) in
+        let faults = Util.Rng.sample_distinct rng ~k:f ~bound:p.W.size in
+        match B.compute p ~faults with
+        | None -> ()
+        | Some b ->
+            let t = Sp.build (A.build b) in
+            check_bool "height one" true (Sp.check_height_one t);
+            let m = Sp.modify t in
+            check_bool "spanning subgraph" true (Sp.is_spanning_subgraph m)
+      done)
+    [ (2, 5); (3, 3); (4, 2); (5, 2); (3, 4) ]
+
+let test_modified_groups () =
+  let b = example_bstar () in
+  let m = Sp.modify (Sp.build (A.build b)) in
+  (* Every group has ≥ 2 members and every member has exactly one
+     outgoing w-edge. *)
+  List.iter
+    (fun (w, members) ->
+      check_bool "group size" true (List.length members >= 2);
+      List.iter
+        (fun idx ->
+          check_bool "has out edge" true (Hashtbl.mem m.Sp.out_edge (idx, w)))
+        members)
+    m.Sp.groups;
+  (* D has as many edges as T edges plus one per group (cycle closing). *)
+  let d_edges = Hashtbl.length m.Sp.out_edge in
+  let t_edges = List.length (Sp.tree_edges m.Sp.tree) in
+  check_int "edge count" (t_edges + List.length m.Sp.groups) d_edges
+
+(* ------------------------------------------------------------------ *)
+(* the embedding: Example 2.1 and bounds *)
+
+let test_example_2_1_cycle () =
+  let e = E.of_bstar (example_bstar ()) in
+  let expected =
+    [ "000"; "001"; "011"; "111"; "110"; "101"; "012"; "122"; "222"; "221"; "212";
+      "120"; "201"; "010"; "102"; "022"; "220"; "202"; "021"; "210"; "100" ]
+  in
+  Alcotest.(check (list string)) "the thesis's 21-cycle"
+    expected
+    (List.map (W.to_string p33) (Array.to_list e.E.cycle));
+  check_bool "verified" true (E.verify e)
+
+let test_example_2_1_successors () =
+  (* §2.2: "node 120 is followed by its necklace successor 201 …
+     node 101 is followed by 012". *)
+  let e = E.of_bstar (example_bstar ()) in
+  let succ s = e.E.successor.(W.of_string p33 s) in
+  check_int "succ 120 = 201" (W.of_string p33 "201") (succ "120");
+  check_int "succ 101 = 012" (W.of_string p33 "012") (succ "101")
+
+let test_embed_no_faults () =
+  (* With no faults the FFC algorithm produces a full Hamiltonian cycle
+     of B(d,n) — a De Bruijn sequence. *)
+  List.iter
+    (fun (d, n) ->
+      let p = W.params ~d ~n in
+      let e = Option.get (E.embed p ~faults:[]) in
+      check_int "full length" p.W.size (E.length e);
+      check_bool "verified" true (E.verify e);
+      let seq = Debruijn.Sequence.sequence_of_cycle p e.E.cycle in
+      check_bool "De Bruijn sequence" true (Debruijn.Sequence.is_de_bruijn_sequence p seq))
+    [ (2, 3); (2, 4); (2, 5); (2, 6); (3, 3); (4, 2); (4, 3); (5, 2); (3, 4) ]
+
+let test_prop_2_2_bound () =
+  (* f ≤ d−2 node failures: cycle length ≥ dⁿ − nf, exhaustively for all
+     single faults and randomly for larger f. *)
+  List.iter
+    (fun (d, n) ->
+      let p = W.params ~d ~n in
+      for fault = 0 to p.W.size - 1 do
+        let e = Option.get (E.embed p ~faults:[ fault ]) in
+        check_bool "single-fault bound" true (E.length e >= E.length_lower_bound p 1);
+        check_bool "verified" true (E.verify e)
+      done)
+    [ (3, 3); (4, 2); (4, 3); (5, 2) ];
+  let rng = Util.Rng.create 11 in
+  List.iter
+    (fun (d, n) ->
+      let p = W.params ~d ~n in
+      for _ = 1 to 40 do
+        let f = 1 + Util.Rng.int rng (d - 2) in
+        let faults = Util.Rng.sample_distinct rng ~k:f ~bound:p.W.size in
+        let e = Option.get (E.embed p ~faults) in
+        check_bool "bound" true (E.length e >= E.length_lower_bound p f);
+        check_bool "verified" true (E.verify e)
+      done)
+    [ (4, 3); (5, 2); (5, 3); (6, 2); (7, 2) ]
+
+let test_prop_2_2_diameter () =
+  (* With f ≤ d−2 the diameter of B* is at most 2n. *)
+  let rng = Util.Rng.create 13 in
+  List.iter
+    (fun (d, n) ->
+      let p = W.params ~d ~n in
+      for _ = 1 to 15 do
+        let f = 1 + Util.Rng.int rng (d - 2) in
+        let faults = Util.Rng.sample_distinct rng ~k:f ~bound:p.W.size in
+        match B.compute p ~faults with
+        | None -> Alcotest.fail "B* should be nonempty under d-2 faults"
+        | Some b ->
+            check_bool "diameter <= 2n" true (B.diameter b <= 2 * n);
+            (* B* contains all live necklaces: size = dⁿ − NF. *)
+            let nf =
+              List.length (List.filter (fun v -> b.B.necklace_faulty.(v)) (W.all p))
+            in
+            check_int "no fragmentation" (p.W.size - nf) b.B.size
+      done)
+    [ (4, 3); (5, 2); (6, 2); (7, 2); (5, 3) ]
+
+let test_prop_2_3_binary_single_fault () =
+  (* d = 2, f = 1: cycle length ≥ 2ⁿ − (n+1), for every possible fault. *)
+  List.iter
+    (fun n ->
+      let p = W.params ~d:2 ~n in
+      for fault = 0 to p.W.size - 1 do
+        let e = Option.get (E.embed p ~faults:[ fault ]) in
+        check_bool
+          (Printf.sprintf "n=%d fault=%s" n (W.to_string p fault))
+          true
+          (E.length e >= p.W.size - (n + 1));
+        check_bool "verified" true (E.verify e)
+      done)
+    [ 3; 4; 5; 6; 7; 8 ]
+
+let test_worst_case_optimality () =
+  (* The adversarial pattern F = {α^{n−1}(d−1)} achieves exactly
+     dⁿ − nf: each faulty node is on a full-length necklace, and no
+     cycle can do better (line-graph argument, §2.5). *)
+  List.iter
+    (fun (d, n, f) ->
+      let p = W.params ~d ~n in
+      let faults = E.worst_case_faults p f in
+      check_int "f distinct faults" f (List.length (List.sort_uniq compare faults));
+      let e = Option.get (E.embed p ~faults) in
+      check_int
+        (Printf.sprintf "d=%d n=%d f=%d" d n f)
+        (E.length_lower_bound p f) (E.length e);
+      check_bool "verified" true (E.verify e))
+    [ (3, 3, 1); (4, 3, 2); (5, 2, 3); (5, 3, 3); (6, 2, 4); (7, 2, 5) ]
+
+let test_pancyclic_best_case () =
+  (* Best case: if the f faults all sit on one short necklace the cycle
+     can be much longer than dⁿ − nf.  E.g. faults on N(0101) in B(2,4)
+     kill only 2 nodes. *)
+  let p = W.params ~d:2 ~n:4 in
+  let faults = [ W.of_string p "0101"; W.of_string p "1010" ] in
+  let e = Option.get (E.embed p ~faults) in
+  check_int "loses only the short necklace" (16 - 2) (E.length e)
+
+(* ------------------------------------------------------------------ *)
+(* distributed implementation *)
+
+let test_distributed_matches_example () =
+  let b = example_bstar () in
+  let cent = E.of_bstar b in
+  let dist = Dist.run b in
+  Alcotest.(check (array int)) "identical successor maps" cent.E.successor dist.Dist.successor;
+  Alcotest.(check (array int)) "identical cycles" cent.E.cycle dist.Dist.cycle
+
+let test_distributed_matches_random () =
+  let rng = Util.Rng.create 23 in
+  List.iter
+    (fun (d, n) ->
+      let p = W.params ~d ~n in
+      for _ = 1 to 12 do
+        let f = 1 + Util.Rng.int rng (d + 1) in
+        let faults = Util.Rng.sample_distinct rng ~k:f ~bound:p.W.size in
+        match B.compute p ~faults with
+        | None -> ()
+        | Some b ->
+            let cent = E.of_bstar b in
+            let dist = Dist.run b in
+            Alcotest.(check (array int)) "successor maps" cent.E.successor
+              dist.Dist.successor
+      done)
+    [ (2, 5); (2, 7); (3, 3); (3, 4); (4, 3); (5, 2) ]
+
+let test_distributed_round_complexity () =
+  (* Θ(n) phases: probe takes exactly n rounds; the whole run is within
+     ecc(R) + 3n + c rounds. *)
+  let rng = Util.Rng.create 29 in
+  List.iter
+    (fun (d, n) ->
+      let p = W.params ~d ~n in
+      for _ = 1 to 8 do
+        let f = 1 + Util.Rng.int rng (max 1 (d - 2)) in
+        let faults = Util.Rng.sample_distinct rng ~k:f ~bound:p.W.size in
+        match B.compute p ~faults with
+        | None -> ()
+        | Some b ->
+            let dist = Dist.run b in
+            let s = dist.Dist.stats in
+            check_int "probe = n rounds" n s.Dist.probe_rounds;
+            let ecc = B.eccentricity_of_root b in
+            check_bool "broadcast within ecc+1" true (s.Dist.broadcast_rounds <= ecc + 1);
+            check_bool "total O(K + n)" true (s.Dist.total_rounds <= ecc + (3 * n) + 4)
+      done)
+    [ (3, 3); (4, 3); (5, 2); (2, 6) ]
+
+let test_selftimed_matches () =
+  (* the fixed-schedule single-program protocol agrees with both the
+     centralized algorithm and the orchestrated protocol under the
+     f <= d-2 guarantee *)
+  let rng = Util.Rng.create 61 in
+  List.iter
+    (fun (d, n) ->
+      let p = W.params ~d ~n in
+      for _ = 1 to 10 do
+        let f = 1 + Util.Rng.int rng (d - 2) in
+        let faults = Util.Rng.sample_distinct rng ~k:f ~bound:p.W.size in
+        match B.compute p ~faults with
+        | None -> ()
+        | Some b ->
+            let cent = E.of_bstar b in
+            let st = Ffc.Selftimed.run b in
+            Alcotest.(check (array int)) "successors" cent.E.successor
+              st.Ffc.Selftimed.successor;
+            Alcotest.(check (array int)) "cycle" cent.E.cycle st.Ffc.Selftimed.cycle
+      done)
+    [ (3, 3); (4, 3); (5, 2); (5, 3); (6, 2) ]
+
+let test_selftimed_schedule () =
+  (* the round count is a fixed function of n, whatever the faults *)
+  let p = W.params ~d:5 ~n:3 in
+  let lengths =
+    List.map
+      (fun faults ->
+        let b = Option.get (B.compute p ~faults) in
+        (Ffc.Selftimed.run b).Ffc.Selftimed.total_rounds)
+      [ [ 0 ]; [ 7; 99 ]; [ 1; 2; 3 ] ]
+  in
+  List.iter
+    (fun r ->
+      check_bool "within schedule + wind-down" true
+        (r <= Ffc.Selftimed.schedule_length ~n:3 + 2))
+    lengths;
+  check_int "same rounds for all fault patterns" 1
+    (List.length (List.sort_uniq compare lengths))
+
+let test_probe_phase_flags () =
+  let b = example_bstar () in
+  let flags, rounds = Dist.live_necklace_flags b in
+  check_int "probe rounds = n" 3 rounds;
+  Array.iteri
+    (fun v live ->
+      let faulty_v = List.mem v b.B.faults in
+      if faulty_v then check_bool "faulty silent" false live
+      else check_bool "flag matches necklace fault" (not b.B.necklace_faulty.(v)) live)
+    flags
+
+let test_lemma_2_1_arc_structure () =
+  (* Lemma 2.1/2.2: H traverses each necklace in contiguous arcs, one
+     per outgoing D-edge of that necklace (the incoming→outgoing paths
+     of the proof).  Verify the arc count against the modified tree. *)
+  let rng = Util.Rng.create 43 in
+  List.iter
+    (fun (d, n) ->
+      let p = W.params ~d ~n in
+      for _ = 1 to 15 do
+        let f = 1 + Util.Rng.int rng (d + 1) in
+        let faults = Util.Rng.sample_distinct rng ~k:f ~bound:p.W.size in
+        match B.compute p ~faults with
+        | None -> ()
+        | Some b ->
+            let e = E.of_bstar b in
+            let m = e.E.modified in
+            let adj = m.Sp.tree.Sp.adj in
+            let cyc = e.E.cycle in
+            let k = Array.length cyc in
+            (* arcs per necklace: positions where H enters the necklace *)
+            let entries = Array.make (Array.length adj.A.reps) 0 in
+            Array.iteri
+              (fun i v ->
+                let prev = cyc.(((i - 1) mod k + k) mod k) in
+                let nv = adj.A.idx_of_node.(v) and np = adj.A.idx_of_node.(prev) in
+                if nv <> np then entries.(nv) <- entries.(nv) + 1)
+              cyc;
+            (* expected: the number of distinct w with an outgoing D-edge
+               (single-necklace B* has zero D-edges and one "arc") *)
+            Array.iteri
+              (fun idx _ ->
+                let out_degree =
+                  Hashtbl.fold
+                    (fun (i, _) _ acc -> if i = idx then acc + 1 else acc)
+                    m.Sp.out_edge 0
+                in
+                let expected = max out_degree (if Array.length adj.A.reps = 1 then 0 else out_degree) in
+                if Array.length adj.A.reps > 1 then
+                  check_int "arcs = D out-degree" expected entries.(idx))
+              adj.A.reps
+      done)
+    [ (3, 3); (4, 3); (2, 6); (5, 2) ]
+
+let test_table_2_2_regression () =
+  (* a deterministic, seeded slice of the Table 2.2 experiment pinned as
+     a regression value: |component(R)| for B(4,5), f = 5, seed 4501 *)
+  let p = W.params ~d:4 ~n:5 in
+  let rng = Util.Rng.create 4501 in
+  let faults = Util.Rng.sample_distinct rng ~k:5 ~bound:p.W.size in
+  let r = 1 in
+  let b = Option.get (B.component_of p ~faults r) in
+  (* dⁿ − nf = 999 when all five faults land on distinct full necklaces *)
+  check_bool "size within [999, 1004]" true (b.B.size >= 999 && b.B.size <= 1004);
+  check_bool "strongly connected" true (B.is_strongly_connected b)
+
+(* ------------------------------------------------------------------ *)
+(* routing (Proposition 2.2's constructive core) *)
+
+module R = Ffc.Routing
+
+let test_path_p_shape () =
+  let p = p33 in
+  let x = W.of_string p "012" in
+  Alcotest.(check (list string)) "P_1 from 012" [ "012"; "121"; "211"; "111" ]
+    (List.map (W.to_string p) (R.path_p p x 1));
+  (* every P_a is a valid path ending at a^n *)
+  List.iter
+    (fun a ->
+      let path = R.path_p p x a in
+      check_bool "valid" true (R.verify_path p path);
+      check_int "length n+1" 4 (List.length path);
+      check_int "ends at a^n" (W.constant p a) (List.nth path 3))
+    [ 0; 1; 2 ]
+
+let test_path_q_shape () =
+  let p = p33 in
+  let y = W.of_string p "201" in
+  let path = R.path_q p 0 2 y in
+  Alcotest.(check (list string)) "Q_2 from 000 to 201"
+    [ "000"; "002"; "022"; "220"; "201" ]
+    (List.map (W.to_string p) path);
+  check_bool "valid" true (R.verify_path p path)
+
+let test_p_paths_necklace_disjoint () =
+  (* the proof's first claim: interiors of the P_a are pairwise
+     necklace-disjoint, for every source x *)
+  List.iter
+    (fun (d, n) ->
+      let p = W.params ~d ~n in
+      List.iter
+        (fun x ->
+          let interiors =
+            List.map (fun a -> R.interior_necklaces p (R.path_p p x a)) (List.init d Fun.id)
+          in
+          let all = List.concat interiors in
+          check_int
+            (Printf.sprintf "x=%s" (W.to_string p x))
+            (List.length all)
+            (List.length (List.sort_uniq compare all)))
+        (W.all p))
+    [ (3, 3); (4, 2); (2, 4) ]
+
+let test_q_paths_necklace_disjoint () =
+  (* second claim: interiors of the Q_i (fixed a) are pairwise
+     necklace-disjoint, for every target y *)
+  List.iter
+    (fun (d, n) ->
+      let p = W.params ~d ~n in
+      List.iter
+        (fun y ->
+          List.iter
+            (fun a ->
+              let interiors =
+                List.map
+                  (fun i -> R.interior_necklaces p (R.path_q p a i y))
+                  (List.init (d - 1) (fun i -> i + 1))
+              in
+              let all = List.concat interiors in
+              check_int "disjoint"
+                (List.length all)
+                (List.length (List.sort_uniq compare all)))
+            (List.init d Fun.id))
+        (W.all p))
+    [ (3, 3); (4, 2) ]
+
+let test_route_under_faults () =
+  let rng = Util.Rng.create 37 in
+  List.iter
+    (fun (d, n) ->
+      let p = W.params ~d ~n in
+      for _ = 1 to 60 do
+        let f = if d > 2 then 1 + Util.Rng.int rng (d - 2) else 0 in
+        let faults = Util.Rng.sample_distinct rng ~k:f ~bound:p.W.size in
+        let flags = Nk.mark_faulty_necklaces p faults in
+        let x = Util.Rng.int rng p.W.size and y = Util.Rng.int rng p.W.size in
+        if (not flags.(x)) && not flags.(y) then begin
+          match R.route p ~faulty_necklace:(fun v -> flags.(v)) x y with
+          | None -> Alcotest.fail "route must exist under d-2 necklace faults"
+          | Some path ->
+              check_bool "valid edges" true (R.verify_path p path);
+              check_bool "fault-free" true (List.for_all (fun v -> not flags.(v)) path);
+              check_int "starts at x" x (List.hd path);
+              check_int "ends at y" y (List.nth path (List.length path - 1));
+              check_bool "length <= 2n" true (List.length path <= (2 * n) + 1)
+        end
+      done)
+    [ (3, 3); (4, 3); (5, 2); (5, 3); (7, 2) ]
+
+let test_route_edge_cases () =
+  let p = p33 in
+  let no_fault _ = false in
+  Alcotest.(check (option (list int))) "x = y" (Some [ 5 ]) (R.route p ~faulty_necklace:no_fault 5 5);
+  (* faulty endpoint *)
+  check_bool "faulty source" true (R.route p ~faulty_necklace:(fun v -> v = 5) 5 7 = None);
+  (* route to a constant node *)
+  (match R.route p ~faulty_necklace:no_fault (W.of_string p "012") (W.of_string p "222") with
+  | Some path -> check_bool "valid" true (R.verify_path p path)
+  | None -> Alcotest.fail "route to 222 must exist");
+  (* route from a constant node *)
+  match R.route p ~faulty_necklace:no_fault (W.of_string p "000") (W.of_string p "121") with
+  | Some path ->
+      check_bool "valid" true (R.verify_path p path);
+      (* loop erasure must have produced a simple path *)
+      check_int "simple" (List.length path) (List.length (List.sort_uniq compare path))
+  | None -> Alcotest.fail "route from 000 must exist"
+
+(* ------------------------------------------------------------------ *)
+(* properties *)
+
+let qsuite =
+  let open QCheck in
+  let scenario =
+    Gen.(
+      oneofl [ (2, 5); (2, 6); (3, 3); (3, 4); (4, 2); (4, 3); (5, 2) ] >>= fun (d, n) ->
+      int_range 1 6 >>= fun f ->
+      int_range 0 1000000 >>= fun seed -> return (d, n, f, seed))
+  in
+  [
+    Test.make ~name:"FFC output is always a fault-free cycle of B*" ~count:150
+      (make scenario) (fun (d, n, f, seed) ->
+        let p = W.params ~d ~n in
+        let rng = Util.Rng.create seed in
+        let f = min f (p.W.size - 1) in
+        let faults = Util.Rng.sample_distinct rng ~k:f ~bound:p.W.size in
+        match E.embed p ~faults with
+        | None -> true
+        | Some e -> E.verify e);
+    Test.make ~name:"cycle length = |B*| always" ~count:150 (make scenario)
+      (fun (d, n, f, seed) ->
+        let p = W.params ~d ~n in
+        let rng = Util.Rng.create seed in
+        let f = min f (p.W.size - 1) in
+        let faults = Util.Rng.sample_distinct rng ~k:f ~bound:p.W.size in
+        match E.embed p ~faults with
+        | None -> true
+        | Some e -> E.length e = e.E.bstar.B.size);
+    Test.make ~name:"length >= d^n - nf whenever f <= d-2" ~count:150 (make scenario)
+      (fun (d, n, f, seed) ->
+        let p = W.params ~d ~n in
+        let rng = Util.Rng.create seed in
+        let f = min f (max 0 (d - 2)) in
+        QCheck.assume (f >= 1);
+        let faults = Util.Rng.sample_distinct rng ~k:f ~bound:p.W.size in
+        match E.embed p ~faults with
+        | None -> false
+        | Some e -> E.length e >= E.length_lower_bound p f);
+  ]
+
+let () =
+  Alcotest.run "ffc"
+    [
+      ( "bstar",
+        [
+          Alcotest.test_case "example 2.1 B*" `Quick test_bstar_example;
+          Alcotest.test_case "no faults" `Quick test_bstar_no_faults;
+          Alcotest.test_case "all faulty" `Quick test_bstar_all_faulty;
+          Alcotest.test_case "component_of / isolation" `Quick test_bstar_component_of;
+          Alcotest.test_case "root hint" `Quick test_bstar_root_hint;
+          Alcotest.test_case "eccentricity" `Quick test_bstar_eccentricity;
+        ] );
+      ( "adjacency",
+        [
+          Alcotest.test_case "Figure 2.3" `Quick test_adjacency_figure_2_3;
+          Alcotest.test_case "entry/exit nodes" `Quick test_adjacency_entry_exit;
+          Alcotest.test_case "unique alpha-w per necklace" `Quick test_adjacency_unique_alpha_w;
+        ] );
+      ( "spanning",
+        [
+          Alcotest.test_case "height-one (example)" `Quick test_spanning_height_one;
+          Alcotest.test_case "height-one (random)" `Quick test_spanning_height_one_random;
+          Alcotest.test_case "modified tree groups" `Quick test_modified_groups;
+        ] );
+      ( "embedding",
+        [
+          Alcotest.test_case "Example 2.1 cycle" `Quick test_example_2_1_cycle;
+          Alcotest.test_case "Example 2.1 successors" `Quick test_example_2_1_successors;
+          Alcotest.test_case "no faults = De Bruijn sequence" `Quick test_embed_no_faults;
+          Alcotest.test_case "Prop 2.2 length bound" `Quick test_prop_2_2_bound;
+          Alcotest.test_case "Prop 2.2 diameter/size" `Quick test_prop_2_2_diameter;
+          Alcotest.test_case "Prop 2.3 binary single fault" `Quick test_prop_2_3_binary_single_fault;
+          Alcotest.test_case "worst-case optimality" `Quick test_worst_case_optimality;
+          Alcotest.test_case "best case (short necklace)" `Quick test_pancyclic_best_case;
+          Alcotest.test_case "Lemma 2.1 arc structure" `Quick test_lemma_2_1_arc_structure;
+          Alcotest.test_case "Table 2.2 regression slice" `Quick test_table_2_2_regression;
+        ] );
+      ( "routing",
+        [
+          Alcotest.test_case "P_a shape" `Quick test_path_p_shape;
+          Alcotest.test_case "Q_i shape" `Quick test_path_q_shape;
+          Alcotest.test_case "P paths necklace-disjoint" `Quick test_p_paths_necklace_disjoint;
+          Alcotest.test_case "Q paths necklace-disjoint" `Quick test_q_paths_necklace_disjoint;
+          Alcotest.test_case "route under faults" `Quick test_route_under_faults;
+          Alcotest.test_case "route edge cases" `Quick test_route_edge_cases;
+        ] );
+      ( "distributed",
+        [
+          Alcotest.test_case "matches centralized (example)" `Quick test_distributed_matches_example;
+          Alcotest.test_case "matches centralized (random)" `Quick test_distributed_matches_random;
+          Alcotest.test_case "round complexity" `Quick test_distributed_round_complexity;
+          Alcotest.test_case "self-timed matches" `Quick test_selftimed_matches;
+          Alcotest.test_case "self-timed fixed schedule" `Quick test_selftimed_schedule;
+          Alcotest.test_case "probe flags" `Quick test_probe_phase_flags;
+        ] );
+      ("properties", List.map (QCheck_alcotest.to_alcotest ~long:false) qsuite);
+    ]

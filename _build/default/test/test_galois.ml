@@ -1,0 +1,296 @@
+(* Tests for finite fields GF(p^e) and polynomial arithmetic. *)
+
+module P = Galois.Poly_zp
+module G = Galois.Gf
+module GP = Galois.Gf_poly
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+(* ------------------------------------------------------------------ *)
+(* Poly_zp *)
+
+let test_poly_normalize () =
+  Alcotest.(check (array int)) "strip zeros" [| 1; 2 |] (P.normalize 5 [| 1; 2; 0; 0 |]);
+  Alcotest.(check (array int)) "mod p" [| 2; 1 |] (P.normalize 3 [| 5; 4; 3 |]);
+  Alcotest.(check (array int)) "zero" [||] (P.normalize 3 [| 3; 6; 9 |]);
+  Alcotest.(check (array int)) "negative" [| 2 |] (P.normalize 3 [| -1 |])
+
+let test_poly_arith () =
+  let p = 5 in
+  let a = P.of_coeffs p [ 1; 2; 3 ] and b = P.of_coeffs p [ 4; 3 ] in
+  Alcotest.(check (array int)) "add" [| 0; 0; 3 |] (P.add p a b);
+  Alcotest.(check (array int)) "sub" [| 2; 4; 3 |] (P.sub p a b);
+  Alcotest.(check (array int)) "mul" [| 4; 1; 3; 4 |] (P.mul p a b);
+  check_int "degree" 2 (P.degree a);
+  check_int "degree zero" (-1) (P.degree P.zero);
+  check_int "eval" ((1 + (2 * 2) + (3 * 4)) mod 5) (P.eval p a 2)
+
+let test_poly_divmod () =
+  let p = 7 in
+  let a = P.of_coeffs p [ 3; 1; 4; 1; 5 ] and b = P.of_coeffs p [ 2; 0; 1 ] in
+  let q, r = P.divmod p a b in
+  Alcotest.(check (array int)) "a = q*b + r" a (P.add p (P.mul p q b) r);
+  check_bool "deg r < deg b" true (P.degree r < P.degree b);
+  Alcotest.check_raises "divide by zero" Division_by_zero (fun () ->
+      ignore (P.divmod p a P.zero))
+
+let test_poly_gcd () =
+  let p = 5 in
+  (* (x+1)(x+2) and (x+1)(x+3) have gcd x+1. *)
+  let f1 = P.mul p (P.of_coeffs p [ 1; 1 ]) (P.of_coeffs p [ 2; 1 ]) in
+  let f2 = P.mul p (P.of_coeffs p [ 1; 1 ]) (P.of_coeffs p [ 3; 1 ]) in
+  Alcotest.(check (array int)) "gcd" [| 1; 1 |] (P.gcd p f1 f2);
+  Alcotest.(check (array int)) "gcd coprime" [| 1 |]
+    (P.gcd p (P.of_coeffs p [ 1; 1 ]) (P.of_coeffs p [ 2; 1 ]))
+
+let test_poly_irreducible () =
+  (* x^2 + x + 1 irreducible over Z_2; x^2 + 1 = (x+1)^2 reducible. *)
+  check_bool "x2+x+1 over Z2" true (P.is_irreducible 2 (P.of_coeffs 2 [ 1; 1; 1 ]));
+  check_bool "x2+1 over Z2" false (P.is_irreducible 2 (P.of_coeffs 2 [ 1; 0; 1 ]));
+  (* x^2 - x - 3 = x^2 + 4x + 2 over Z_5: the thesis's Example 3.1 primitive polynomial. *)
+  check_bool "x2-x-3 over Z5 irreducible" true (P.is_irreducible 5 (P.of_coeffs 5 [ -3; -1; 1 ]));
+  check_bool "x2-x-3 over Z5 primitive" true (P.is_primitive 5 (P.of_coeffs 5 [ -3; -1; 1 ]));
+  (* x^3 + x + 1 primitive over Z_2 (the classic LFSR). *)
+  check_bool "x3+x+1 over Z2" true (P.is_primitive 2 (P.of_coeffs 2 [ 1; 1; 0; 1 ]));
+  (* x^4 + x^3 + x^2 + x + 1 irreducible over Z_2 but NOT primitive
+     (order of x is 5, not 15). *)
+  let f = P.of_coeffs 2 [ 1; 1; 1; 1; 1 ] in
+  check_bool "x4+..+1 irreducible" true (P.is_irreducible 2 f);
+  check_bool "x4+..+1 not primitive" false (P.is_primitive 2 f)
+
+let test_poly_count_irreducibles () =
+  (* The number of monic irreducible polynomials of degree n over Z_p is
+     (1/n) * sum over divisors t of n of mu(n/t) p^t - Gauss formula, an
+     independent check of the Rabin test. *)
+  let count_irr p n = List.length (List.filter (P.is_irreducible p) (P.all_monic p n)) in
+  let gauss p n =
+    Numtheory.sum_over_divisors n (fun t -> Numtheory.mobius (n / t) * Numtheory.pow p t) / n
+  in
+  List.iter
+    (fun (p, n) ->
+      check_int (Printf.sprintf "p=%d n=%d" p n) (gauss p n) (count_irr p n))
+    [ (2, 2); (2, 3); (2, 4); (2, 5); (3, 2); (3, 3); (5, 2); (7, 2) ]
+
+let test_poly_count_primitives () =
+  (* There are φ(p^n − 1)/n monic primitive polynomials of degree n. *)
+  let count_prim p n = List.length (List.filter (P.is_primitive p) (P.all_monic p n)) in
+  List.iter
+    (fun (p, n) ->
+      let expected = Numtheory.euler_phi (Numtheory.pow p n - 1) / n in
+      check_int (Printf.sprintf "p=%d n=%d" p n) expected (count_prim p n))
+    [ (2, 2); (2, 3); (2, 4); (3, 2); (3, 3); (5, 2) ]
+
+(* ------------------------------------------------------------------ *)
+(* Gf *)
+
+let small_fields = [ 2; 3; 4; 5; 7; 8; 9; 11; 13; 16; 25; 27; 32; 49; 64; 81 ]
+
+let test_field_create () =
+  List.iter
+    (fun d ->
+      let f = G.create d in
+      check_int (Printf.sprintf "order %d" d) d (G.order f))
+    small_fields;
+  Alcotest.check_raises "6 not a prime power"
+    (Invalid_argument "Gf.create: order is not a prime power") (fun () -> ignore (G.create 6))
+
+let test_field_axioms () =
+  List.iter
+    (fun d ->
+      let f = G.create d in
+      let elts = G.elements f in
+      (* additive identity, inverses, commutativity *)
+      List.iter
+        (fun a ->
+          check_int "a+0" a (G.add f a 0);
+          check_int "a-a" 0 (G.sub f a a);
+          check_int "a + (-a)" 0 (G.add f a (G.neg f a));
+          check_int "1*a" a (G.mul f a 1);
+          check_int "0*a" 0 (G.mul f a 0))
+        elts;
+      List.iter
+        (fun a ->
+          check_int "a * a^{-1}" 1 (G.mul f a (G.inv f a));
+          check_int "a^(d-1)" 1 (G.pow f a (d - 1)))
+        (G.nonzero f);
+      (* distributivity, checked exhaustively on small fields *)
+      if d <= 9 then
+        List.iter
+          (fun a ->
+            List.iter
+              (fun b ->
+                check_int "comm add" (G.add f a b) (G.add f b a);
+                check_int "comm mul" (G.mul f a b) (G.mul f b a);
+                List.iter
+                  (fun c ->
+                    check_int "assoc add" (G.add f (G.add f a b) c) (G.add f a (G.add f b c));
+                    check_int "assoc mul" (G.mul f (G.mul f a b) c) (G.mul f a (G.mul f b c));
+                    check_int "distrib" (G.mul f a (G.add f b c))
+                      (G.add f (G.mul f a b) (G.mul f a c)))
+                  elts)
+              elts)
+          elts)
+    small_fields
+
+let test_field_generator () =
+  List.iter
+    (fun d ->
+      let f = G.create d in
+      let g = G.generator f in
+      check_int (Printf.sprintf "generator order, d=%d" d) (d - 1) (G.elt_order f g);
+      (* powers of g enumerate all nonzero elements *)
+      let seen = Hashtbl.create d in
+      for i = 0 to d - 2 do
+        Hashtbl.replace seen (G.pow f g i) ()
+      done;
+      check_int "powers cover nonzero" (d - 1) (Hashtbl.length seen))
+    small_fields
+
+let test_field_log () =
+  List.iter
+    (fun d ->
+      let f = G.create d in
+      let g = G.generator f in
+      List.iter
+        (fun a -> check_int "g^log a = a" a (G.pow f g (G.log f a)))
+        (G.nonzero f))
+    small_fields
+
+let test_gf4_example () =
+  (* The thesis's Example 3.2: in GF(4) = {0, 1, ζ, ζ²} with ζ a root of
+     x² + x + 1: 1 + ζ = ζ², 1 + ζ² = ζ, ζ + ζ² = 1, ζ³ = 1. *)
+  let f = G.create 4 in
+  let zeta = G.generator f in
+  let zeta2 = G.mul f zeta zeta in
+  check_int "1 + z = z^2" zeta2 (G.add f 1 zeta);
+  check_int "1 + z^2 = z" zeta (G.add f 1 zeta2);
+  check_int "z + z^2 = 1" 1 (G.add f zeta zeta2);
+  check_int "z^3 = 1" 1 (G.mul f zeta zeta2);
+  check_bool "char 2" true (G.has_characteristic_2 f);
+  check_int "x + x = 0 in char 2" 0 (G.add f zeta zeta)
+
+let test_prime_subfield () =
+  let f = G.create 9 in
+  (* 0,1,2 form Z_3 inside GF(9) under add. *)
+  check_int "1+1" 2 (G.add f 1 1);
+  check_int "1+2" 0 (G.add f 1 2);
+  check_int "2*2 = 1 (mod 3 scalars)" (G.of_int f 4) (G.mul f 2 2);
+  check_int "of_int wraps" 1 (G.of_int f 4);
+  check_int "of_int negative" 2 (G.of_int f (-1));
+  check_int "scalar_mul 2 a = a+a" (G.add f 5 5) (G.scalar_mul f 2 5)
+
+(* ------------------------------------------------------------------ *)
+(* Gf_poly *)
+
+let test_gfpoly_arith () =
+  let f = G.create 4 in
+  let a = GP.of_coeffs f [ 1; 2; 3 ] and b = GP.of_coeffs f [ 2; 1 ] in
+  let q, r = GP.divmod f a b in
+  Alcotest.(check (array int)) "a = qb + r" a (GP.add f (GP.mul f q b) r);
+  check_bool "deg r < deg b" true (GP.degree r < GP.degree b)
+
+let test_gfpoly_primitive_search () =
+  (* x² − x − ζ primitive over GF(4): the thesis's Example 3.2 uses the
+     recurrence c_{2+i} = c_{1+i} + ζ·cᵢ.  We verify that at least the
+     canonical search finds some primitive polynomial and that its order
+     is q²−1. *)
+  List.iter
+    (fun (q, n) ->
+      let f = G.create q in
+      let m = GP.find_primitive f n in
+      check_bool (Printf.sprintf "q=%d n=%d primitive" q n) true (GP.is_primitive f m);
+      check_int
+        (Printf.sprintf "q=%d n=%d order of x" q n)
+        (Numtheory.pow q n - 1)
+        (GP.order_of_x f m))
+    [ (2, 3); (3, 2); (4, 2); (5, 2); (7, 2); (8, 2); (9, 2); (2, 5); (3, 3); (4, 3) ]
+
+let test_gfpoly_example_3_2 () =
+  (* x² + x + ζ over GF(4) — the thesis writes x² − x − ζ; characteristic
+     2 makes them equal.  ζ is the generator. *)
+  let f = G.create 4 in
+  let zeta = G.generator f in
+  let m = GP.of_coeffs f [ zeta; 1; 1 ] in
+  check_bool "x^2+x+z primitive over GF(4)" true (GP.is_primitive f m)
+
+let test_gfpoly_example_3_1 () =
+  (* p(x) = x² − x − 3 over GF(5) is primitive (Example 3.1). *)
+  let f = G.create 5 in
+  let m = GP.of_coeffs f [ G.of_int f (-3); G.of_int f (-1); 1 ] in
+  check_bool "x^2-x-3 primitive over GF(5)" true (GP.is_primitive f m)
+
+let test_gfpoly_irreducible_counts () =
+  (* Gauss's count over GF(4): (1/2)(4² − 4) = 6 monic irreducible
+     quadratics. *)
+  let f = G.create 4 in
+  let count = List.length (List.filter (GP.is_irreducible f) (GP.all_monic f 2)) in
+  check_int "irreducible quadratics over GF(4)" 6 count
+
+(* ------------------------------------------------------------------ *)
+(* properties *)
+
+let qsuite =
+  let open QCheck in
+  let field_gen = oneofl small_fields in
+  [
+    Test.make ~name:"field add/sub roundtrip" ~count:500
+      (triple field_gen (int_range 0 1000) (int_range 0 1000))
+      (fun (d, a, b) ->
+        let f = G.create d in
+        let a = a mod d and b = b mod d in
+        G.sub f (G.add f a b) b = a);
+    Test.make ~name:"field mul/div roundtrip" ~count:500
+      (triple field_gen (int_range 0 1000) (int_range 1 1000))
+      (fun (d, a, b) ->
+        let f = G.create d in
+        let a = a mod d and b = 1 + (b mod (d - 1)) in
+        G.div f (G.mul f a b) b = a);
+    Test.make ~name:"frobenius additive in char p" ~count:500
+      (triple field_gen (int_range 0 1000) (int_range 0 1000))
+      (fun (d, a, b) ->
+        let f = G.create d in
+        let p = match Numtheory.is_prime_power d with Some (p, _) -> p | None -> assert false in
+        let a = a mod d and b = b mod d in
+        G.pow f (G.add f a b) p = G.add f (G.pow f a p) (G.pow f b p));
+    Test.make ~name:"poly mul degree adds" ~count:300
+      (pair (list_of_size (Gen.int_range 1 6) (int_range 0 4)) (list_of_size (Gen.int_range 1 6) (int_range 0 4)))
+      (fun (a, b) ->
+        let p = 5 in
+        let fa = P.of_coeffs p a and fb = P.of_coeffs p b in
+        QCheck.assume (not (P.is_zero fa) && not (P.is_zero fb));
+        P.degree (P.mul p fa fb) = P.degree fa + P.degree fb);
+  ]
+
+let () =
+  Alcotest.run "galois"
+    [
+      ( "poly_zp",
+        [
+          Alcotest.test_case "normalize" `Quick test_poly_normalize;
+          Alcotest.test_case "arith" `Quick test_poly_arith;
+          Alcotest.test_case "divmod" `Quick test_poly_divmod;
+          Alcotest.test_case "gcd" `Quick test_poly_gcd;
+          Alcotest.test_case "irreducible/primitive" `Quick test_poly_irreducible;
+          Alcotest.test_case "irreducible counts (Gauss)" `Quick test_poly_count_irreducibles;
+          Alcotest.test_case "primitive counts" `Quick test_poly_count_primitives;
+        ] );
+      ( "gf",
+        [
+          Alcotest.test_case "create" `Quick test_field_create;
+          Alcotest.test_case "axioms" `Quick test_field_axioms;
+          Alcotest.test_case "generator" `Quick test_field_generator;
+          Alcotest.test_case "log" `Quick test_field_log;
+          Alcotest.test_case "GF(4) table (Example 3.2)" `Quick test_gf4_example;
+          Alcotest.test_case "prime subfield" `Quick test_prime_subfield;
+        ] );
+      ( "gf_poly",
+        [
+          Alcotest.test_case "arith" `Quick test_gfpoly_arith;
+          Alcotest.test_case "primitive search" `Quick test_gfpoly_primitive_search;
+          Alcotest.test_case "Example 3.2 polynomial" `Quick test_gfpoly_example_3_2;
+          Alcotest.test_case "Example 3.1 polynomial" `Quick test_gfpoly_example_3_1;
+          Alcotest.test_case "irreducible counts over GF(4)" `Quick test_gfpoly_irreducible_counts;
+        ] );
+      ("properties", List.map (QCheck_alcotest.to_alcotest ~long:false) qsuite);
+    ]

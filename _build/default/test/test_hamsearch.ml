@@ -1,0 +1,215 @@
+(* Tests for the bounded backtracking cycle searcher. *)
+
+module H = Hamsearch.Search
+module D = Graphlib.Digraph
+module C = Graphlib.Cycle
+module W = Debruijn.Word
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let ring n = D.of_edges n (List.init n (fun i -> (i, (i + 1) mod n)))
+
+let test_ring () =
+  (match H.hamiltonian (ring 6) with
+  | H.Found c -> Alcotest.(check (array int)) "the ring itself" [| 0; 1; 2; 3; 4; 5 |] c
+  | _ -> Alcotest.fail "expected HC");
+  (* the only cycle lengths in a directed 6-ring are 6 *)
+  check_bool "no short cycle" true (H.cycle ~length:3 (ring 6) = H.Not_found)
+
+let test_path_has_no_cycle () =
+  let path = D.of_edges 4 [ (0, 1); (1, 2); (2, 3) ] in
+  check_bool "no HC" true (H.hamiltonian path = H.Not_found);
+  check_bool "no cycle at all" true (H.cycle ~length:2 path = H.Not_found)
+
+let test_loop () =
+  let g = D.of_edges 2 [ (0, 0); (0, 1); (1, 0) ] in
+  (match H.cycle ~length:1 g with
+  | H.Found c -> Alcotest.(check (array int)) "loop" [| 0 |] c
+  | _ -> Alcotest.fail "expected loop");
+  match H.cycle ~length:2 g with
+  | H.Found c -> check_bool "2-cycle" true (C.is_cycle g c)
+  | _ -> Alcotest.fail "expected 2-cycle"
+
+let test_avoid_nodes () =
+  (* complete digraph on 4 nodes; avoid node 3 -> HC on {0,1,2} *)
+  let g =
+    D.of_successors 4 (fun v -> List.filter (fun w -> w <> v) [ 0; 1; 2; 3 ])
+  in
+  match H.hamiltonian ~avoid_nodes:(fun v -> v = 3) g with
+  | H.Found c ->
+      check_int "3 nodes" 3 (Array.length c);
+      check_bool "avoids" true (C.avoids_nodes c (fun v -> v = 3));
+      check_bool "cycle" true (C.is_cycle g c)
+  | _ -> Alcotest.fail "expected HC on the sub-complete graph"
+
+let test_avoid_edges () =
+  (* a 4-ring with a chord: avoiding a ring edge forces using the chord
+     path, which breaks Hamiltonicity *)
+  let g = D.of_edges 4 [ (0, 1); (1, 2); (2, 3); (3, 0); (0, 2) ] in
+  check_bool "with all edges" true
+    (match H.hamiltonian g with H.Found _ -> true | _ -> false);
+  check_bool "avoiding (1,2) kills it" true
+    (H.hamiltonian ~avoid_edges:(fun e -> e = (1, 2)) g = H.Not_found)
+
+let test_budget () =
+  (* a tiny budget must report Exhausted, not a wrong answer *)
+  let p = W.params ~d:2 ~n:4 in
+  let g = Debruijn.Graph.b p in
+  check_bool "exhausted" true (H.hamiltonian ~budget:5 g = H.Exhausted)
+
+let test_de_bruijn_hamiltonian () =
+  List.iter
+    (fun (d, n) ->
+      let p = W.params ~d ~n in
+      let g = Debruijn.Graph.b p in
+      match H.hamiltonian g with
+      | H.Found c -> check_bool "valid HC" true (C.is_hamiltonian g c)
+      | _ -> Alcotest.fail (Printf.sprintf "B(%d,%d) should have an HC" d n))
+    [ (2, 3); (2, 4); (3, 2); (3, 3); (4, 2) ]
+
+let test_exact_lengths () =
+  (* B(2,4) is pancyclic: every length from 1 to 16. *)
+  let p = W.params ~d:2 ~n:4 in
+  let g = Debruijn.Graph.b p in
+  for t = 1 to 16 do
+    match H.cycle ~length:t g with
+    | H.Found c ->
+        check_int "exact length" t (Array.length c);
+        check_bool "valid" true (C.is_cycle g c)
+    | _ -> Alcotest.fail (Printf.sprintf "no %d-cycle in B(2,4)" t)
+  done
+
+let complete_digraph n =
+  D.of_successors n (fun v -> List.filter (fun w -> w <> v) (List.init n Fun.id))
+
+let test_tillson () =
+  (* Tillson's theorem: the complete digraph K*_n decomposes into n−1
+     Hamiltonian cycles iff n ∉ {4, 6}.  The searcher must prove the
+     n = 4 exception exhaustively and construct the n = 3, 5
+     decompositions. *)
+  (match H.disjoint_hamiltonian_cycles ~k:3 (complete_digraph 4) with
+  | None, false -> ()  (* conclusive NO *)
+  | None, true -> Alcotest.fail "K*_4 search should not exhaust"
+  | Some _, _ -> Alcotest.fail "K*_4 does not decompose (Tillson)");
+  (match H.disjoint_hamiltonian_cycles ~k:2 (complete_digraph 3) with
+  | Some cs, _ ->
+      check_int "2 cycles" 2 (List.length cs);
+      check_bool "disjoint" true (C.pairwise_edge_disjoint cs)
+  | None, _ -> Alcotest.fail "K*_3 decomposes");
+  match H.disjoint_hamiltonian_cycles ~budget:5_000_000 ~k:4 (complete_digraph 5) with
+  | Some cs, _ ->
+      check_int "4 cycles" 4 (List.length cs);
+      check_bool "disjoint" true (C.pairwise_edge_disjoint cs);
+      check_bool "all hamiltonian" true
+        (List.for_all (C.is_hamiltonian (complete_digraph 5)) cs)
+  | None, _ -> Alcotest.fail "K*_5 decomposes (Tillson)"
+
+let test_disjoint_impossible () =
+  (* a directed 4-ring has exactly one HC, so k=2 is impossible —
+     and conclusively so (exhausted must be false) *)
+  match H.disjoint_hamiltonian_cycles ~k:2 (ring 4) with
+  | None, false -> ()
+  | None, true -> Alcotest.fail "should not exhaust on a 4-ring"
+  | Some _, _ -> Alcotest.fail "4-ring cannot have 2 disjoint HCs"
+
+let test_disjoint_matches_construction () =
+  (* the searcher should find at least psi(d) disjoint HCs wherever the
+     Chapter 3 construction does *)
+  List.iter
+    (fun (d, n) ->
+      let p = W.params ~d ~n in
+      let g = Debruijn.Graph.b p in
+      let k = Dhc.Psi.psi d in
+      match H.disjoint_hamiltonian_cycles ~budget:5_000_000 ~k g with
+      | Some cs, _ ->
+          check_int "k cycles" k (List.length cs);
+          check_bool "disjoint" true (C.pairwise_edge_disjoint cs)
+      | None, _ -> Alcotest.fail (Printf.sprintf "searcher lost to construction on B(%d,%d)" d n))
+    [ (2, 3); (3, 2); (4, 2); (5, 2) ]
+
+let test_open_q2_witnesses () =
+  (* the Chapter 5 empirical wins: B(3,2) and B(3,3) admit d−1 = 2
+     disjoint HCs even though psi(3) = 1 *)
+  List.iter
+    (fun (d, n, budget) ->
+      let p = W.params ~d ~n in
+      let g = Debruijn.Graph.b p in
+      match H.disjoint_hamiltonian_cycles ~budget ~k:2 g with
+      | Some cs, _ ->
+          check_bool "verified" true
+            (C.pairwise_edge_disjoint cs && List.for_all (C.is_hamiltonian g) cs)
+      | None, _ -> Alcotest.fail "expected 2 disjoint HCs")
+    [ (3, 2, 1_000_000); (3, 3, 5_000_000) ]
+
+let test_best_theorem_counts () =
+  (* BEST-theorem corollary: B(d,n) has exactly (d!)^(d^{n−1}) / dⁿ
+     Hamiltonian cycles (i.e. De Bruijn sequences, up to rotation). *)
+  let factorial k = List.fold_left ( * ) 1 (List.init k (fun i -> i + 1)) in
+  List.iter
+    (fun (d, n, budget) ->
+      let p = W.params ~d ~n in
+      let g = Debruijn.Graph.b p in
+      let expected =
+        Numtheory.pow (factorial d) (Numtheory.pow d (n - 1)) / p.W.size
+      in
+      match H.count_cycles ~budget g with
+      | Some got -> check_int (Printf.sprintf "B(%d,%d)" d n) expected got
+      | None -> Alcotest.fail "count should complete within budget")
+    [ (2, 3, 100_000); (2, 4, 500_000); (2, 5, 5_000_000); (3, 2, 100_000);
+      (4, 2, 10_000_000) ]
+
+let test_count_zero_and_budget () =
+  check_bool "path has no cycles" true (H.count_cycles (D.of_edges 3 [ (0, 1); (1, 2) ]) = Some 0);
+  check_bool "4-ring has one HC" true (H.count_cycles (ring 4) = Some 1);
+  check_bool "tiny budget gives None" true
+    (H.count_cycles ~budget:3 (Debruijn.Graph.b (W.params ~d:2 ~n:4)) = None)
+
+let qsuite =
+  let open QCheck in
+  [
+    Test.make ~name:"found cycles are always valid" ~count:100
+      (pair (oneofl [ (2, 3); (2, 4); (3, 2); (3, 3) ]) (int_range 1 30))
+      (fun ((d, n), t) ->
+        let p = W.params ~d ~n in
+        let g = Debruijn.Graph.b p in
+        match H.cycle ~budget:500_000 ~length:t g with
+        | H.Found c -> Array.length c = t && C.is_cycle g c
+        | H.Not_found -> t > p.W.size
+        | H.Exhausted -> true);
+    Test.make ~name:"avoid constraints are honored" ~count:80
+      (pair (oneofl [ (2, 4); (3, 3) ]) (int_range 0 100))
+      (fun ((d, n), seed) ->
+        let p = W.params ~d ~n in
+        let g = Debruijn.Graph.b p in
+        let bad_node = seed mod p.W.size in
+        match H.hamiltonian ~budget:500_000 ~avoid_nodes:(fun v -> v = bad_node) g with
+        | H.Found c -> C.avoids_nodes c (fun v -> v = bad_node)
+        | _ -> true);
+  ]
+
+let () =
+  Alcotest.run "hamsearch"
+    [
+      ( "cycle",
+        [
+          Alcotest.test_case "ring" `Quick test_ring;
+          Alcotest.test_case "path" `Quick test_path_has_no_cycle;
+          Alcotest.test_case "loop and 2-cycle" `Quick test_loop;
+          Alcotest.test_case "avoid nodes" `Quick test_avoid_nodes;
+          Alcotest.test_case "avoid edges" `Quick test_avoid_edges;
+          Alcotest.test_case "budget" `Quick test_budget;
+          Alcotest.test_case "De Bruijn HCs" `Quick test_de_bruijn_hamiltonian;
+          Alcotest.test_case "pancyclic lengths" `Quick test_exact_lengths;
+          Alcotest.test_case "BEST theorem counts" `Quick test_best_theorem_counts;
+          Alcotest.test_case "count edge cases" `Quick test_count_zero_and_budget;
+        ] );
+      ( "disjoint",
+        [
+          Alcotest.test_case "Tillson theorem (K*_3,4,5)" `Quick test_tillson;
+          Alcotest.test_case "impossible is conclusive" `Quick test_disjoint_impossible;
+          Alcotest.test_case "matches the construction" `Quick test_disjoint_matches_construction;
+          Alcotest.test_case "open question 2 witnesses" `Quick test_open_q2_witnesses;
+        ] );
+      ("properties", List.map (QCheck_alcotest.to_alcotest ~long:false) qsuite);
+    ]

@@ -1,0 +1,156 @@
+(* Tests for the hypercube baseline. *)
+
+module Cu = Hypercube.Cube
+module R = Hypercube.Ring
+module C = Graphlib.Cycle
+module DG = Graphlib.Digraph
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let test_graph () =
+  let g = Cu.graph 4 in
+  check_int "16 nodes" 16 (DG.n_nodes g);
+  check_int "directed edges" (2 * Cu.n_edges_undirected 4) (DG.n_edges g);
+  for v = 0 to 15 do
+    check_int "degree n" 4 (DG.out_degree g v)
+  done;
+  check_bool "symmetric" true (DG.mem_edge g 3 7 && DG.mem_edge g 7 3);
+  check_bool "no far edges" false (DG.mem_edge g 0 3)
+
+let test_edge_count_comparison () =
+  (* The thesis's Chapter 2 aside: Q₁₂ has 24,576 undirected edges while
+     the 4096-node De Bruijn graph has 16,384 directed edges. *)
+  check_int "Q12 edges" 24576 (Cu.n_edges_undirected 12);
+  let p = Debruijn.Word.params ~d:4 ~n:6 in
+  check_int "B(4,6) edges" 16384 (DG.n_edges (Debruijn.Graph.b p))
+
+let test_gray_cycle () =
+  List.iter
+    (fun n ->
+      let c = Cu.gray_cycle n in
+      check_int "length" (1 lsl n) (Array.length c);
+      check_bool "hamiltonian" true (C.is_hamiltonian (Cu.graph n) c))
+    [ 2; 3; 4; 5; 8 ]
+
+let test_gray_cycle_through () =
+  let n = 5 in
+  let g = Cu.graph n in
+  List.iter
+    (fun (u, v) ->
+      let c = Cu.gray_cycle_through ~n (u, v) in
+      check_bool "hamiltonian" true (C.is_hamiltonian g c);
+      (* the pair appears consecutively somewhere *)
+      let ok = List.exists (fun (a, b) -> (a = u && b = v) || (a = v && b = u)) (C.edges_of_cycle c) in
+      check_bool "contains edge" true ok)
+    [ (0, 1); (5, 7); (12, 28); (31, 30); (16, 0) ];
+  Alcotest.check_raises "not an edge"
+    (Invalid_argument "Cube.gray_cycle_through: not a hypercube edge") (fun () ->
+      ignore (Cu.gray_cycle_through ~n (0, 3)))
+
+let test_ring_no_faults () =
+  List.iter
+    (fun n ->
+      match R.embed ~n ~faults:[] with
+      | None -> Alcotest.fail "expected gray cycle"
+      | Some c ->
+          check_int "full length" (1 lsl n) (Array.length c);
+          check_bool "valid" true (R.verify ~n ~faults:[] c))
+    [ 2; 3; 5; 8 ]
+
+let test_ring_single_fault_exhaustive () =
+  List.iter
+    (fun n ->
+      for fault = 0 to (1 lsl n) - 1 do
+        match R.embed ~n ~faults:[ fault ] with
+        | None -> Alcotest.fail (Printf.sprintf "n=%d fault=%d" n fault)
+        | Some c ->
+            check_bool "valid" true (R.verify ~n ~faults:[ fault ] c);
+            check_bool "length >= 2^n - 2" true
+              (Array.length c >= R.target_length ~n ~f:1)
+      done)
+    [ 3; 4; 5; 6 ]
+
+let test_ring_random_faults () =
+  let rng = Util.Rng.create 71 in
+  List.iter
+    (fun n ->
+      for _ = 1 to 50 do
+        let f = 1 + Util.Rng.int rng (n - 2) in
+        let faults = Util.Rng.sample_distinct rng ~k:f ~bound:(1 lsl n) in
+        match R.embed ~n ~faults with
+        | None -> Alcotest.fail (Printf.sprintf "n=%d f=%d failed" n f)
+        | Some c ->
+            check_bool "valid" true (R.verify ~n ~faults c);
+            check_bool "meets 2^n - 2f" true (Array.length c >= R.target_length ~n ~f)
+      done)
+    [ 4; 5; 6; 8; 10 ]
+
+let test_thesis_comparison_instance () =
+  (* 4096-node hypercube with 2 faults: fault-free cycle of length
+     4092. *)
+  let faults = [ 0b000011110000; 0b101010101010 ] in
+  match R.embed ~n:12 ~faults with
+  | None -> Alcotest.fail "Q12 embedding failed"
+  | Some c ->
+      check_bool "valid" true (R.verify ~n:12 ~faults c);
+      check_int "length 4092" 4092 (Array.length c)
+
+let test_adjacent_faults () =
+  (* Adjacent fault pairs are a classic adversarial case for the merge:
+     exhaust all adjacent pairs in Q5. *)
+  let n = 5 in
+  for u = 0 to (1 lsl n) - 1 do
+    List.iter
+      (fun v ->
+        if v > u then begin
+          let faults = [ u; v ] in
+          match R.embed ~n ~faults with
+          | None -> Alcotest.fail (Printf.sprintf "adjacent pair %d,%d" u v)
+          | Some c ->
+              check_bool "valid" true (R.verify ~n ~faults c);
+              check_bool "length" true (Array.length c >= R.target_length ~n ~f:2)
+        end)
+      (Cu.neighbors ~n u)
+  done
+
+let test_verify_rejects () =
+  check_bool "wrong edge" false (R.verify ~n:3 ~faults:[] [| 0; 3; 1 |]);
+  check_bool "fault on cycle" false (R.verify ~n:3 ~faults:[ 1 ] [| 0; 1; 3; 2 |]);
+  check_bool "good cycle" true (R.verify ~n:3 ~faults:[] [| 0; 1; 3; 2 |])
+
+let qsuite =
+  let open QCheck in
+  [
+    Test.make ~name:"ring embedding meets the WC92 bound" ~count:80
+      (pair (int_range 4 9) (int_range 0 1000000))
+      (fun (n, seed) ->
+        let rng = Util.Rng.create seed in
+        let f = 1 + Util.Rng.int rng (n - 2) in
+        let faults = Util.Rng.sample_distinct rng ~k:f ~bound:(1 lsl n) in
+        match R.embed ~n ~faults with
+        | None -> false
+        | Some c -> R.verify ~n ~faults c && Array.length c >= R.target_length ~n ~f);
+  ]
+
+let () =
+  Alcotest.run "hypercube"
+    [
+      ( "cube",
+        [
+          Alcotest.test_case "graph" `Quick test_graph;
+          Alcotest.test_case "edge-count comparison" `Quick test_edge_count_comparison;
+          Alcotest.test_case "gray cycle" `Quick test_gray_cycle;
+          Alcotest.test_case "gray cycle through edge" `Quick test_gray_cycle_through;
+        ] );
+      ( "ring",
+        [
+          Alcotest.test_case "no faults" `Quick test_ring_no_faults;
+          Alcotest.test_case "single fault (exhaustive)" `Quick test_ring_single_fault_exhaustive;
+          Alcotest.test_case "random faults" `Quick test_ring_random_faults;
+          Alcotest.test_case "thesis comparison (Q12)" `Quick test_thesis_comparison_instance;
+          Alcotest.test_case "adjacent fault pairs" `Quick test_adjacent_faults;
+          Alcotest.test_case "verify rejects" `Quick test_verify_rejects;
+        ] );
+      ("properties", List.map (QCheck_alcotest.to_alcotest ~long:false) qsuite);
+    ]

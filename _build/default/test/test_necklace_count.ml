@@ -1,0 +1,202 @@
+(* Tests for Chapter 4: necklace counting. *)
+
+module NC = Necklace_count.Count
+
+let check_int = Alcotest.(check int)
+
+(* ------------------------------------------------------------------ *)
+(* The worked examples of §4.3 *)
+
+let test_thesis_examples () =
+  check_int "necklaces of length 6 in B(2,12)" 9 (NC.of_length ~d:2 ~n:12 ~t:6);
+  check_int "total necklaces in B(2,12)" 352 (NC.total ~d:2 ~n:12);
+  check_int "weight-4 length-6 necklaces in B(2,12)" 2
+    (NC.of_weight_and_length ~d:2 ~n:12 ~k:4 ~t:6);
+  check_int "weight-4 necklaces in B(2,12)" 43 (NC.of_weight ~d:2 ~n:12 ~k:4);
+  check_int "weight-4 length-4 necklaces in B(3,4)" 4
+    (NC.of_weight_and_length ~d:3 ~n:4 ~k:4 ~t:4)
+
+let test_intermediate_arithmetic () =
+  (* (1/6)[2μ(6)+2²μ(3)+2³μ(2)+2⁶μ(1)] = (2−4−8+64)/6 = 9 and
+     (1/12)[2φ(12)+2²φ(6)+2³φ(4)+2⁴φ(3)+2⁶φ(2)+2¹²φ(1)]
+     = (8+8+16+32+64+4096)/12 = 352 — the thesis's intermediate sums. *)
+  check_int "length-6 numerator" 54 (2 - 4 - 8 + 64);
+  check_int "total numerator" 4224 (8 + 8 + 16 + 32 + 64 + 4096);
+  (* c₃(4,4) = 19 in the B(3,4) example *)
+  check_int "c3(4,4)" 19 (NC.tuples_of_weight ~d:3 ~n:4 ~k:4)
+
+(* ------------------------------------------------------------------ *)
+(* closed forms vs exhaustive enumeration *)
+
+let small_cases = [ (2, 4); (2, 6); (2, 8); (2, 12); (3, 3); (3, 4); (3, 6); (4, 3); (4, 4); (5, 2); (5, 4); (6, 2) ]
+
+let test_of_length_vs_enumeration () =
+  List.iter
+    (fun (d, n) ->
+      List.iter
+        (fun t ->
+          check_int
+            (Printf.sprintf "d=%d n=%d t=%d" d n t)
+            (NC.enumerate_of_length ~d ~n ~t)
+            (NC.of_length ~d ~n ~t))
+        (Numtheory.divisors n))
+    small_cases
+
+let test_total_vs_enumeration () =
+  List.iter
+    (fun (d, n) ->
+      check_int (Printf.sprintf "d=%d n=%d" d n) (NC.enumerate_total ~d ~n)
+        (NC.total ~d ~n))
+    small_cases
+
+let test_weight_vs_enumeration () =
+  List.iter
+    (fun (d, n) ->
+      for k = 0 to n * (d - 1) do
+        check_int
+          (Printf.sprintf "d=%d n=%d k=%d" d n k)
+          (NC.enumerate_of_weight ~d ~n ~k)
+          (NC.of_weight ~d ~n ~k);
+        List.iter
+          (fun t ->
+            check_int
+              (Printf.sprintf "d=%d n=%d k=%d t=%d" d n k t)
+              (NC.enumerate_of_weight_and_length ~d ~n ~k ~t)
+              (NC.of_weight_and_length ~d ~n ~k ~t))
+          (Numtheory.divisors n)
+      done)
+    [ (2, 4); (2, 6); (2, 12); (3, 4); (3, 6); (4, 3); (5, 4) ]
+
+let test_type_vs_enumeration () =
+  (* all types of B(3,4) and B(2,6) *)
+  let all_types d n =
+    let rec go d remaining =
+      if d = 1 then [ [ remaining ] ]
+      else
+        List.concat_map
+          (fun k -> List.map (fun rest -> k :: rest) (go (d - 1) (remaining - k)))
+          (List.init (remaining + 1) Fun.id)
+    in
+    go d n
+  in
+  List.iter
+    (fun (d, n) ->
+      List.iter
+        (fun counts ->
+          check_int
+            (Printf.sprintf "type %s" (String.concat "," (List.map string_of_int counts)))
+            (NC.enumerate_of_type ~d ~n ~counts)
+            (NC.of_type ~n ~counts))
+        (all_types d n))
+    [ (2, 6); (3, 4); (4, 3) ]
+
+let test_type_by_length () =
+  (* [0101] has type [2;2] in B(2,4): one necklace of length 2. *)
+  check_int "alternating type length 2" 1 (NC.of_type_and_length ~n:4 ~counts:[ 2; 2 ] ~t:2);
+  check_int "alternating type length 4" 1 (NC.of_type_and_length ~n:4 ~counts:[ 2; 2 ] ~t:4);
+  check_int "total [2;2] necklaces" 2 (NC.of_type ~n:4 ~counts:[ 2; 2 ])
+
+(* ------------------------------------------------------------------ *)
+(* structural identities *)
+
+let test_weight_counts_sum_to_total () =
+  (* Σ_k (necklaces of weight k) = total necklaces. *)
+  List.iter
+    (fun (d, n) ->
+      let sum = ref 0 in
+      for k = 0 to n * (d - 1) do
+        sum := !sum + NC.of_weight ~d ~n ~k
+      done;
+      check_int (Printf.sprintf "d=%d n=%d" d n) (NC.total ~d ~n) !sum)
+    small_cases
+
+let test_length_counts_weighted_sum () =
+  (* sum over divisors t of n of t * (necklaces of length t) = d^n. *)
+  List.iter
+    (fun (d, n) ->
+      let sum =
+        Numtheory.sum_over_divisors n (fun t -> t * NC.of_length ~d ~n ~t)
+      in
+      check_int (Printf.sprintf "d=%d n=%d" d n) (Numtheory.pow d n) sum)
+    small_cases
+
+let test_tuples_of_weight_identities () =
+  (* Σ_k c_d(n,k) = dⁿ, and symmetry c_d(n,k) = c_d(n, n(d−1)−k). *)
+  List.iter
+    (fun (d, n) ->
+      let sum = ref 0 in
+      for k = 0 to n * (d - 1) do
+        sum := !sum + NC.tuples_of_weight ~d ~n ~k;
+        check_int "symmetry" (NC.tuples_of_weight ~d ~n ~k)
+          (NC.tuples_of_weight ~d ~n ~k:((n * (d - 1)) - k))
+      done;
+      check_int "sum" (Numtheory.pow d n) !sum)
+    [ (2, 5); (3, 4); (4, 3); (5, 3); (6, 2) ]
+
+let test_binary_weight_is_binomial () =
+  for n = 1 to 12 do
+    for k = 0 to n do
+      check_int "c2 = binomial" (Numtheory.binomial n k) (NC.tuples_of_weight ~d:2 ~n ~k)
+    done
+  done
+
+let test_mac_mahon_agreement () =
+  (* Total necklace count agrees with the classical MacMahon formula
+     through a second route: Burnside over all rotations. *)
+  List.iter
+    (fun (d, n) ->
+      let burnside =
+        List.init n (fun i -> Numtheory.pow d (Numtheory.gcd (i + 1) n))
+        |> List.fold_left ( + ) 0
+      in
+      check_int (Printf.sprintf "d=%d n=%d" d n) (burnside / n) (NC.total ~d ~n))
+    small_cases
+
+(* ------------------------------------------------------------------ *)
+(* properties *)
+
+let qsuite =
+  let open QCheck in
+  [
+    Test.make ~name:"of_length zero when t does not divide n" ~count:200
+      (triple (int_range 2 5) (int_range 2 10) (int_range 1 10))
+      (fun (d, n, t) ->
+        QCheck.assume (n mod t <> 0);
+        NC.of_length ~d ~n ~t = 0);
+    Test.make ~name:"counts are non-negative" ~count:200
+      (triple (int_range 2 5) (int_range 2 8) (int_range 0 30))
+      (fun (d, n, k) -> NC.of_weight ~d ~n ~k >= 0 && NC.tuples_of_weight ~d ~n ~k >= 0);
+    Test.make ~name:"weight gamma consistency on random cases" ~count:100
+      (pair (int_range 2 4) (int_range 2 6))
+      (fun (d, n) ->
+        List.for_all
+          (fun k -> NC.of_weight ~d ~n ~k = NC.enumerate_of_weight ~d ~n ~k)
+          (List.init ((n * (d - 1)) + 1) Fun.id));
+  ]
+
+let () =
+  Alcotest.run "necklace_count"
+    [
+      ( "thesis-examples",
+        [
+          Alcotest.test_case "section 4.3 values" `Quick test_thesis_examples;
+          Alcotest.test_case "intermediate arithmetic" `Quick test_intermediate_arithmetic;
+        ] );
+      ( "vs-enumeration",
+        [
+          Alcotest.test_case "by length" `Quick test_of_length_vs_enumeration;
+          Alcotest.test_case "total" `Quick test_total_vs_enumeration;
+          Alcotest.test_case "by weight" `Quick test_weight_vs_enumeration;
+          Alcotest.test_case "by type" `Quick test_type_vs_enumeration;
+          Alcotest.test_case "type by length" `Quick test_type_by_length;
+        ] );
+      ( "identities",
+        [
+          Alcotest.test_case "weights sum to total" `Quick test_weight_counts_sum_to_total;
+          Alcotest.test_case "lengths weighted-sum to d^n" `Quick test_length_counts_weighted_sum;
+          Alcotest.test_case "c_d identities" `Quick test_tuples_of_weight_identities;
+          Alcotest.test_case "binary weight = binomial" `Quick test_binary_weight_is_binomial;
+          Alcotest.test_case "MacMahon agreement" `Quick test_mac_mahon_agreement;
+        ] );
+      ("properties", List.map (QCheck_alcotest.to_alcotest ~long:false) qsuite);
+    ]

@@ -1,0 +1,179 @@
+(* Tests for the synchronous message-passing simulator. *)
+
+module D = Graphlib.Digraph
+module T = Graphlib.Traversal
+module S = Netsim.Simulator
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let no_faults _ = false
+
+(* A flooding protocol computing BFS distance from a root: state is the
+   best-known distance (max_int = unknown); the root seeds at round 0
+   and every improvement is re-broadcast to all out-neighbors. *)
+let flood_protocol root g : (int, int) S.protocol =
+  {
+    initial = (fun v -> if v = root then 0 else max_int);
+    step =
+      (fun ~round v state inbox ->
+        let best = List.fold_left (fun acc (_, d) -> min acc (d + 1)) state inbox in
+        let improved = best < state in
+        let should_broadcast = improved || (round = 0 && v = root) in
+        let sends =
+          if should_broadcast then List.map (fun w -> (w, best)) (D.succs g v) else []
+        in
+        (best, sends));
+    wants_step = (fun _ -> false);
+  }
+
+let ring n = D.of_edges n (List.init n (fun i -> (i, (i + 1) mod n)))
+
+let test_flood_ring () =
+  let g = ring 8 in
+  let r = S.run ~topology:g ~faulty:no_faults (flood_protocol 0 g) in
+  Alcotest.(check (array int)) "distances" [| 0; 1; 2; 3; 4; 5; 6; 7 |] r.S.states;
+  (* Node 7 improves in round 7 (= eccentricity) and re-broadcasts; its
+     message is delivered back to node 0 in round 8, which is therefore
+     the last round with activity. *)
+  check_int "rounds = eccentricity + 1" 8 r.S.rounds
+
+let test_flood_matches_bfs () =
+  (* Random-ish graph, compare protocol result with centralized BFS. *)
+  let edges =
+    [ (0, 1); (0, 2); (1, 3); (2, 3); (3, 4); (4, 0); (2, 5); (5, 6); (6, 2); (4, 7); (7, 8); (8, 9); (9, 4); (1, 9) ]
+  in
+  let g = D.of_edges 10 edges in
+  let r = S.run ~topology:g ~faulty:no_faults (flood_protocol 0 g) in
+  let expected = T.bfs_dist g 0 in
+  Array.iteri
+    (fun v d ->
+      let got = if r.S.states.(v) = max_int then -1 else r.S.states.(v) in
+      check_int (Printf.sprintf "node %d" v) d got)
+    expected
+
+let test_flood_with_fault () =
+  (* Killing node 3 on a line 0->1->2->3->4 stops the flood at 2. *)
+  let g = D.of_edges 5 [ (0, 1); (1, 2); (2, 3); (3, 4) ] in
+  let r = S.run ~topology:g ~faulty:(fun v -> v = 3) (flood_protocol 0 g) in
+  check_int "node 2 reached" 2 r.S.states.(2);
+  check_bool "node 4 not reached" true (r.S.states.(4) = max_int);
+  (* Faulty node's state stays initial. *)
+  check_bool "faulty state untouched" true (r.S.states.(3) = max_int)
+
+let test_faulty_source_sends_nothing () =
+  let g = ring 4 in
+  let r = S.run ~topology:g ~faulty:(fun v -> v = 0) (flood_protocol 0 g) in
+  check_bool "nobody reached" true (Array.for_all (fun s -> s = max_int || s = 0) r.S.states);
+  check_int "no deliveries" 0 r.S.delivered
+
+let test_illegal_send () =
+  let g = D.of_edges 3 [ (0, 1) ] in
+  let proto : (unit, int) S.protocol =
+    {
+      initial = (fun _ -> ());
+      step = (fun ~round:_ v () _ -> if v = 0 then ((), [ (2, 0) ]) else ((), []));
+      wants_step = (fun _ -> false);
+    }
+  in
+  check_bool "raises" true
+    (match S.run ~topology:g ~faulty:no_faults proto with
+    | exception S.Illegal_send { src = 0; dst = 2; _ } -> true
+    | _ -> false)
+
+let test_divergence_guard () =
+  let g = ring 3 in
+  (* A protocol that always wants to step never quiesces. *)
+  let proto : (unit, int) S.protocol =
+    {
+      initial = (fun _ -> ());
+      step = (fun ~round:_ _ () _ -> ((), []));
+      wants_step = (fun _ -> true);
+    }
+  in
+  check_bool "did not converge" true
+    (match S.run ~max_rounds:10 ~topology:g ~faulty:no_faults proto with
+    | exception S.Did_not_converge 10 -> true
+    | _ -> false)
+
+let test_message_accounting () =
+  (* Token passing once around a ring of 5: exactly 5 deliveries. *)
+  let g = ring 5 in
+  let proto : (bool, unit) S.protocol =
+    {
+      initial = (fun _ -> false);
+      step =
+        (fun ~round v seen inbox ->
+          if round = 0 && v = 0 then (true, [ (1, ()) ])
+          else
+            match inbox with
+            | [] -> (seen, [])
+            | _ :: _ ->
+                if seen then (seen, [])  (* token returned to the start *)
+                else (true, [ ((v + 1) mod 5, ()) ]));
+      wants_step = (fun _ -> false);
+    }
+  in
+  let r = S.run ~topology:g ~faulty:no_faults proto in
+  check_int "deliveries" 5 r.S.delivered;
+  check_int "max inflight" 1 r.S.max_inflight;
+  check_int "port load 1 (single-port compatible)" 1 r.S.max_port_load;
+  check_bool "all saw token" true (Array.for_all Fun.id r.S.states)
+
+let test_multiport () =
+  (* A star center sending to all leaves in one round: multi-port
+     semantics deliver all k messages in the same round. *)
+  let k = 6 in
+  let g = D.of_edges (k + 1) (List.init k (fun i -> (0, i + 1))) in
+  let proto : (bool, unit) S.protocol =
+    {
+      initial = (fun v -> v = 0);
+      step =
+        (fun ~round v seen inbox ->
+          if round = 0 && v = 0 then (true, List.init k (fun i -> (i + 1, ())))
+          else if inbox <> [] then (true, [])
+          else (seen, []));
+      wants_step = (fun _ -> false);
+    }
+  in
+  let r = S.run ~topology:g ~faulty:no_faults proto in
+  check_bool "all leaves got it" true (Array.for_all Fun.id r.S.states);
+  check_int "one round of delivery" 1 r.S.rounds;
+  check_int "k messages in one round" k r.S.max_inflight;
+  (* the star center used k ports at once; under single-port hardware
+     the same protocol would need k rounds (the thesis's factor-d) *)
+  check_int "port load" k r.S.max_port_load
+
+let test_inbox_sorted_by_source () =
+  (* Node 3 receives from 0,1,2 simultaneously; inbox must be sorted. *)
+  let g = D.of_edges 4 [ (0, 3); (1, 3); (2, 3) ] in
+  let proto : (int list, int) S.protocol =
+    {
+      initial = (fun _ -> []);
+      step =
+        (fun ~round v state inbox ->
+          if round = 0 && v < 3 then (state, [ (3, v * 10) ])
+          else if inbox <> [] then (List.map fst inbox, [])
+          else (state, []));
+      wants_step = (fun _ -> false);
+    }
+  in
+  let r = S.run ~topology:g ~faulty:no_faults proto in
+  Alcotest.(check (list int)) "sources in order" [ 0; 1; 2 ] r.S.states.(3)
+
+let () =
+  Alcotest.run "netsim"
+    [
+      ( "simulator",
+        [
+          Alcotest.test_case "flood on ring" `Quick test_flood_ring;
+          Alcotest.test_case "flood matches BFS" `Quick test_flood_matches_bfs;
+          Alcotest.test_case "fault blocks flood" `Quick test_flood_with_fault;
+          Alcotest.test_case "faulty source is silent" `Quick test_faulty_source_sends_nothing;
+          Alcotest.test_case "illegal send" `Quick test_illegal_send;
+          Alcotest.test_case "divergence guard" `Quick test_divergence_guard;
+          Alcotest.test_case "message accounting" `Quick test_message_accounting;
+          Alcotest.test_case "multi-port star" `Quick test_multiport;
+          Alcotest.test_case "inbox sorted" `Quick test_inbox_sorted_by_source;
+        ] );
+    ]

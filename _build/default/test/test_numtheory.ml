@@ -1,0 +1,248 @@
+(* Tests for the number-theory substrate. *)
+
+module N = Numtheory
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+(* ------------------------------------------------------------------ *)
+(* gcd / lcm / pow *)
+
+let test_gcd_basic () =
+  check_int "gcd 12 18" 6 (N.gcd 12 18);
+  check_int "gcd 0 0" 0 (N.gcd 0 0);
+  check_int "gcd 0 7" 7 (N.gcd 0 7);
+  check_int "gcd 7 0" 7 (N.gcd 7 0);
+  check_int "gcd 1 999" 1 (N.gcd 1 999);
+  check_int "gcd negative" 6 (N.gcd (-12) 18);
+  check_int "gcd both negative" 6 (N.gcd (-12) (-18));
+  check_int "gcd coprime" 1 (N.gcd 35 64)
+
+let test_lcm_basic () =
+  check_int "lcm 4 6" 12 (N.lcm 4 6);
+  check_int "lcm 0 5" 0 (N.lcm 0 5);
+  check_int "lcm 7 7" 7 (N.lcm 7 7);
+  check_int "lcm coprime" 15 (N.lcm 3 5);
+  (* The butterfly Φ-map length: LCM(k,n). *)
+  check_int "lcm 4 3 (Lemma 3.9 example)" 12 (N.lcm 4 3)
+
+let test_pow () =
+  check_int "2^10" 1024 (N.pow 2 10);
+  check_int "x^0" 1 (N.pow 99 0);
+  check_int "0^0" 1 (N.pow 0 0);
+  check_int "3^7" 2187 (N.pow 3 7);
+  Alcotest.check_raises "negative exponent" (Invalid_argument "Numtheory.pow: negative exponent")
+    (fun () -> ignore (N.pow 2 (-1)))
+
+let test_pow_mod () =
+  check_int "2^10 mod 1000" 24 (N.pow_mod 2 10 1000);
+  check_int "fermat 3^(p-1) mod p" 1 (N.pow_mod 3 12 13);
+  check_int "mod 1" 0 (N.pow_mod 5 3 1);
+  check_int "negative base" (N.pow_mod 4 3 7) (N.pow_mod (-3) 3 7)
+
+(* ------------------------------------------------------------------ *)
+(* primes / factorization *)
+
+let test_is_prime () =
+  let primes = [ 2; 3; 5; 7; 11; 13; 97; 101; 7919 ] in
+  List.iter (fun p -> check_bool (string_of_int p) true (N.is_prime p)) primes;
+  let composites = [ -7; 0; 1; 4; 9; 15; 91; 1001; 7917 ] in
+  List.iter (fun c -> check_bool (string_of_int c) false (N.is_prime c)) composites
+
+let test_factorize () =
+  Alcotest.(check (list (pair int int))) "12" [ (2, 2); (3, 1) ] (N.factorize 12);
+  Alcotest.(check (list (pair int int))) "1" [] (N.factorize 1);
+  Alcotest.(check (list (pair int int))) "prime" [ (97, 1) ] (N.factorize 97);
+  Alcotest.(check (list (pair int int))) "360" [ (2, 3); (3, 2); (5, 1) ] (N.factorize 360);
+  Alcotest.(check (list (pair int int))) "2^20-1" [ (3, 1); (5, 2); (11, 1); (31, 1); (41, 1) ]
+    (N.factorize (N.pow 2 20 - 1))
+
+let test_divisors () =
+  Alcotest.(check (list int)) "12" [ 1; 2; 3; 4; 6; 12 ] (N.divisors 12);
+  Alcotest.(check (list int)) "1" [ 1 ] (N.divisors 1);
+  Alcotest.(check (list int)) "prime" [ 1; 13 ] (N.divisors 13);
+  check_int "count d(360)" 24 (List.length (N.divisors 360))
+
+let test_is_prime_power () =
+  Alcotest.(check (option (pair int int))) "8" (Some (2, 3)) (N.is_prime_power 8);
+  Alcotest.(check (option (pair int int))) "7" (Some (7, 1)) (N.is_prime_power 7);
+  Alcotest.(check (option (pair int int))) "81" (Some (3, 4)) (N.is_prime_power 81);
+  Alcotest.(check (option (pair int int))) "6" None (N.is_prime_power 6);
+  Alcotest.(check (option (pair int int))) "1" None (N.is_prime_power 1);
+  Alcotest.(check (option (pair int int))) "0" None (N.is_prime_power 0);
+  Alcotest.(check (option (pair int int))) "12" None (N.is_prime_power 12)
+
+(* ------------------------------------------------------------------ *)
+(* mobius / phi *)
+
+let test_mobius () =
+  let expected = [ (1, 1); (2, -1); (3, -1); (4, 0); (5, -1); (6, 1); (7, -1); (8, 0); (9, 0); (10, 1); (12, 0); (30, -1); (105, -1); (210, 1) ] in
+  List.iter (fun (n, m) -> check_int (string_of_int n) m (N.mobius n)) expected
+
+let test_euler_phi () =
+  let expected = [ (1, 1); (2, 1); (3, 2); (4, 2); (5, 4); (6, 2); (9, 6); (10, 4); (12, 4); (36, 12); (97, 96); (100, 40) ] in
+  List.iter (fun (n, m) -> check_int (string_of_int n) m (N.euler_phi n)) expected
+
+let test_mobius_sum_identity () =
+  (* sum of mu(d) over divisors d of n equals [n = 1] *)
+  for n = 1 to 200 do
+    let s = N.sum_over_divisors n N.mobius in
+    check_int (Printf.sprintf "mobius sum n=%d" n) (if n = 1 then 1 else 0) s
+  done
+
+let test_phi_sum_identity () =
+  (* sum of phi(d) over divisors d of n equals n *)
+  for n = 1 to 200 do
+    check_int (Printf.sprintf "phi sum n=%d" n) n (N.sum_over_divisors n N.euler_phi)
+  done
+
+(* ------------------------------------------------------------------ *)
+(* primitive roots / discrete logs / orders *)
+
+let test_primitive_root () =
+  check_int "p=2" 1 (N.primitive_root 2);
+  check_int "p=3" 2 (N.primitive_root 3);
+  check_int "p=5" 2 (N.primitive_root 5);
+  check_int "p=7" 3 (N.primitive_root 7);
+  check_int "p=13 (least)" 2 (N.primitive_root 13);
+  check_int "p=41" 6 (N.primitive_root 41)
+
+let test_is_primitive_root () =
+  (* The thesis (Example 3.3) uses 7 as a primitive root of Z_13. *)
+  check_bool "7 primitive mod 13" true (N.is_primitive_root 7 13);
+  check_bool "3 not primitive mod 13" false (N.is_primitive_root 3 13);
+  (* Example 3.4 uses 3 as primitive root of Z_5. *)
+  check_bool "3 primitive mod 5" true (N.is_primitive_root 3 5);
+  check_bool "4 not primitive mod 5" false (N.is_primitive_root 4 5)
+
+let test_discrete_log () =
+  (* 2 ≡ 7^11 + ... — just check basic logs *)
+  Alcotest.(check (option int)) "log_2 8 mod 13" (Some 3) (N.discrete_log 2 8 13);
+  Alcotest.(check (option int)) "log of 1" (Some 0) (N.discrete_log 5 1 7);
+  Alcotest.(check (option int)) "log exists for subgroup member" (Some 2) (N.discrete_log 4 2 7);
+  (* 4 generates {1,4,2} mod 7, which does not contain 3. *)
+  Alcotest.(check (option int)) "no log (non-generator)" None (N.discrete_log 4 3 7)
+
+let test_lemma_3_5_examples () =
+  (* Lemma 3.5 cases quoted by the thesis:
+     p = 13: 7 is a primitive root and 2 ≡ 7^11 ≡ 7 + 7^9 (mod 13). *)
+  check_int "7^11 mod 13" 2 (N.pow_mod 7 11 13);
+  check_int "7 + 7^9 mod 13" 2 ((7 + N.pow_mod 7 9 13) mod 13);
+  (* 2 is a QR mod p iff p ≡ ±1 (mod 8). *)
+  List.iter
+    (fun p ->
+      let qr = N.quadratic_residue 2 p in
+      let expect = p mod 8 = 1 || p mod 8 = 7 in
+      check_bool (Printf.sprintf "QR(2) mod %d" p) expect qr)
+    [ 3; 5; 7; 11; 13; 17; 19; 23; 29; 31; 37; 41; 43; 47 ]
+
+let test_order_mod () =
+  check_int "ord 2 mod 7" 3 (N.order_mod 2 7);
+  check_int "ord 3 mod 7" 6 (N.order_mod 3 7);
+  check_int "ord 1 mod 5" 1 (N.order_mod 1 5);
+  check_int "ord 2 mod 9" 6 (N.order_mod 2 9)
+
+(* ------------------------------------------------------------------ *)
+(* binomial / multinomial *)
+
+let test_binomial () =
+  check_int "C(12,4)" 495 (N.binomial 12 4);
+  check_int "C(6,2)" 15 (N.binomial 6 2);
+  check_int "C(3,1)" 3 (N.binomial 3 1);
+  check_int "C(n,0)" 1 (N.binomial 9 0);
+  check_int "C(n,n)" 1 (N.binomial 9 9);
+  check_int "out of range" 0 (N.binomial 5 7);
+  check_int "negative k" 0 (N.binomial 5 (-1))
+
+let test_binomial_pascal () =
+  for n = 1 to 25 do
+    for k = 1 to n - 1 do
+      check_int
+        (Printf.sprintf "pascal %d %d" n k)
+        (N.binomial (n - 1) (k - 1) + N.binomial (n - 1) k)
+        (N.binomial n k)
+    done
+  done
+
+let test_multinomial () =
+  (* The thesis's type example: 312211 has type [0;3;2;1] and there are
+     6!/(0!3!2!1!) = 60 words of that type. *)
+  check_int "type [0;3;2;1]" 60 (N.multinomial [ 0; 3; 2; 1 ]);
+  check_int "binomial special case" (N.binomial 10 4) (N.multinomial [ 6; 4 ]);
+  check_int "empty" 1 (N.multinomial []);
+  check_int "single" 1 (N.multinomial [ 5 ])
+
+(* ------------------------------------------------------------------ *)
+(* properties *)
+
+let qsuite =
+  let open QCheck in
+  [
+    Test.make ~name:"gcd divides both" ~count:500
+      (pair (int_range 1 100000) (int_range 1 100000))
+      (fun (a, b) ->
+        let g = N.gcd a b in
+        g > 0 && a mod g = 0 && b mod g = 0);
+    Test.make ~name:"gcd*lcm = a*b" ~count:500
+      (pair (int_range 1 10000) (int_range 1 10000))
+      (fun (a, b) -> N.gcd a b * N.lcm a b = a * b);
+    Test.make ~name:"factorize reconstructs" ~count:500 (int_range 1 1000000)
+      (fun n -> List.fold_left (fun acc (p, e) -> acc * N.pow p e) 1 (N.factorize n) = n);
+    Test.make ~name:"factors are prime" ~count:300 (int_range 2 1000000)
+      (fun n -> List.for_all (fun (p, _) -> N.is_prime p) (N.factorize n));
+    Test.make ~name:"phi multiplicative on coprime" ~count:300
+      (pair (int_range 1 1000) (int_range 1 1000))
+      (fun (a, b) ->
+        QCheck.assume (N.gcd a b = 1);
+        N.euler_phi (a * b) = N.euler_phi a * N.euler_phi b);
+    Test.make ~name:"pow_mod agrees with pow" ~count:300
+      (triple (int_range 0 30) (int_range 0 10) (int_range 1 1000))
+      (fun (b, e, m) -> N.pow_mod b e m = N.pow b e mod m);
+    Test.make ~name:"divisors all divide" ~count:300 (int_range 1 100000)
+      (fun n -> List.for_all (fun t -> n mod t = 0) (N.divisors n));
+    Test.make ~name:"order divides phi" ~count:300 (pair (int_range 2 500) (int_range 2 500))
+      (fun (a, m) ->
+        QCheck.assume (N.gcd a m = 1 && m >= 2);
+        N.euler_phi m mod N.order_mod a m = 0);
+  ]
+
+let () =
+  Alcotest.run "numtheory"
+    [
+      ( "gcd-lcm-pow",
+        [
+          Alcotest.test_case "gcd" `Quick test_gcd_basic;
+          Alcotest.test_case "lcm" `Quick test_lcm_basic;
+          Alcotest.test_case "pow" `Quick test_pow;
+          Alcotest.test_case "pow_mod" `Quick test_pow_mod;
+        ] );
+      ( "primes",
+        [
+          Alcotest.test_case "is_prime" `Quick test_is_prime;
+          Alcotest.test_case "factorize" `Quick test_factorize;
+          Alcotest.test_case "divisors" `Quick test_divisors;
+          Alcotest.test_case "is_prime_power" `Quick test_is_prime_power;
+        ] );
+      ( "mobius-phi",
+        [
+          Alcotest.test_case "mobius values" `Quick test_mobius;
+          Alcotest.test_case "phi values" `Quick test_euler_phi;
+          Alcotest.test_case "mobius sum identity" `Quick test_mobius_sum_identity;
+          Alcotest.test_case "phi sum identity" `Quick test_phi_sum_identity;
+        ] );
+      ( "mod-arithmetic",
+        [
+          Alcotest.test_case "primitive_root" `Quick test_primitive_root;
+          Alcotest.test_case "is_primitive_root" `Quick test_is_primitive_root;
+          Alcotest.test_case "discrete_log" `Quick test_discrete_log;
+          Alcotest.test_case "lemma 3.5 arithmetic" `Quick test_lemma_3_5_examples;
+          Alcotest.test_case "order_mod" `Quick test_order_mod;
+        ] );
+      ( "combinatorics",
+        [
+          Alcotest.test_case "binomial" `Quick test_binomial;
+          Alcotest.test_case "pascal" `Quick test_binomial_pascal;
+          Alcotest.test_case "multinomial" `Quick test_multinomial;
+        ] );
+      ("properties", List.map (QCheck_alcotest.to_alcotest ~long:false) qsuite);
+    ]
