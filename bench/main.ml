@@ -5,12 +5,12 @@
    Usage:
      dune exec bench/main.exe              run everything
      dune exec bench/main.exe -- tables    only the tables
-     (sections: tables figures sweeps ablations timing)                *)
+     (sections: tables figures sweeps ablations open-problems timing scale) *)
 
 let sections =
   [ ("tables", Tables.run); ("figures", Figures.run); ("sweeps", Sweeps.run);
     ("ablations", Ablations.run); ("open-problems", Open_problems.run);
-    ("timing", Timing.run) ]
+    ("timing", Timing.run); ("scale", Scale.run) ]
 
 let () =
   let requested =

@@ -1,0 +1,161 @@
+(* Simulator scale study (EXPERIMENTS.md "netsim at scale").
+
+   Two workloads on fault-free B(d,n), run under the seed full-scan
+   engine (Netsim.Reference) and the worklist engine (Netsim.Simulator,
+   sequential and on OCaml domains):
+
+   - flood: BFS broadcast from node 0 — each node forwards once, so
+     per-round activity is only the BFS frontier.  This is the sparse
+     regime the worklist engine was built for.
+   - spin k: every node XOR-accumulates its inbox and forwards along
+     its rotl edge for k rounds — all nodes active every round, a pure
+     throughput measurement (rounds/sec with n nodes stepping).
+
+   The section ends with the million-node acceptance run: distributed
+   FFC on B(2,17) with one fault must produce the very successor map
+   and cycle of the centralized Ffc.Embed construction. *)
+
+module W = Debruijn.Word
+module DG = Graphlib.Digraph
+module S = Netsim.Simulator
+module R = Netsim.Reference
+
+let time f =
+  let t0 = Unix.gettimeofday () in
+  let x = f () in
+  (x, Unix.gettimeofday () -. t0)
+
+let no_fault _ = false
+
+(* BFS broadcast: a node forwards to all out-neighbors on first
+   receipt; node 0 kicks off in round 0 (where every node steps once,
+   so the uninformed must stay silent on an empty inbox). *)
+let flood g =
+  {
+    S.initial = (fun v -> v = 0);
+    step =
+      (fun ~round v informed inbox ->
+        if round = 0 then
+          (informed, if v = 0 then List.map (fun w -> (w, ())) (DG.succs g v) else [])
+        else if informed || inbox = [] then (informed, [])
+        else (true, List.map (fun w -> (w, ())) (DG.succs g v)));
+    wants_step = (fun _ -> false);
+  }
+
+(* Single token hopping along rotl edges for k rounds — one active
+   node per round, the regime where the seed's per-round full scan is
+   pure overhead.  State is the remaining hop count for the holder,
+   −1 for everyone else. *)
+let token g k =
+  let next =
+    Array.init (DG.n_nodes g) (fun v ->
+        match DG.succs g v with w :: _ -> w | [] -> v)
+  in
+  {
+    S.initial = (fun v -> if v = 1 then k else -1);
+    step =
+      (fun ~round:_ v st inbox ->
+        let st = List.fold_left (fun _ (_, m) -> m) st inbox in
+        if st > 0 then (-1, [ (next.(v), st - 1) ]) else (st, []));
+    wants_step = (fun _ -> false);
+  }
+
+(* All-nodes-active round loop: k rounds of send-along-rotl. *)
+let spin g k =
+  let next =
+    Array.init (DG.n_nodes g) (fun v ->
+        match DG.succs g v with w :: _ -> w | [] -> v)
+  in
+  {
+    S.initial = (fun v -> (v, k));
+    step =
+      (fun ~round:_ v (acc, rem) inbox ->
+        let acc = List.fold_left (fun a (s, m) -> a lxor (s + m)) acc inbox in
+        if rem = 0 then ((acc, 0), [])
+        else ((acc, rem - 1), [ (next.(v), acc) ]));
+    wants_step = (fun (_, rem) -> rem > 0);
+  }
+
+let row name wall rounds delivered =
+  Printf.printf "  %-24s %8.3f s %6d rounds %10.0f rounds/s %8.2f Mmsg/s\n" name
+    wall rounds
+    (float_of_int rounds /. wall)
+    (float_of_int delivered /. wall /. 1e6)
+
+let engines ~domains ~with_seed ~g proto_s proto_r =
+  if with_seed then begin
+    let r, wall =
+      time (fun () ->
+          R.run ~max_rounds:10_000 ~topology:g ~faulty:no_fault proto_r)
+    in
+    row "seed full-scan" wall r.R.rounds r.R.delivered
+  end
+  else print_endline "  seed full-scan               (skipped: too slow at this size)";
+  let r, wall = time (fun () -> proto_s ~domains:1) in
+  row "worklist" wall r.S.rounds r.S.delivered;
+  if domains > 1 then begin
+    let r, wall = time (fun () -> proto_s ~domains) in
+    row (Printf.sprintf "worklist x%d domains" domains) wall r.S.rounds r.S.delivered
+  end
+
+let workload ~domains ~with_seed ~d ~n ~k =
+  let p = W.params ~d ~n in
+  let g = Debruijn.Graph.b p in
+  Printf.printf "B(%d,%d): %d nodes, %d edges\n" d n p.W.size (DG.n_edges g);
+  Printf.printf " flood (frontier-sparse)\n";
+  engines ~domains ~with_seed ~g
+    (fun ~domains ->
+      S.run ~max_rounds:10_000 ~domains ~topology:g ~faulty:no_fault (flood g))
+    (flood g);
+  Printf.printf " spin k=%d (all nodes active)\n" k;
+  engines ~domains ~with_seed ~g
+    (fun ~domains ->
+      S.run ~max_rounds:10_000 ~domains ~topology:g ~faulty:no_fault (spin g k))
+    (spin g k);
+  let tk = 512 in
+  Printf.printf " token k=%d (one node active per round)\n" tk;
+  engines ~domains
+    ~with_seed:(with_seed && p.W.size <= 20_000)
+    ~g
+    (fun ~domains ->
+      S.run ~max_rounds:10_000 ~domains ~topology:g ~faulty:no_fault (token g tk))
+    (token g tk)
+
+let distributed_acceptance ~domains =
+  let p = W.params ~d:2 ~n:17 in
+  let faults = [ 1 ] in
+  print_endline (String.make 78 '-');
+  Printf.printf
+    "acceptance: distributed FFC on B(2,17) (%d nodes, f = %d) vs Ffc.Embed\n"
+    p.W.size (List.length faults);
+  match Ffc.Bstar.compute p ~faults with
+  | None -> print_endline "  no live necklace (unexpected)"
+  | Some b ->
+      let emb, t_emb = time (fun () -> Ffc.Embed.of_bstar b) in
+      Printf.printf "  centralized Embed.of_bstar      %8.3f s (ring length %d)\n"
+        t_emb (Array.length emb.Ffc.Embed.cycle);
+      let dist, t_dist = time (fun () -> Ffc.Distributed.run ~domains b) in
+      let st = dist.Ffc.Distributed.stats in
+      Printf.printf
+        "  distributed run (x%d domains)    %8.3f s (%d rounds, %d messages)\n"
+        domains t_dist st.Ffc.Distributed.total_rounds
+        st.Ffc.Distributed.messages;
+      let same_succ = dist.Ffc.Distributed.successor = emb.Ffc.Embed.successor in
+      let same_cycle = dist.Ffc.Distributed.cycle = emb.Ffc.Embed.cycle in
+      Printf.printf "  successor maps identical: %b, cycles identical: %b\n"
+        same_succ same_cycle;
+      if not (same_succ && same_cycle) then
+        failwith "scale: distributed FFC diverged from centralized Embed"
+
+let run () =
+  print_endline (String.make 78 '-');
+  print_endline
+    "SIMULATOR AT SCALE - seed full-scan vs worklist engine, B(4,7) .. B(2,20)";
+  print_endline (String.make 78 '-');
+  let domains = min 4 (Domain.recommended_domain_count ()) in
+  workload ~domains ~with_seed:true ~d:4 ~n:7 ~k:32;
+  workload ~domains ~with_seed:true ~d:2 ~n:14 ~k:32;
+  workload ~domains ~with_seed:true ~d:2 ~n:17 ~k:16;
+  workload ~domains ~with_seed:false ~d:2 ~n:20 ~k:8;
+  distributed_acceptance ~domains;
+  print_newline ()

@@ -115,6 +115,75 @@ let hamsearch_kernel () =
 let de_bruijn_sequence_kernel () =
   Staged.stage (fun () -> ignore (Core.de_bruijn_sequence ~d:2 ~n:12))
 
+(* Simulator engine comparison: the same protocol round loop on B(4,7)
+   (16384 nodes) under the seed full-scan engine and the worklist
+   engine — the speedup recorded in EXPERIMENTS.md "netsim at scale". *)
+
+let netsim_b47 () =
+  let p = W.params ~d:4 ~n:7 in
+  let g = Debruijn.Graph.b p in
+  let sends v = List.map (fun w -> (w, ())) (Graphlib.Digraph.succs g v) in
+  let flood =
+    Netsim.Simulator.
+      {
+        initial = (fun v -> v = 0);
+        step =
+          (fun ~round v informed inbox ->
+            if round = 0 then (informed, if v = 0 then sends v else [])
+            else if informed || inbox = [] then (informed, [])
+            else (true, sends v));
+        wants_step = (fun _ -> false);
+      }
+  in
+  (g, flood)
+
+let netsim_token_b47 () =
+  let p = W.params ~d:4 ~n:7 in
+  let g = Debruijn.Graph.b p in
+  let next =
+    Array.init p.W.size (fun v ->
+        match Graphlib.Digraph.succs g v with w :: _ -> w | [] -> v)
+  in
+  let token =
+    Netsim.Simulator.
+      {
+        initial = (fun v -> if v = 1 then 256 else -1);
+        step =
+          (fun ~round:_ v st inbox ->
+            let st = List.fold_left (fun _ (_, m) -> m) st inbox in
+            if st > 0 then (-1, [ (next.(v), st - 1) ]) else (st, []));
+        wants_step = (fun _ -> false);
+      }
+  in
+  (g, token)
+
+let netsim_seed_kernel () =
+  let g, flood = netsim_b47 () in
+  Staged.stage (fun () ->
+      ignore (Netsim.Reference.run ~topology:g ~faulty:(fun _ -> false) flood))
+
+let netsim_worklist_kernel () =
+  let g, flood = netsim_b47 () in
+  Staged.stage (fun () ->
+      ignore (Netsim.Simulator.run ~topology:g ~faulty:(fun _ -> false) flood))
+
+let netsim_domains_kernel () =
+  let g, flood = netsim_b47 () in
+  Staged.stage (fun () ->
+      ignore
+        (Netsim.Simulator.run ~domains:4 ~topology:g ~faulty:(fun _ -> false)
+           flood))
+
+let netsim_token_seed_kernel () =
+  let g, token = netsim_token_b47 () in
+  Staged.stage (fun () ->
+      ignore (Netsim.Reference.run ~topology:g ~faulty:(fun _ -> false) token))
+
+let netsim_token_worklist_kernel () =
+  let g, token = netsim_token_b47 () in
+  Staged.stage (fun () ->
+      ignore (Netsim.Simulator.run ~topology:g ~faulty:(fun _ -> false) token))
+
 let tests () =
   Test.make_grouped ~name:"repro"
     [
@@ -135,6 +204,12 @@ let tests () =
       Test.make ~name:"prop2.2/routing-B(4,6)" (routing_kernel ());
       Test.make ~name:"ch1/connectivity-B(3,2)" (connectivity_kernel ());
       Test.make ~name:"ch5/hamsearch-B(3,3)" (hamsearch_kernel ());
+      Test.make ~name:"netsim/flood-B(4,7)-seed" (netsim_seed_kernel ());
+      Test.make ~name:"netsim/flood-B(4,7)-worklist" (netsim_worklist_kernel ());
+      Test.make ~name:"netsim/flood-B(4,7)-worklist-x4" (netsim_domains_kernel ());
+      Test.make ~name:"netsim/token256-B(4,7)-seed" (netsim_token_seed_kernel ());
+      Test.make ~name:"netsim/token256-B(4,7)-worklist"
+        (netsim_token_worklist_kernel ());
     ]
 
 let run () =

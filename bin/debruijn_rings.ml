@@ -30,7 +30,7 @@ let ffc_cmd =
   let faults =
     Arg.(value & pos_all string [] & info [] ~docv:"FAULT" ~doc:"Faulty nodes as digit strings, e.g. 020 112.")
   in
-  let run d n fault_strs distributed =
+  let run d n fault_strs distributed domains trace =
     let p = Core.Word.params ~d ~n in
     let faults = List.map (words_conv d n) fault_strs in
     let result =
@@ -39,8 +39,19 @@ let ffc_cmd =
           (fun (ring, stats) ->
             Printf.printf "# distributed run: %d rounds, %d messages\n"
               stats.Core.Distributed.total_rounds stats.Core.Distributed.messages;
+            if trace then
+              List.iter
+                (fun (phase, t) ->
+                  Printf.printf "# %-10s  %4s %8s %9s %10s\n" phase "rnd" "active"
+                    "delivered" "wall";
+                  Array.iteri
+                    (fun r (m : Core.Simulator.round_metrics) ->
+                      Printf.printf "# %-10s  %4d %8d %9d %8.1fus\n" "" r m.active
+                        m.delivered_in_round (m.wall_ns /. 1e3))
+                    t)
+                stats.Core.Distributed.phase_traces;
             ring)
-          (Core.fault_free_ring_distributed ~d ~n ~faults)
+          (Core.fault_free_ring_distributed ~domains ~d ~n ~faults ())
       else Core.fault_free_ring ~d ~n ~faults
     in
     match result with
@@ -57,9 +68,15 @@ let ffc_cmd =
   let distributed =
     Arg.(value & flag & info [ "distributed" ] ~doc:"Run the network-level protocol on the simulator.")
   in
+  let domains =
+    Arg.(value & opt int 1 & info [ "domains" ] ~docv:"K" ~doc:"Step big simulator rounds on $(docv) OCaml domains (with --distributed).")
+  in
+  let trace =
+    Arg.(value & flag & info [ "trace" ] ~doc:"Print per-phase round-by-round metrics (with --distributed).")
+  in
   Cmd.v
     (Cmd.info "ffc" ~doc:"Fault-free ring under node failures (Chapter 2).")
-    Term.(const run $ d_arg $ n_arg $ faults $ distributed)
+    Term.(const run $ d_arg $ n_arg $ faults $ distributed $ domains $ trace)
 
 let parse_edge d n s =
   match String.split_on_char '-' s with

@@ -7,6 +7,22 @@
    Run with:  dune exec examples/fault_injection.exe [seed] *)
 
 module W = Core.Word
+module S = Core.Simulator
+
+let print_phase_trace stats =
+  Printf.printf "\n  round-by-round trace of the first re-embedding:\n";
+  Printf.printf "  %-11s %4s %8s %10s %10s %10s\n" "phase" "rnd" "active"
+    "delivered" "sent" "wall";
+  List.iter
+    (fun (phase, trace) ->
+      Array.iteri
+        (fun r (m : S.round_metrics) ->
+          Printf.printf "  %-11s %4d %8d %10d %10d %8.1fus\n"
+            (if r = 0 then phase else "")
+            r m.S.active m.S.delivered_in_round m.S.sent (m.S.wall_ns /. 1e3))
+        trace)
+    stats.Core.Distributed.phase_traces;
+  print_newline ()
 
 let () =
   let seed = if Array.length Sys.argv > 1 then int_of_string Sys.argv.(1) else 2024 in
@@ -27,7 +43,7 @@ let () =
     in
     faults := fresh () :: !faults;
     let f = List.length !faults in
-    match Core.fault_free_ring_distributed ~d ~n ~faults:!faults with
+    match Core.fault_free_ring_distributed ~d ~n ~faults:!faults () with
     | None ->
         Printf.printf "%6d  network destroyed\n" f;
         continue := false
@@ -37,7 +53,8 @@ let () =
         Printf.printf "%6d  %12d  %12d  %8d  %8d  %9.1f\n" f len
           (Core.ring_length_guarantee ~d ~n ~f)
           stats.Core.Distributed.total_rounds stats.Core.Distributed.messages
-          (float_of_int lost /. float_of_int f)
+          (float_of_int lost /. float_of_int f);
+        if f = 1 then print_phase_trace stats
   done;
   Printf.printf
     "\n('lost/flt' is the average number of ring slots lost per fault; the\n\

@@ -3,6 +3,7 @@ module Necklace = Debruijn.Necklace
 module Graph = Debruijn.Graph
 module Sequence = Debruijn.Sequence
 module Digraph = Graphlib.Digraph
+module Simulator = Netsim.Simulator
 module Cycle = Graphlib.Cycle
 module Bstar = Ffc.Bstar
 module Embed = Ffc.Embed
@@ -24,11 +25,11 @@ let fault_free_ring ~d ~n ~faults =
   let p = Word.params ~d ~n in
   Option.map (fun e -> e.Ffc.Embed.cycle) (Ffc.Embed.embed p ~faults)
 
-let fault_free_ring_distributed ~d ~n ~faults =
+let fault_free_ring_distributed ?domains ~d ~n ~faults () =
   let p = Word.params ~d ~n in
   Option.map
     (fun bstar ->
-      let r = Ffc.Distributed.run bstar in
+      let r = Ffc.Distributed.run ?domains bstar in
       (r.Ffc.Distributed.cycle, r.Ffc.Distributed.stats))
     (Ffc.Bstar.compute p ~faults)
 

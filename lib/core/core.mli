@@ -24,6 +24,7 @@ module Necklace = Debruijn.Necklace
 module Graph = Debruijn.Graph
 module Sequence = Debruijn.Sequence
 module Digraph = Graphlib.Digraph
+module Simulator = Netsim.Simulator
 module Cycle = Graphlib.Cycle
 module Bstar = Ffc.Bstar
 module Embed = Ffc.Embed
@@ -49,9 +50,16 @@ val fault_free_ring :
     survives. *)
 
 val fault_free_ring_distributed :
-  d:int -> n:int -> faults:int list -> (int array * Ffc.Distributed.stats) option
+  ?domains:int ->
+  d:int ->
+  n:int ->
+  faults:int list ->
+  unit ->
+  (int array * Ffc.Distributed.stats) option
 (** The same ring, computed by message passing on the synchronous
-    network simulator; the stats report rounds per protocol phase. *)
+    network simulator; the stats report rounds and per-round metrics
+    per protocol phase.  [domains > 1] steps the big simulator rounds
+    in parallel on OCaml 5 domains (bit-identical results). *)
 
 val ring_length_guarantee : d:int -> n:int -> f:int -> int
 (** dⁿ − n·f — the Proposition 2.2 floor (valid for f ≤ d−2). *)

@@ -11,6 +11,7 @@ type stats = {
   total_rounds : int;
   messages : int;
   port_load : int;
+  phase_traces : (string * S.round_metrics array) list;
 }
 
 type t = {
@@ -25,7 +26,7 @@ type t = {
 
 type probe_msg = { origin : int; hops : int }
 
-let probe_phase (bstar : Bstar.t) =
+let probe_phase ?domains (bstar : Bstar.t) =
   let p = bstar.Bstar.p in
   let faulty v = List.mem v bstar.Bstar.faults in
   let proto : (bool, probe_msg) S.protocol =
@@ -46,19 +47,18 @@ let probe_phase (bstar : Bstar.t) =
       wants_step = (fun _ -> false);
     }
   in
-  let r = S.run ~topology:bstar.Bstar.graph ~faulty proto in
-  (r.S.states, r.S.rounds, r.S.delivered, r.S.max_port_load)
+  S.run ?domains ~topology:bstar.Bstar.graph ~faulty proto
 
 let live_necklace_flags bstar =
-  let flags, rounds, _, _ = probe_phase bstar in
-  (flags, rounds)
+  let r = probe_phase bstar in
+  (r.S.states, r.S.rounds)
 
 (* ------------------------------------------------------------------ *)
 (* Phase 2: broadcast from R; fixes BFS distance and T′ parent. *)
 
 type bcast_state = { dist : int; parent : int }
 
-let broadcast_phase (bstar : Bstar.t) (live : bool array) =
+let broadcast_phase ?domains (bstar : Bstar.t) (live : bool array) =
   let p = bstar.Bstar.p in
   let root = bstar.Bstar.root in
   let faulty v = List.mem v bstar.Bstar.faults in
@@ -83,8 +83,7 @@ let broadcast_phase (bstar : Bstar.t) (live : bool array) =
       wants_step = (fun _ -> false);
     }
   in
-  let r = S.run ~topology:bstar.Bstar.graph ~faulty proto in
-  (r.S.states, r.S.rounds, r.S.delivered, r.S.max_port_load)
+  S.run ?domains ~topology:bstar.Bstar.graph ~faulty proto
 
 (* ------------------------------------------------------------------ *)
 (* Phase 3: elect the earliest-reached node Y of each necklace. *)
@@ -95,7 +94,7 @@ type choose_msg = { cand : candidate; chops : int }
 let better a b =
   if a.cdist <> b.cdist then a.cdist < b.cdist else a.cnode < b.cnode
 
-let choose_phase (bstar : Bstar.t) (bc : bcast_state array) =
+let choose_phase ?domains (bstar : Bstar.t) (bc : bcast_state array) =
   let p = bstar.Bstar.p in
   let faulty v = List.mem v bstar.Bstar.faults in
   let participates v = bc.(v).dist >= 0 || v = bstar.Bstar.root in
@@ -122,8 +121,7 @@ let choose_phase (bstar : Bstar.t) (bc : bcast_state array) =
       wants_step = (fun _ -> false);
     }
   in
-  let r = S.run ~topology:bstar.Bstar.graph ~faulty proto in
-  (r.S.states, r.S.rounds, r.S.delivered, r.S.max_port_load)
+  S.run ?domains ~topology:bstar.Bstar.graph ~faulty proto
 
 (* ------------------------------------------------------------------ *)
 (* Phases 4+5: exchange T_w announcements, then circulate membership. *)
@@ -144,7 +142,7 @@ let merge_fragment (frag : fragment) w entries : fragment =
 let merge_fragments (a : fragment) (b : fragment) : fragment =
   List.fold_left (fun acc (w, es) -> merge_fragment acc w es) a b
 
-let exchange_phase (bstar : Bstar.t) (chosen : candidate option array) =
+let exchange_phase ?domains (bstar : Bstar.t) (chosen : candidate option array) =
   let p = bstar.Bstar.p in
   let faulty v = List.mem v bstar.Bstar.faults in
   let root_rep = Nk.canonical p bstar.Bstar.root in
@@ -196,12 +194,11 @@ let exchange_phase (bstar : Bstar.t) (chosen : candidate option array) =
       wants_step = (fun _ -> false);
     }
   in
-  let r = S.run ~topology:bstar.Bstar.graph ~faulty proto in
-  (r.S.states, r.S.rounds, r.S.delivered, r.S.max_port_load)
+  S.run ?domains ~topology:bstar.Bstar.graph ~faulty proto
 
 type member_msg = { mfrag : fragment; mhops : int }
 
-let membership_phase (bstar : Bstar.t) (chosen : candidate option array)
+let membership_phase ?domains (bstar : Bstar.t) (chosen : candidate option array)
     (frags : fragment array) =
   let p = bstar.Bstar.p in
   let faulty v = List.mem v bstar.Bstar.faults in
@@ -227,8 +224,7 @@ let membership_phase (bstar : Bstar.t) (chosen : candidate option array)
       wants_step = (fun _ -> false);
     }
   in
-  let r = S.run ~topology:bstar.Bstar.graph ~faulty proto in
-  (r.S.states, r.S.rounds, r.S.delivered, r.S.max_port_load)
+  S.run ?domains ~topology:bstar.Bstar.graph ~faulty proto
 
 (* ------------------------------------------------------------------ *)
 (* Local successor computation and the driver. *)
@@ -247,13 +243,17 @@ let successor_of (p : W.params) v (frag : fragment) =
       let next = arr.((i + 1) mod k) in
       W.snoc p w next.digit
 
-let run (bstar : Bstar.t) =
+let run ?domains (bstar : Bstar.t) =
   let p = bstar.Bstar.p in
-  let live, probe_rounds, m1, p1 = probe_phase bstar in
-  let bc, broadcast_rounds, m2, p2 = broadcast_phase bstar live in
-  let chosen, choose_rounds, m3, p3 = choose_phase bstar bc in
-  let frags0, exchange_rounds, m4, p4 = exchange_phase bstar chosen in
-  let frags, membership_rounds, m5, p5 = membership_phase bstar chosen frags0 in
+  let r1 = probe_phase ?domains bstar in
+  let live = r1.S.states in
+  let r2 = broadcast_phase ?domains bstar live in
+  let bc = r2.S.states in
+  let r3 = choose_phase ?domains bstar bc in
+  let chosen = r3.S.states in
+  let r4 = exchange_phase ?domains bstar chosen in
+  let r5 = membership_phase ?domains bstar chosen r4.S.states in
+  let frags = r5.S.states in
   let successor = Array.make p.W.size (-1) in
   for v = 0 to p.W.size - 1 do
     match chosen.(v) with
@@ -267,18 +267,30 @@ let run (bstar : Bstar.t) =
     | Some c -> c
     | None -> failwith "Ffc.Distributed: successor map did not close into a cycle"
   in
+  let rs = [ r1.S.rounds; r2.S.rounds; r3.S.rounds; r4.S.rounds; r5.S.rounds ] in
   let stats =
     {
-      probe_rounds;
-      broadcast_rounds;
-      choose_rounds;
-      exchange_rounds;
-      membership_rounds;
-      total_rounds =
-        probe_rounds + broadcast_rounds + choose_rounds + exchange_rounds
-        + membership_rounds;
-      messages = m1 + m2 + m3 + m4 + m5;
-      port_load = List.fold_left max 0 [ p1; p2; p3; p4; p5 ];
+      probe_rounds = r1.S.rounds;
+      broadcast_rounds = r2.S.rounds;
+      choose_rounds = r3.S.rounds;
+      exchange_rounds = r4.S.rounds;
+      membership_rounds = r5.S.rounds;
+      total_rounds = List.fold_left ( + ) 0 rs;
+      messages =
+        r1.S.delivered + r2.S.delivered + r3.S.delivered + r4.S.delivered
+        + r5.S.delivered;
+      port_load =
+        List.fold_left max 0
+          [
+            r1.S.max_port_load; r2.S.max_port_load; r3.S.max_port_load;
+            r4.S.max_port_load; r5.S.max_port_load;
+          ];
+      phase_traces =
+        [
+          ("probe", r1.S.trace); ("broadcast", r2.S.trace);
+          ("choose", r3.S.trace); ("exchange", r4.S.trace);
+          ("membership", r5.S.trace);
+        ];
     }
   in
   { bstar; successor; cycle; stats }

@@ -35,7 +35,17 @@ type stats = {
       (** peak sends by one node in one round across all phases; a
           single-port network would serialize each round into at most
           this many (§2.4's "factor of d" remark) *)
+  phase_traces : (string * Netsim.Simulator.round_metrics array) list;
+      (** per-phase, per-round metrics (active nodes, deliveries, wall
+          time), in phase order — the raw data behind the [*_rounds]
+          fields *)
 }
+
+(** Each [*_rounds] field counts {e executed} simulator rounds
+    (including the phase's round-0 compute step, see
+    {!Netsim.Simulator}): the probe phase reports n + 1, a broadcast
+    reaching eccentricity K reports at most K + 2, and the Θ(n) /
+    O(K + n) shape of the totals is unchanged. *)
 
 type t = {
   bstar : Bstar.t;
@@ -44,7 +54,7 @@ type t = {
   stats : stats;
 }
 
-val run : Bstar.t -> t
+val run : ?domains:int -> Bstar.t -> t
 (** Execute all phases on B(d,n) with the fault set of the given B\u{2217}
     (the B\u{2217} itself is only used for the root choice and for reading
     off the final cycle; every decision inside the phases is made by the

@@ -55,7 +55,12 @@ let length t = Array.length t.cycle
 let length_lower_bound p f = p.W.size - (p.W.n * f)
 
 let worst_case_faults p f =
-  if f < 0 || f > p.W.d then invalid_arg "Embed.worst_case_faults";
+  (* Prop 2.2's adversarial family puts each fault on its own
+     full-length necklace; with f > d − 2 the proposition's guarantee
+     (and the dⁿ − nf = length argument of §2.5) no longer applies, so
+     larger f would silently produce a pack with no worst-case
+     meaning. *)
+  if f < 0 || f > p.W.d - 2 then invalid_arg "Embed.worst_case_faults";
   (* α^{n−1}(d−1): digits α,…,α followed by d−1. *)
   List.init f (fun a ->
       let digits = Array.make p.W.n a in

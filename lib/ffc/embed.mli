@@ -37,4 +37,11 @@ val length_lower_bound : Debruijn.Word.params -> int -> int
 
 val worst_case_faults : Debruijn.Word.params -> int -> int list
 (** The adversarial fault set {α^{n−1}(d−1) | 0 ≤ α ≤ f−1} from §2.5
-    for which no cycle longer than dⁿ − nf exists. *)
+    for which no cycle longer than dⁿ − nf exists.
+
+    Only defined for 0 ≤ f ≤ d − 2: Proposition 2.2's guarantee (and
+    the §2.5 optimality argument that makes this family "worst case")
+    holds only in that regime — at f = d − 1 the pack would kill every
+    in-neighbor of node 0ⁿ⁻¹(d−1)'s necklace and the length claim
+    breaks down.
+    @raise Invalid_argument when f < 0 or f > d − 2. *)

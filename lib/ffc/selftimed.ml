@@ -8,6 +8,7 @@ type t = {
   cycle : int array;
   total_rounds : int;
   messages : int;
+  trace : S.round_metrics array;
 }
 
 let schedule_length ~n = (5 * n) + 4
@@ -58,7 +59,7 @@ let successor_of (p : W.params) v frag =
       let rec find i = if arr.(i).rep = my_rep then i else find (i + 1) in
       W.snoc p w arr.((find 0 + 1) mod k).digit
 
-let run (bstar : Bstar.t) =
+let run ?domains (bstar : Bstar.t) =
   let p = bstar.Bstar.p in
   let n = p.W.n in
   let root = bstar.Bstar.root in
@@ -165,7 +166,8 @@ let run (bstar : Bstar.t) =
     }
   in
   let r =
-    S.run ~max_rounds:(total + 4) ~topology:bstar.Bstar.graph ~faulty proto
+    S.run ?domains ~max_rounds:(total + 8) ~topology:bstar.Bstar.graph ~faulty
+      proto
   in
   let successor = Array.make p.W.size (-1) in
   Array.iteri
@@ -182,4 +184,5 @@ let run (bstar : Bstar.t) =
     cycle;
     total_rounds = r.S.rounds;
     messages = r.S.delivered;
+    trace = r.S.trace;
   }

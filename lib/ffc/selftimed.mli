@@ -27,15 +27,20 @@ type t = {
   bstar : Bstar.t;
   successor : int array;
   cycle : int array;
-  total_rounds : int;  (** always 5n + 4 *)
+  total_rounds : int;
+      (** executed simulator rounds — always 5n + 5 (the 5n + 4 rounds
+          of the schedule plus the round-0 compute step), whatever the
+          fault pattern *)
   messages : int;
+  trace : Netsim.Simulator.round_metrics array;  (** per-round metrics *)
 }
 
 val schedule_length : n:int -> int
 (** 5n + 4. *)
 
-val run : Bstar.t -> t
-(** Execute the self-timed protocol.
+val run : ?domains:int -> Bstar.t -> t
+(** Execute the self-timed protocol.  [domains] is passed to
+    {!Netsim.Simulator.run} for parallel stepping of the big rounds.
     @raise Failure if the successor map does not close into a cycle
     (possible only beyond the f ≤ d−2 guarantee, when 2n+1 rounds do
     not suffice for the broadcast). *)

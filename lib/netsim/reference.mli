@@ -1,0 +1,45 @@
+(** The seed full-scan simulator, preserved as an executable
+    specification and benchmark baseline.
+
+    This is the pre-worklist implementation of {!Simulator.run},
+    verbatim: per-round O(n) scans over all nodes, linked-list inboxes
+    sorted with polymorphic [compare] over [(src, payload)] pairs, and
+    quiescence detection that re-scans the whole network.  It exists so
+    that
+
+    - the property tests can check the optimized {!Simulator.run}
+      against the original semantics on random protocols, and
+    - the bechamel benchmarks can measure the worklist rewrite against
+      the seed hot path.
+
+    Do not use it for new work; its round accounting and inbox ordering
+    carry the seed's bugs (see {!Simulator} for the fixed semantics):
+    [rounds] is the last {e active} round index (one less than the
+    executed-round count whenever any node is live), the [max_rounds]
+    guard admits [max_rounds + 1] executed rounds, and sorting inboxes
+    by [(src, payload)] raises on payloads containing closures. *)
+
+type 'm outgoing = int * 'm
+
+type ('s, 'm) protocol = ('s, 'm) Simulator.protocol = {
+  initial : int -> 's;
+  step : round:int -> int -> 's -> (int * 'm) list -> 's * 'm outgoing list;
+  wants_step : 's -> bool;
+}
+
+type 's result = {
+  rounds : int;  (** last round index with activity (seed semantics) *)
+  states : 's array;
+  delivered : int;
+  max_inflight : int;
+  max_port_load : int;
+}
+
+val run :
+  ?max_rounds:int ->
+  topology:Graphlib.Digraph.t ->
+  faulty:(int -> bool) ->
+  ('s, 'm) protocol ->
+  's result
+(** Seed semantics; raises {!Simulator.Illegal_send} and
+    {!Simulator.Did_not_converge} like the seed did. *)

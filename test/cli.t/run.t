@@ -35,6 +35,13 @@ The distributed protocol returns the same ring:
   $ debruijn-rings ffc -d 3 -n 3 --distributed 020 112 | tail -n 1
   000 001 011 111 110 101 012 122 222 221 212 120 201 010 102 022 220 202 021 210 100
 
+... also when its big rounds are stepped in parallel on OCaml domains
+(the simulator merges sends deterministically, so the run is
+bit-identical):
+
+  $ debruijn-rings ffc -d 3 -n 3 --distributed --domains 2 020 112 | tail -n 1
+  000 001 011 111 110 101 012 122 222 221 212 120 201 010 102 022 220 202 021 210 100
+
 Edge faults (Chapter 3): a Hamiltonian ring avoiding two links of B(5,2):
 
   $ debruijn-rings edge -d 5 -n 2 01-12 12-21 | head -n 1

@@ -25,7 +25,7 @@ let test_distributed_agrees () =
   let p = W.params ~d:3 ~n:3 in
   let faults = [ W.of_string p "020" ] in
   let cent = Option.get (Core.fault_free_ring ~d:3 ~n:3 ~faults) in
-  let dist, stats = Option.get (Core.fault_free_ring_distributed ~d:3 ~n:3 ~faults) in
+  let dist, stats = Option.get (Core.fault_free_ring_distributed ~d:3 ~n:3 ~faults ()) in
   Alcotest.(check (array int)) "same ring" cent dist;
   check_bool "rounds positive" true (stats.Core.Distributed.total_rounds > 0)
 

@@ -292,6 +292,33 @@ let test_worst_case_optimality () =
       check_bool "verified" true (E.verify e))
     [ (3, 3, 1); (4, 3, 2); (5, 2, 3); (5, 3, 3); (6, 2, 4); (7, 2, 5) ]
 
+let test_worst_case_faults_boundary () =
+  (* The adversarial family is only meaningful for f ≤ d − 2 (Prop 2.2
+     / §2.5); the boundary is accepted and still achieves the bound
+     exactly, one past it is rejected. *)
+  List.iter
+    (fun (d, n) ->
+      let p = W.params ~d ~n in
+      let f = d - 2 in
+      let faults = E.worst_case_faults p f in
+      check_int "f = d-2 accepted" f (List.length faults);
+      let e = Option.get (E.embed p ~faults) in
+      check_int
+        (Printf.sprintf "bound attained at f = d-2 on B(%d,%d)" d n)
+        (E.length_lower_bound p f) (E.length e);
+      check_bool "f = d-1 rejected" true
+        (match E.worst_case_faults p (d - 1) with
+        | exception Invalid_argument _ -> true
+        | _ -> false);
+      check_bool "f = d rejected" true
+        (match E.worst_case_faults p d with
+        | exception Invalid_argument _ -> true
+        | _ -> false))
+    [ (3, 3); (4, 3); (6, 2) ];
+  (* f = 0 stays legal and kills nobody. *)
+  check_int "f = 0 is the empty pack" 0
+    (List.length (E.worst_case_faults (W.params ~d:2 ~n:4) 0))
+
 let test_pancyclic_best_case () =
   (* Best case: if the f faults all sit on one short necklace the cycle
      can be much longer than dⁿ − nf.  E.g. faults on N(0101) in B(2,4)
@@ -344,10 +371,12 @@ let test_distributed_round_complexity () =
         | Some b ->
             let dist = Dist.run b in
             let s = dist.Dist.stats in
-            check_int "probe = n rounds" n s.Dist.probe_rounds;
+            (* executed-round counts: each phase includes its round-0
+               compute step, so probe = n + 1, broadcast <= ecc + 2. *)
+            check_int "probe = n+1 rounds" (n + 1) s.Dist.probe_rounds;
             let ecc = B.eccentricity_of_root b in
-            check_bool "broadcast within ecc+1" true (s.Dist.broadcast_rounds <= ecc + 1);
-            check_bool "total O(K + n)" true (s.Dist.total_rounds <= ecc + (3 * n) + 4)
+            check_bool "broadcast within ecc+2" true (s.Dist.broadcast_rounds <= ecc + 2);
+            check_bool "total O(K + n)" true (s.Dist.total_rounds <= ecc + (3 * n) + 9)
       done)
     [ (3, 3); (4, 3); (5, 2); (2, 6) ]
 
@@ -394,7 +423,7 @@ let test_selftimed_schedule () =
 let test_probe_phase_flags () =
   let b = example_bstar () in
   let flags, rounds = Dist.live_necklace_flags b in
-  check_int "probe rounds = n" 3 rounds;
+  check_int "probe rounds = n+1" 4 rounds;
   Array.iteri
     (fun v live ->
       let faulty_v = List.mem v b.B.faults in
@@ -569,6 +598,29 @@ let test_route_edge_cases () =
   | None -> Alcotest.fail "route from 000 must exist"
 
 (* ------------------------------------------------------------------ *)
+(* million-node acceptance run — a few seconds of work, so only when
+   asked for explicitly (NETSIM_BIG=1); `bench scale` always runs the
+   same check.  Distributed FFC on B(2,17) (131072 nodes, one fault)
+   must reproduce the centralized construction exactly. *)
+
+let test_distributed_b217 () =
+  match Sys.getenv_opt "NETSIM_BIG" with
+  | None | Some "" | Some "0" -> ()
+  | Some _ -> (
+      let p = W.params ~d:2 ~n:17 in
+      match B.compute p ~faults:[ 1 ] with
+      | None -> Alcotest.fail "B(2,17) f=1: no live necklace"
+      | Some b ->
+          let emb = E.of_bstar b in
+          let dist = Dist.run ~domains:2 b in
+          Alcotest.(check bool)
+            "successor maps identical" true
+            (dist.Dist.successor = emb.E.successor);
+          Alcotest.(check bool)
+            "cycles identical" true
+            (dist.Dist.cycle = emb.E.cycle))
+
+(* ------------------------------------------------------------------ *)
 (* properties *)
 
 let qsuite =
@@ -643,6 +695,7 @@ let () =
           Alcotest.test_case "Prop 2.2 diameter/size" `Quick test_prop_2_2_diameter;
           Alcotest.test_case "Prop 2.3 binary single fault" `Quick test_prop_2_3_binary_single_fault;
           Alcotest.test_case "worst-case optimality" `Quick test_worst_case_optimality;
+          Alcotest.test_case "worst-case fault-pack boundary" `Quick test_worst_case_faults_boundary;
           Alcotest.test_case "best case (short necklace)" `Quick test_pancyclic_best_case;
           Alcotest.test_case "Lemma 2.1 arc structure" `Quick test_lemma_2_1_arc_structure;
           Alcotest.test_case "Table 2.2 regression slice" `Quick test_table_2_2_regression;
@@ -664,6 +717,8 @@ let () =
           Alcotest.test_case "self-timed matches" `Quick test_selftimed_matches;
           Alcotest.test_case "self-timed fixed schedule" `Quick test_selftimed_schedule;
           Alcotest.test_case "probe flags" `Quick test_probe_phase_flags;
+          Alcotest.test_case "B(2,17) matches centralized (NETSIM_BIG=1)" `Slow
+            test_distributed_b217;
         ] );
       ("properties", List.map (QCheck_alcotest.to_alcotest ~long:false) qsuite);
     ]

@@ -1,8 +1,14 @@
-(* Tests for the synchronous message-passing simulator. *)
+(* Tests for the synchronous message-passing simulator.
+
+   [Netsim.Simulator] is the optimized worklist engine; [Netsim.Reference]
+   is the seed full-scan implementation kept as an executable spec.  The
+   qcheck suite at the bottom checks that the two agree on random
+   protocols over random B(d,n) topologies with random fault sets. *)
 
 module D = Graphlib.Digraph
 module T = Graphlib.Traversal
 module S = Netsim.Simulator
+module R = Netsim.Reference
 
 let check_int = Alcotest.(check int)
 let check_bool = Alcotest.(check bool)
@@ -34,9 +40,12 @@ let test_flood_ring () =
   let r = S.run ~topology:g ~faulty:no_faults (flood_protocol 0 g) in
   Alcotest.(check (array int)) "distances" [| 0; 1; 2; 3; 4; 5; 6; 7 |] r.S.states;
   (* Node 7 improves in round 7 (= eccentricity) and re-broadcasts; its
-     message is delivered back to node 0 in round 8, which is therefore
-     the last round with activity. *)
-  check_int "rounds = eccentricity + 1" 8 r.S.rounds
+     message is delivered back to node 0 in round 8, the last round
+     with activity — so rounds 0..8, i.e. 9 executed rounds. *)
+  check_int "rounds = eccentricity + 2" 9 r.S.rounds;
+  check_int "trace has one entry per round" 9 (Array.length r.S.trace);
+  check_int "round 0 steps everyone" 8 r.S.trace.(0).S.active;
+  check_int "last round delivers one message" 1 r.S.trace.(8).S.delivered_in_round
 
 let test_flood_matches_bfs () =
   (* Random-ish graph, compare protocol result with centralized BFS. *)
@@ -67,6 +76,12 @@ let test_faulty_source_sends_nothing () =
   check_bool "nobody reached" true (Array.for_all (fun s -> s = max_int || s = 0) r.S.states);
   check_int "no deliveries" 0 r.S.delivered
 
+let test_all_faulty () =
+  let g = ring 4 in
+  let r = S.run ~topology:g ~faulty:(fun _ -> true) (flood_protocol 0 g) in
+  check_int "zero rounds executed" 0 r.S.rounds;
+  check_int "empty trace" 0 (Array.length r.S.trace)
+
 let test_illegal_send () =
   let g = D.of_edges 3 [ (0, 1) ] in
   let proto : (unit, int) S.protocol =
@@ -96,25 +111,48 @@ let test_divergence_guard () =
     | exception S.Did_not_converge 10 -> true
     | _ -> false)
 
+(* Pin the round-accounting semantics: [rounds] is the number of
+   executed rounds, and [max_rounds] admits exactly [max_rounds] of
+   them (not max_rounds + 1, the seed's off-by-one). *)
+let token_protocol n : (bool, unit) S.protocol =
+  {
+    initial = (fun _ -> false);
+    step =
+      (fun ~round v seen inbox ->
+        if round = 0 && v = 0 then (true, [ (1, ()) ])
+        else
+          match inbox with
+          | [] -> (seen, [])
+          | _ :: _ ->
+              if seen then (seen, [])  (* token returned to the start *)
+              else (true, [ ((v + 1) mod n, ()) ]));
+    wants_step = (fun _ -> false);
+  }
+
+let test_round_accounting () =
+  (* Token once around a ring of 5: activity in rounds 0..5, so exactly
+     6 executed rounds. *)
+  let g = ring 5 in
+  let r = S.run ~topology:g ~faulty:no_faults (token_protocol 5) in
+  check_int "rounds = executed count" 6 r.S.rounds;
+  check_int "trace length = rounds" 6 (Array.length r.S.trace)
+
+let test_max_rounds_budget () =
+  let g = ring 5 in
+  (* The run needs 6 rounds: a budget of 6 succeeds... *)
+  let r = S.run ~max_rounds:6 ~topology:g ~faulty:no_faults (token_protocol 5) in
+  check_int "fits the budget exactly" 6 r.S.rounds;
+  (* ...and a budget of 5 must raise — the seed guard would have let
+     this through (it admitted max_rounds + 1 executed rounds). *)
+  check_bool "budget of 5 raises" true
+    (match S.run ~max_rounds:5 ~topology:g ~faulty:no_faults (token_protocol 5) with
+    | exception S.Did_not_converge 5 -> true
+    | _ -> false)
+
 let test_message_accounting () =
   (* Token passing once around a ring of 5: exactly 5 deliveries. *)
   let g = ring 5 in
-  let proto : (bool, unit) S.protocol =
-    {
-      initial = (fun _ -> false);
-      step =
-        (fun ~round v seen inbox ->
-          if round = 0 && v = 0 then (true, [ (1, ()) ])
-          else
-            match inbox with
-            | [] -> (seen, [])
-            | _ :: _ ->
-                if seen then (seen, [])  (* token returned to the start *)
-                else (true, [ ((v + 1) mod 5, ()) ]));
-      wants_step = (fun _ -> false);
-    }
-  in
-  let r = S.run ~topology:g ~faulty:no_faults proto in
+  let r = S.run ~topology:g ~faulty:no_faults (token_protocol 5) in
   check_int "deliveries" 5 r.S.delivered;
   check_int "max inflight" 1 r.S.max_inflight;
   check_int "port load 1 (single-port compatible)" 1 r.S.max_port_load;
@@ -138,7 +176,7 @@ let test_multiport () =
   in
   let r = S.run ~topology:g ~faulty:no_faults proto in
   check_bool "all leaves got it" true (Array.for_all Fun.id r.S.states);
-  check_int "one round of delivery" 1 r.S.rounds;
+  check_int "seed round + one delivery round" 2 r.S.rounds;
   check_int "k messages in one round" k r.S.max_inflight;
   (* the star center used k ports at once; under single-port hardware
      the same protocol would need k rounds (the thesis's factor-d) *)
@@ -161,6 +199,177 @@ let test_inbox_sorted_by_source () =
   let r = S.run ~topology:g ~faulty:no_faults proto in
   Alcotest.(check (list int)) "sources in order" [ 0; 1; 2 ] r.S.states.(3)
 
+let test_same_source_keeps_send_order () =
+  (* Two messages from the same source in one round arrive in send
+     order — the seed sorted (src, payload) pairs, which would have
+     reordered these by payload. *)
+  let g = D.of_edges 2 [ (0, 1); (0, 1) ] in
+  let proto : (int list, int) S.protocol =
+    {
+      initial = (fun _ -> []);
+      step =
+        (fun ~round v state inbox ->
+          if round = 0 && v = 0 then (state, [ (1, 9); (1, 1) ])
+          else if inbox <> [] then (List.map snd inbox, [])
+          else (state, []));
+      wants_step = (fun _ -> false);
+    }
+  in
+  let r = S.run ~topology:g ~faulty:no_faults proto in
+  Alcotest.(check (list int)) "send order, not payload order" [ 9; 1 ] r.S.states.(1)
+
+let test_functional_payload () =
+  (* Regression: the seed sorted inboxes with polymorphic [compare]
+     over (src, payload) pairs, so a payload containing a closure
+     raised [Invalid_argument "compare: functional value"] as soon as
+     one node received two messages.  The engine must never compare
+     payloads. *)
+  let g = D.of_edges 3 [ (0, 2); (0, 2); (1, 2) ] in
+  let proto : (int, int -> int) S.protocol =
+    {
+      initial = (fun _ -> 0);
+      step =
+        (fun ~round v acc inbox ->
+          let acc = List.fold_left (fun a (_, f) -> f a) acc inbox in
+          let sends =
+            if round = 0 && v = 0 then [ (2, fun x -> x + 3); (2, fun x -> x * 7) ]
+            else if round = 0 && v = 1 then [ (2, fun x -> x * 2) ]
+            else []
+          in
+          (acc, sends));
+      wants_step = (fun _ -> false);
+    }
+  in
+  let r = S.run ~topology:g ~faulty:no_faults proto in
+  (* inbox sorted by src, same-src in send order: ((0 + 3) * 7) * 2. *)
+  check_int "closures applied in source order" 42 r.S.states.(2);
+  check_bool "seed implementation raised on this protocol" true
+    (match R.run ~topology:g ~faulty:no_faults proto with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+let test_parallel_matches_sequential () =
+  (* B(2,11): 2048 nodes, above the parallel threshold, so domains are
+     actually exercised; the run must be bit-identical. *)
+  let p = Debruijn.Word.params ~d:2 ~n:11 in
+  let g = Debruijn.Graph.b p in
+  let faulty v = v mod 97 = 3 in
+  let seq = S.run ~topology:g ~faulty (flood_protocol 1 g) in
+  let par = S.run ~domains:4 ~topology:g ~faulty (flood_protocol 1 g) in
+  Alcotest.(check (array int)) "states" seq.S.states par.S.states;
+  check_int "rounds" seq.S.rounds par.S.rounds;
+  check_int "delivered" seq.S.delivered par.S.delivered;
+  check_int "max_inflight" seq.S.max_inflight par.S.max_inflight;
+  check_int "max_port_load" seq.S.max_port_load par.S.max_port_load
+
+(* ------------------------------------------------------------------ *)
+(* qcheck: the worklist engine agrees with the seed full-scan engine on
+   random protocols over random B(d,n) topologies with random faults.
+
+   The random protocol family is a deterministic "gossip" machine: the
+   state is an accumulator folded over received (src, payload) pairs, a
+   node re-broadcasts to a pseudo-randomly chosen subset of its
+   out-neighbors while its hop budget lasts, and some nodes keep
+   requesting steps (wants_step) for a bounded number of extra rounds.
+   Every behavior is a pure function of (protocol seed, round, node,
+   state, inbox), so both engines see the same protocol; each node
+   sends at most one message per neighbor per round, so the seed's
+   (src, payload) inbox order coincides with the fixed by-src order. *)
+
+let mix seed a b c =
+  (* splitmix-style avalanche, cheap and deterministic *)
+  let h = ref (seed lxor (a * 0x9e3779b9) lxor (b * 0x85ebca6b) lxor (c * 0xc2b2ae35)) in
+  h := (!h lxor (!h lsr 16)) * 0x45d9f3b land max_int;
+  h := (!h lxor (!h lsr 13)) * 0x45d9f3b land max_int;
+  !h lxor (!h lsr 16)
+
+type gossip = { acc : int; steps : int }
+
+let gossip_protocol pseed g hop_budget eager_budget : (gossip, int) S.protocol =
+  {
+    initial = (fun v -> { acc = mix pseed v 0 0; steps = 0 });
+    step =
+      (fun ~round v st inbox ->
+        let acc =
+          List.fold_left (fun a (src, m) -> mix pseed a src m) st.acc inbox
+        in
+        let st = { acc; steps = st.steps + 1 } in
+        let sends =
+          if round < hop_budget then
+            List.filter_map
+              (fun w ->
+                if mix pseed acc w round land 3 <> 0 then
+                  Some (w, mix pseed v w round land 0xffff)
+                else None)
+              (D.succs g v)
+          else []
+        in
+        (st, sends));
+    wants_step =
+      (fun st -> st.steps <= eager_budget && st.acc land 7 = 0);
+  }
+
+let agreement_prop (d, n, pseed, nfaults) =
+  let p = Debruijn.Word.params ~d ~n in
+  let g = Debruijn.Graph.b p in
+  let faults =
+    List.init nfaults (fun i -> mix pseed i 1 2 mod p.Debruijn.Word.size)
+  in
+  let faulty v = List.mem v faults in
+  let hop_budget = 1 + (pseed mod (2 * n)) in
+  let eager_budget = pseed mod 3 in
+  let proto = gossip_protocol pseed g hop_budget eager_budget in
+  let a = S.run ~max_rounds:1000 ~topology:g ~faulty proto in
+  let b = R.run ~max_rounds:1000 ~topology:g ~faulty proto in
+  let live_exists =
+    List.exists (fun v -> not (faulty v)) (Debruijn.Word.all p)
+  in
+  a.S.states = b.R.states
+  && a.S.delivered = b.R.delivered
+  && a.S.max_inflight = b.R.max_inflight
+  && a.S.max_port_load = b.R.max_port_load
+  && (if live_exists then a.S.rounds = b.R.rounds + 1 else a.S.rounds = 0)
+  && Array.length a.S.trace = a.S.rounds
+
+let qcheck_agreement =
+  let gen =
+    QCheck.Gen.(
+      let* d = int_range 2 4 in
+      let* n = int_range 1 4 in
+      let* pseed = int_range 1 (1 lsl 28) in
+      let size = int_of_float (float_of_int d ** float_of_int n) in
+      let* nfaults = int_range 0 (max 1 (size / 2)) in
+      return (d, n, pseed, nfaults))
+  in
+  QCheck.Test.make ~count:300
+    ~name:"worklist engine = seed full-scan engine (random gossip protocols)"
+    (QCheck.make gen) agreement_prop
+
+let qcheck_parallel_agreement =
+  (* Same property, sequential vs 4 domains, on topologies big enough
+     to cross the parallel threshold. *)
+  let gen =
+    QCheck.Gen.(
+      let* pseed = int_range 1 (1 lsl 28) in
+      let* nfaults = int_range 0 40 in
+      return (2, 11, pseed, nfaults))
+  in
+  let prop (d, n, pseed, nfaults) =
+    let p = Debruijn.Word.params ~d ~n in
+    let g = Debruijn.Graph.b p in
+    let faults =
+      List.init nfaults (fun i -> mix pseed i 1 2 mod p.Debruijn.Word.size)
+    in
+    let faulty v = List.mem v faults in
+    let proto = gossip_protocol pseed g (1 + (pseed mod 6)) (pseed mod 3) in
+    let a = S.run ~max_rounds:1000 ~topology:g ~faulty proto in
+    let b = S.run ~domains:4 ~max_rounds:1000 ~topology:g ~faulty proto in
+    a.S.states = b.S.states && a.S.delivered = b.S.delivered
+    && a.S.rounds = b.S.rounds
+  in
+  QCheck.Test.make ~count:20 ~name:"parallel stepping is bit-identical"
+    (QCheck.make gen) prop
+
 let () =
   Alcotest.run "netsim"
     [
@@ -170,10 +379,21 @@ let () =
           Alcotest.test_case "flood matches BFS" `Quick test_flood_matches_bfs;
           Alcotest.test_case "fault blocks flood" `Quick test_flood_with_fault;
           Alcotest.test_case "faulty source is silent" `Quick test_faulty_source_sends_nothing;
+          Alcotest.test_case "all faulty: zero rounds" `Quick test_all_faulty;
           Alcotest.test_case "illegal send" `Quick test_illegal_send;
           Alcotest.test_case "divergence guard" `Quick test_divergence_guard;
+          Alcotest.test_case "round accounting" `Quick test_round_accounting;
+          Alcotest.test_case "max_rounds budget is exact" `Quick test_max_rounds_budget;
           Alcotest.test_case "message accounting" `Quick test_message_accounting;
           Alcotest.test_case "multi-port star" `Quick test_multiport;
           Alcotest.test_case "inbox sorted" `Quick test_inbox_sorted_by_source;
+          Alcotest.test_case "same-source send order" `Quick test_same_source_keeps_send_order;
+          Alcotest.test_case "functional payloads" `Quick test_functional_payload;
+          Alcotest.test_case "parallel = sequential" `Quick test_parallel_matches_sequential;
+        ] );
+      ( "agreement",
+        [
+          QCheck_alcotest.to_alcotest qcheck_agreement;
+          QCheck_alcotest.to_alcotest qcheck_parallel_agreement;
         ] );
     ]
