@@ -22,7 +22,7 @@ let parent_rule_ablation () =
     match B.compute p ~faults with
     | None -> 0
     | Some b ->
-        let g = b.B.graph in
+        let g = Lazy.force b.B.graph in
         let in_bstar v = b.B.in_bstar.(v) in
         let dist = Tr.bfs_dist_restricted g in_bstar b.B.root in
         let parent_of v =

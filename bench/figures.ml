@@ -66,7 +66,7 @@ let example_2_1 () =
           (W.to_string p2 w)
           (W.to_string p adj.A.reps.(max i j))
       end)
-    adj.A.edges;
+    (A.edges adj);
   let tree = Sp.build adj in
   print_endline "spanning tree T (Figure 2.4a), child <- parent with label:";
   List.iter
@@ -83,7 +83,7 @@ let example_2_1 () =
       Printf.printf "  %s: %s\n" (W.to_string p2 w)
         (String.concat " -> "
            (List.map (fun i -> "[" ^ W.to_string p adj.A.reps.(i) ^ "]") members)))
-    m.Sp.groups;
+    (Sp.groups m);
   let e = Ffc.Embed.of_bstar b in
   Printf.printf "H (%d nodes): %s\n"
     (Array.length e.Ffc.Embed.cycle)

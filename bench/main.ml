@@ -5,18 +5,25 @@
    Usage:
      dune exec bench/main.exe              run everything
      dune exec bench/main.exe -- tables    only the tables
-     (sections: tables figures sweeps ablations open-problems timing scale) *)
+     (sections: tables figures sweeps ablations open-problems timing scale)
 
-let sections =
-  [ ("tables", Tables.run); ("figures", Figures.run); ("sweeps", Sweeps.run);
-    ("ablations", Ablations.run); ("open-problems", Open_problems.run);
-    ("timing", Timing.run); ("scale", Scale.run) ]
+   Flags (consumed by the scale section):
+     --json    also write the scale measurements to BENCH_scale.json
+     --smoke   smallest instances only (CI smoke run) *)
 
 let () =
+  let args = List.tl (Array.to_list Sys.argv) in
+  let json = List.mem "--json" args in
+  let smoke = List.mem "--smoke" args in
+  let sections =
+    [ ("tables", Tables.run); ("figures", Figures.run); ("sweeps", Sweeps.run);
+      ("ablations", Ablations.run); ("open-problems", Open_problems.run);
+      ("timing", Timing.run); ("scale", Scale.run ~json ~smoke) ]
+  in
   let requested =
-    match Array.to_list Sys.argv with
-    | _ :: (_ :: _ as args) -> args
-    | _ -> List.map fst sections
+    match List.filter (fun a -> not (String.starts_with ~prefix:"--" a)) args with
+    | [] -> List.map fst sections
+    | names -> names
   in
   List.iter
     (fun name ->

@@ -25,7 +25,42 @@ let time f =
   let x = f () in
   (x, Unix.gettimeofday () -. t0)
 
+(* Best-of-k wall time: scale numbers go into EXPERIMENTS.md, and min
+   over a few runs is the usual way to shed scheduler noise. *)
+let best_of k f =
+  let best = ref infinity in
+  for _ = 1 to k do
+    let _, wall = time f in
+    if wall < !best then best := wall
+  done;
+  !best
+
 let no_fault _ = false
+
+(* --json support: every printed measurement is also recorded as a flat
+   JSON object; [write_json] dumps them to BENCH_scale.json.  Values
+   are pre-encoded strings so no JSON library is needed. *)
+let json_rows : string list ref = ref []
+let jstr s = Printf.sprintf "%S" s
+let jint (i : int) = string_of_int i
+let jnum f = Printf.sprintf "%.6f" f
+let jbool = string_of_bool
+
+let record fields =
+  json_rows :=
+    ("  {"
+    ^ String.concat ", "
+        (List.map (fun (k, v) -> Printf.sprintf "%S: %s" k v) fields)
+    ^ "}")
+    :: !json_rows
+
+let write_json path =
+  let oc = open_out path in
+  output_string oc "[\n";
+  output_string oc (String.concat ",\n" (List.rev !json_rows));
+  output_string oc "\n]\n";
+  close_out oc;
+  Printf.printf "wrote %s (%d rows)\n" path (List.length !json_rows)
 
 (* BFS broadcast: a node forwards to all out-neighbors on first
    receipt; node 0 kicks off in round 0 (where every node steps once,
@@ -76,26 +111,39 @@ let spin g k =
     wants_step = (fun (_, rem) -> rem > 0);
   }
 
-let row name wall rounds delivered =
+let row ~ctx:(d, n, workload) name wall rounds delivered =
   Printf.printf "  %-24s %8.3f s %6d rounds %10.0f rounds/s %8.2f Mmsg/s\n" name
     wall rounds
     (float_of_int rounds /. wall)
-    (float_of_int delivered /. wall /. 1e6)
+    (float_of_int delivered /. wall /. 1e6);
+  record
+    [
+      ("section", jstr "netsim");
+      ("d", jint d);
+      ("n", jint n);
+      ("workload", jstr workload);
+      ("engine", jstr name);
+      ("wall_s", jnum wall);
+      ("rounds", jint rounds);
+      ("delivered", jint delivered);
+    ]
 
-let engines ~domains ~with_seed ~g proto_s proto_r =
+let engines ~ctx ~domains ~with_seed ~g proto_s proto_r =
   if with_seed then begin
     let r, wall =
       time (fun () ->
           R.run ~max_rounds:10_000 ~topology:g ~faulty:no_fault proto_r)
     in
-    row "seed full-scan" wall r.R.rounds r.R.delivered
+    row ~ctx "seed full-scan" wall r.R.rounds r.R.delivered
   end
   else print_endline "  seed full-scan               (skipped: too slow at this size)";
   let r, wall = time (fun () -> proto_s ~domains:1) in
-  row "worklist" wall r.S.rounds r.S.delivered;
+  row ~ctx "worklist" wall r.S.rounds r.S.delivered;
   if domains > 1 then begin
     let r, wall = time (fun () -> proto_s ~domains) in
-    row (Printf.sprintf "worklist x%d domains" domains) wall r.S.rounds r.S.delivered
+    row ~ctx
+      (Printf.sprintf "worklist x%d domains" domains)
+      wall r.S.rounds r.S.delivered
   end
 
 let workload ~domains ~with_seed ~d ~n ~k =
@@ -103,18 +151,18 @@ let workload ~domains ~with_seed ~d ~n ~k =
   let g = Debruijn.Graph.b p in
   Printf.printf "B(%d,%d): %d nodes, %d edges\n" d n p.W.size (DG.n_edges g);
   Printf.printf " flood (frontier-sparse)\n";
-  engines ~domains ~with_seed ~g
+  engines ~ctx:(d, n, "flood") ~domains ~with_seed ~g
     (fun ~domains ->
       S.run ~max_rounds:10_000 ~domains ~topology:g ~faulty:no_fault (flood g))
     (flood g);
   Printf.printf " spin k=%d (all nodes active)\n" k;
-  engines ~domains ~with_seed ~g
+  engines ~ctx:(d, n, "spin") ~domains ~with_seed ~g
     (fun ~domains ->
       S.run ~max_rounds:10_000 ~domains ~topology:g ~faulty:no_fault (spin g k))
     (spin g k);
   let tk = 512 in
   Printf.printf " token k=%d (one node active per round)\n" tk;
-  engines ~domains
+  engines ~ctx:(d, n, "token") ~domains
     ~with_seed:(with_seed && p.W.size <= 20_000)
     ~g
     (fun ~domains ->
@@ -147,15 +195,96 @@ let distributed_acceptance ~domains =
       if not (same_succ && same_cycle) then
         failwith "scale: distributed FFC diverged from centralized Embed"
 
-let run () =
+(* Centralized FFC at scale (EXPERIMENTS.md "centralized FFC at
+   scale"): the implicit/flat pipeline sweeps B(2,17) → B(2,22) with one
+   fault, each ring verified arithmetically; the frozen list-based
+   reference is timed at B(2,17) only (its Digraph/Hashtbl state makes
+   larger instances pointless) and the speedup is the number the
+   rewrite is accountable to.  The heap column is the live major heap
+   after a compaction with the embedding still referenced — the
+   O(size)-words claim made measurable (the process-wide
+   [top_heap_words] would be dominated by whatever section ran
+   before). *)
+let ffc_scale ~smoke () =
+  print_endline (String.make 78 '-');
+  print_endline
+    "CENTRALIZED FFC AT SCALE - implicit/flat pipeline vs list-based reference";
+  print_endline (String.make 78 '-');
+  (* Shed the previous section's heap so GC pressure doesn't bleed into
+     these timings. *)
+  Gc.compact ();
+  let faults = [ 1 ] in
+  let p17 = W.params ~d:2 ~n:17 in
+  let reps = if smoke then 2 else 5 in
+  let t_imp =
+    best_of reps (fun () -> ignore (Option.get (Ffc.Embed.embed p17 ~faults)))
+  in
+  let t_ref = best_of reps (fun () -> ignore (Ffc.Reference.embed p17 ~faults)) in
+  Printf.printf
+    "B(2,17), f = 1 (best of %d):\n\
+    \  implicit pipeline        %8.3f s\n\
+    \  list-based reference     %8.3f s\n\
+    \  speedup                  %7.1fx\n"
+    reps t_imp t_ref (t_ref /. t_imp);
+  record
+    [
+      ("section", jstr "ffc");
+      ("d", jint 2);
+      ("n", jint 17);
+      ("pipeline", jstr "reference");
+      ("wall_s", jnum t_ref);
+      ("speedup_vs_reference", jnum 1.0);
+    ];
+  record
+    [
+      ("section", jstr "ffc");
+      ("d", jint 2);
+      ("n", jint 17);
+      ("pipeline", jstr "implicit");
+      ("wall_s", jnum t_imp);
+      ("speedup_vs_reference", jnum (t_ref /. t_imp));
+    ];
+  let sweep = if smoke then [ 17 ] else [ 17; 18; 19; 20; 21; 22 ] in
+  print_endline " implicit pipeline, one fault, ring verified arithmetically:";
+  List.iter
+    (fun n ->
+      let p = W.params ~d:2 ~n in
+      let e, wall = time (fun () -> Option.get (Ffc.Embed.embed p ~faults)) in
+      let ok = Ffc.Embed.verify e in
+      Gc.compact ();
+      let heap = (Gc.stat ()).Gc.live_words in
+      Printf.printf
+        "  B(2,%2d) %9d nodes  embed %8.3f s  verify %b  live heap %6.1f Mwords\n"
+        n p.W.size wall ok
+        (float_of_int heap /. 1e6);
+      record
+        [
+          ("section", jstr "ffc-sweep");
+          ("d", jint 2);
+          ("n", jint n);
+          ("nodes", jint p.W.size);
+          ("pipeline", jstr "implicit");
+          ("wall_s", jnum wall);
+          ("verified", jbool ok);
+          ("ring_length", jint (Ffc.Embed.length e));
+          ("live_heap_words", jint heap);
+        ];
+      if not ok then failwith "scale: implicit FFC ring failed verification")
+    sweep
+
+let run ?(json = false) ?(smoke = false) () =
   print_endline (String.make 78 '-');
   print_endline
     "SIMULATOR AT SCALE - seed full-scan vs worklist engine, B(4,7) .. B(2,20)";
   print_endline (String.make 78 '-');
   let domains = min 4 (Domain.recommended_domain_count ()) in
   workload ~domains ~with_seed:true ~d:4 ~n:7 ~k:32;
-  workload ~domains ~with_seed:true ~d:2 ~n:14 ~k:32;
-  workload ~domains ~with_seed:true ~d:2 ~n:17 ~k:16;
-  workload ~domains ~with_seed:false ~d:2 ~n:20 ~k:8;
-  distributed_acceptance ~domains;
-  print_newline ()
+  if not smoke then begin
+    workload ~domains ~with_seed:true ~d:2 ~n:14 ~k:32;
+    workload ~domains ~with_seed:true ~d:2 ~n:17 ~k:16;
+    workload ~domains ~with_seed:false ~d:2 ~n:20 ~k:8
+  end;
+  ffc_scale ~smoke ();
+  if not smoke then distributed_acceptance ~domains;
+  print_newline ();
+  if json then write_json "BENCH_scale.json"

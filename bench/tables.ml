@@ -16,8 +16,10 @@ let hr = String.make 78 '-'
 
 (* eccentricity of [node] within its (strongly connected) component *)
 let ecc_of (b : B.t) node =
-  let dist = Tr.bfs_dist_restricted b.B.graph (fun v -> b.B.in_bstar.(v)) node in
-  Array.fold_left max 0 dist
+  Graphlib.Itopo.eccentricity ~n:b.B.p.W.size
+    ~succs:(fun x f -> W.iter_succs b.B.p x f)
+    ~keep:(fun v -> b.B.in_bstar.(v))
+    node
 
 (* R = 0…01, replaced by a live neighbor when its necklace is faulty. *)
 let observation_point p faults =

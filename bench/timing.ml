@@ -184,6 +184,26 @@ let netsim_token_worklist_kernel () =
   Staged.stage (fun () ->
       ignore (Netsim.Simulator.run ~topology:g ~faulty:(fun _ -> false) token))
 
+(* Centralized-pipeline comparison: the implicit/flat rewrite against
+   the frozen list-based reference on B(2,14) (16384 nodes, one fault)
+   — the bechamel-grade version of `scale`'s speedup measurement. *)
+
+let ffc_implicit_b214 () =
+  let p = W.params ~d:2 ~n:14 in
+  Staged.stage (fun () -> ignore (Ffc.Embed.embed p ~faults:[ 1 ]))
+
+let ffc_implicit_domains_b214 () =
+  let p = W.params ~d:2 ~n:14 in
+  Staged.stage (fun () -> ignore (Ffc.Embed.embed ~domains:2 p ~faults:[ 1 ]))
+
+let ffc_reference_b214 () =
+  let p = W.params ~d:2 ~n:14 in
+  Staged.stage (fun () -> ignore (Ffc.Reference.embed p ~faults:[ 1 ]))
+
+let ffc_bstar_implicit_b214 () =
+  let p = W.params ~d:2 ~n:14 in
+  Staged.stage (fun () -> ignore (Ffc.Bstar.compute p ~faults:[ 1 ]))
+
 let tests () =
   Test.make_grouped ~name:"repro"
     [
@@ -204,6 +224,10 @@ let tests () =
       Test.make ~name:"prop2.2/routing-B(4,6)" (routing_kernel ());
       Test.make ~name:"ch1/connectivity-B(3,2)" (connectivity_kernel ());
       Test.make ~name:"ch5/hamsearch-B(3,3)" (hamsearch_kernel ());
+      Test.make ~name:"ffc/embed-B(2,14)-implicit" (ffc_implicit_b214 ());
+      Test.make ~name:"ffc/embed-B(2,14)-implicit-x2" (ffc_implicit_domains_b214 ());
+      Test.make ~name:"ffc/embed-B(2,14)-reference" (ffc_reference_b214 ());
+      Test.make ~name:"ffc/bstar-B(2,14)-implicit" (ffc_bstar_implicit_b214 ());
       Test.make ~name:"netsim/flood-B(4,7)-seed" (netsim_seed_kernel ());
       Test.make ~name:"netsim/flood-B(4,7)-worklist" (netsim_worklist_kernel ());
       Test.make ~name:"netsim/flood-B(4,7)-worklist-x4" (netsim_domains_kernel ());

@@ -16,6 +16,17 @@ let nodes_from p x =
 
 let nodes p x = nodes_from p (canonical p x)
 
+let iter_nodes_from p x f =
+  (* Rotate until the walk returns to [x]: that happens after exactly
+     period-many steps, so each necklace node is visited once and
+     nothing is allocated. *)
+  let rec go cur =
+    f cur;
+    let nxt = Word.rotl p cur in
+    if nxt <> x then go nxt
+  in
+  go x
+
 let same p x y = canonical p x = canonical p y
 
 let successor = Word.rotl

@@ -17,6 +17,10 @@ val nodes : Word.params -> int -> int list
 val nodes_from : Word.params -> int -> int list
 (** Same cycle but starting from the given node itself. *)
 
+val iter_nodes_from : Word.params -> int -> (int -> unit) -> unit
+(** Allocation-free {!nodes_from} — the walk the implicit FFC pipeline
+    uses to index necklaces without listing them. *)
+
 val length : Word.params -> int -> int
 (** Cardinality of N(x) = period of x. *)
 

@@ -67,6 +67,14 @@ val successors : params -> int -> int list
 val predecessors : params -> int -> int list
 (** De Bruijn predecessors a·x₁…x_{n−1}, in digit order. *)
 
+val iter_succs : params -> int -> (int -> unit) -> unit
+(** [iter_succs p x f] calls [f] on the d successors in the same order
+    as {!successors}, allocating nothing ([fun x f -> iter_succs p x f]
+    is a [Graphlib.Itopo.iter]).  No range check on [x]. *)
+
+val iter_preds : params -> int -> (int -> unit) -> unit
+(** Likewise for {!predecessors}. *)
+
 val to_string : params -> int -> string
 (** Digits concatenated, e.g. ["0112"]. *)
 

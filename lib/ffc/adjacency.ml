@@ -1,59 +1,99 @@
 module W = Debruijn.Word
 module Nk = Debruijn.Necklace
-module DG = Graphlib.Digraph
+module Csr = Graphlib.Csr
 
 type t = {
   bstar : Bstar.t;
   reps : int array;
   idx_of_node : int array;
-  graph : DG.t;
-  edges : (int * int * int) list;
+  graph : Csr.t Lazy.t;
 }
 
 let build (bstar : Bstar.t) =
   let p = bstar.Bstar.p in
-  let reps =
-    Array.of_list
-      (List.filter (fun r -> bstar.Bstar.in_bstar.(r)) (Nk.all_representatives p))
-  in
-  let index = Hashtbl.create (2 * Array.length reps) in
-  Array.iteri (fun i r -> Hashtbl.add index r i) reps;
-  let idx_of_node = Array.make p.W.size (-1) in
-  Array.iter
-    (fun r -> List.iter (fun x -> idx_of_node.(x) <- Hashtbl.find index r) (Nk.nodes p r))
-    reps;
-  (* Group live nodes by their (n−1)-suffix w: the nodes {αw} with a
-     common w induce a w-labeled clique (all pairs, both directions)
-     between their — necessarily distinct — necklaces. *)
-  let wsize = p.W.size / p.W.d in
-  let edges = ref [] in
-  let bld = DG.Builder.create (Array.length reps) in
-  for w = 0 to wsize - 1 do
-    let members = ref [] in
-    for a = p.W.d - 1 downto 0 do
-      let x = W.cons p a w in
-      if bstar.Bstar.in_bstar.(x) then members := idx_of_node.(x) :: !members
-    done;
-    let rec pairs = function
-      | [] -> ()
-      | i :: rest ->
-          List.iter
-            (fun j ->
-              edges := (i, j, w) :: (j, i, w) :: !edges;
-              DG.Builder.add_edge bld i j;
-              DG.Builder.add_edge bld j i)
-            rest;
-          pairs rest
-    in
-    pairs !members
+  let size = p.W.size in
+  let in_bstar = bstar.Bstar.in_bstar in
+  (* One ascending pass: the first live node of each necklace is its
+     minimal rotation, i.e. the representative, so the index is built
+     without computing canonical forms or listing all of B(d,n). *)
+  let idx_of_node = Array.make size (-1) in
+  let reps_buf = ref (Array.make 64 0) in
+  let count = ref 0 in
+  let d = p.W.d in
+  let stride = size / d in
+  for x = 0 to size - 1 do
+    if in_bstar.(x) && idx_of_node.(x) < 0 then begin
+      if !count = Array.length !reps_buf then begin
+        let b = Array.make (2 * !count) 0 in
+        Array.blit !reps_buf 0 b 0 !count;
+        reps_buf := b
+      end;
+      !reps_buf.(!count) <- x;
+      (* Inlined necklace walk (rotate left until back at x). *)
+      let i = !count in
+      let rec assign y =
+        idx_of_node.(y) <- i;
+        let y' = (y mod stride * d) + (y / stride) in
+        if y' <> x then assign y'
+      in
+      assign x;
+      incr count
+    end
   done;
-  {
-    bstar;
-    reps;
-    idx_of_node;
-    graph = DG.Builder.build bld;
-    edges = List.rev !edges;
-  }
+  let reps = Array.sub !reps_buf 0 !count in
+  (* N* itself (unlabeled, on necklace indices) is only needed by
+     consumers that genuinely walk it — build it on demand.  Group live
+     nodes by their (n−1)-suffix w: the nodes {αw} with a common w
+     induce a w-labeled clique (all pairs, both directions) between
+     their — necessarily distinct — necklaces. *)
+  let graph =
+    lazy
+      (let bld = Csr.Builder.create (Array.length reps) in
+       let wsize = size / p.W.d in
+       let members = Array.make p.W.d 0 in
+       for w = 0 to wsize - 1 do
+         let k = ref 0 in
+         for a = 0 to p.W.d - 1 do
+           let x = W.cons p a w in
+           if in_bstar.(x) then begin
+             members.(!k) <- idx_of_node.(x);
+             incr k
+           end
+         done;
+         for i = 0 to !k - 1 do
+           for j = i + 1 to !k - 1 do
+             Csr.Builder.add_edge bld members.(i) members.(j);
+             Csr.Builder.add_edge bld members.(j) members.(i)
+           done
+         done
+       done;
+       Csr.Builder.build bld)
+  in
+  { bstar; reps; idx_of_node; graph }
+
+let edges t =
+  let p = t.bstar.Bstar.p in
+  let in_bstar = t.bstar.Bstar.in_bstar in
+  let wsize = p.W.size / p.W.d in
+  let members = Array.make p.W.d 0 in
+  let acc = ref [] in
+  for w = wsize - 1 downto 0 do
+    let k = ref 0 in
+    for a = 0 to p.W.d - 1 do
+      let x = W.cons p a w in
+      if in_bstar.(x) then begin
+        members.(!k) <- t.idx_of_node.(x);
+        incr k
+      end
+    done;
+    for i = 0 to !k - 1 do
+      for j = i + 1 to !k - 1 do
+        acc := (members.(i), members.(j), w) :: (members.(j), members.(i), w)
+               :: !acc
+      done
+    done
+  done;
+  !acc
 
 let index_of_rep t rep =
   let rec go i =
@@ -86,9 +126,30 @@ let node_with_prefix t idx w =
   go 0
 
 let labels_between t i j =
-  List.sort compare
-    (List.filter_map (fun (a, b, w) -> if a = i && b = j then Some w else None) t.edges)
+  (* Arithmetic: a w-edge [X]→[Y] needs the exit node αw on [X] and an
+     entry βw (β ≠ α) on [Y]; each necklace holds at most one node per
+     suffix w, so walking [X] enumerates every candidate w once. *)
+  let p = t.bstar.Bstar.p in
+  if i < 0 || i >= Array.length t.reps || j < 0 || j >= Array.length t.reps
+  then []
+  else begin
+    let acc = ref [] in
+    Nk.iter_nodes_from p t.reps.(i) (fun x ->
+        let w = W.suffix p x in
+        let alpha = W.first_digit p x in
+        let hit = ref false in
+        for b = 0 to p.W.d - 1 do
+          if b <> alpha && t.idx_of_node.(W.cons p b w) = j then hit := true
+        done;
+        if !hit then acc := w :: !acc);
+    List.sort compare !acc
+  end
 
 let is_connected t =
   Array.length t.reps <= 1
-  || Graphlib.Traversal.is_strongly_connected t.graph (fun _ -> true)
+  ||
+  let g = Lazy.force t.graph in
+  Graphlib.Itopo.is_strongly_connected ~n:(Csr.n_nodes g)
+    ~succs:(fun v f -> Csr.iter_succs g v f)
+    ~preds:(fun v f -> Csr.iter_preds g v f)
+    ()

@@ -5,17 +5,27 @@
     digits α ≠ β; every edge has an antiparallel twin with the same
     label.  A necklace contains at most one node of the form αw for a
     given w (nodes αw, βw with α ≠ β have different weights yet
-    rotations preserve weight), which makes entry/exit points unique. *)
+    rotations preserve weight), which makes entry/exit points unique.
+
+    The necklace index ([reps]/[idx_of_node]) is built in one ascending
+    arithmetic pass; N\u{2217} itself is materialized lazily as a compact
+    {!Graphlib.Csr.t} — the spanning/embedding stages never force it,
+    they work on B\u{2217} directly. *)
 
 type t = {
   bstar : Bstar.t;
   reps : int array;  (** necklace representatives in B\u{2217}, increasing *)
   idx_of_node : int array;  (** node → necklace index, −1 outside B\u{2217} *)
-  graph : Graphlib.Digraph.t;  (** N\u{2217} on necklace indices, unlabeled *)
-  edges : (int * int * int) list;  (** (src idx, dst idx, label w), both directions *)
+  graph : Graphlib.Csr.t Lazy.t;
+      (** N\u{2217} on necklace indices, unlabeled; built on first force *)
 }
 
 val build : Bstar.t -> t
+
+val edges : t -> (int * int * int) list
+(** The labeled edge list [(src idx, dst idx, label w)], both
+    directions of every twin pair — recomputed arithmetically on each
+    call (meant for tests/pretty-printing, not the hot path). *)
 
 val index_of_rep : t -> int -> int
 (** Necklace index of a representative. @raise Not_found if absent. *)
@@ -35,4 +45,4 @@ val labels_between : t -> int -> int -> int list
 
 val is_connected : t -> bool
 (** N\u{2217} is connected iff B\u{2217} was a single component — always true by
-    construction; exposed for tests. *)
+    construction; exposed for tests (forces [graph]). *)

@@ -1,11 +1,10 @@
 module W = Debruijn.Word
 module Nk = Debruijn.Necklace
-module DG = Graphlib.Digraph
-module Tr = Graphlib.Traversal
+module It = Graphlib.Itopo
 
 type t = {
   p : W.params;
-  graph : DG.t;
+  graph : Graphlib.Digraph.t Lazy.t;
   faults : int list;
   necklace_faulty : bool array;
   in_bstar : bool array;
@@ -13,80 +12,109 @@ type t = {
   root : int;
 }
 
-let finish p graph faults necklace_faulty members root_hint =
-  match members with
-  | [] -> None
-  | _ ->
-      let in_bstar = Array.make p.W.size false in
-      List.iter (fun v -> in_bstar.(v) <- true) members;
-      let root =
-        match root_hint with
-        | Some h when h >= 0 && h < p.W.size && in_bstar.(Nk.canonical p h) ->
-            Nk.canonical p h
-        | _ ->
-            (* Smallest representative in the component; representatives
-               are minimal on their necklaces so the smallest member is
-               itself a representative. *)
-            List.fold_left min max_int members
-      in
-      Some
-        {
-          p;
-          graph;
-          faults;
-          necklace_faulty;
-          in_bstar;
-          size = List.length members;
-          root;
-        }
+let succs p = fun x f -> W.iter_succs p x f
+let preds p = fun x f -> W.iter_preds p x f
 
-let compute ?root_hint p ~faults =
-  let graph = Debruijn.Graph.b p in
-  let necklace_faulty = Nk.mark_faulty_necklaces p faults in
-  let members = Tr.largest_weak_component graph (fun v -> not (necklace_faulty.(v))) in
-  finish p graph faults necklace_faulty members root_hint
-
-let component_of p ~faults node =
-  let graph = Debruijn.Graph.b p in
-  let necklace_faulty = Nk.mark_faulty_necklaces p faults in
-  if necklace_faulty.(node) then None
+let finish p faults necklace_faulty members root_hint =
+  if Array.length members = 0 then None
   else begin
-    (* BFS in the symmetric closure restricted to live nodes. *)
-    let live v = not necklace_faulty.(v) in
-    let seen = Array.make p.W.size false in
-    let q = Queue.create () in
-    seen.(node) <- true;
-    Queue.push node q;
-    while not (Queue.is_empty q) do
-      let u = Queue.pop q in
-      let push v =
-        if live v && not seen.(v) then begin
-          seen.(v) <- true;
-          Queue.push v q
-        end
-      in
-      List.iter push (DG.succs graph u);
-      List.iter push (DG.preds graph u)
+    let in_bstar = Array.make p.W.size false in
+    (* One pass: mark membership and track the smallest member, which —
+       being minimal on its necklace — is itself a representative. *)
+    let best = ref max_int in
+    for i = 0 to Array.length members - 1 do
+      let v = members.(i) in
+      in_bstar.(v) <- true;
+      if v < !best then best := v
     done;
-    let members = List.filter (fun v -> seen.(v)) (W.all p) in
-    finish p graph faults necklace_faulty members (Some node)
+    let root =
+      match root_hint with
+      | Some h when h >= 0 && h < p.W.size && in_bstar.(Nk.canonical p h) ->
+          Nk.canonical p h
+      | _ -> !best
+    in
+    Some
+      {
+        p;
+        graph = lazy (Debruijn.Graph.b p);
+        faults;
+        necklace_faulty;
+        in_bstar;
+        size = Array.length members;
+        root;
+      }
   end
 
-let nodes t = List.filter (fun v -> t.in_bstar.(v)) (W.all t.p)
+let compute ?root_hint ?domains p ~faults =
+  let necklace_faulty = Nk.mark_faulty_necklaces p faults in
+  (* Successor-only sweep: the removed set is a union of necklaces, so
+     every weak component is strongly connected (see the header above) —
+     directed reachability from a seed already covers its whole weak
+     component, at half the edge work of the symmetric closure. *)
+  let members =
+    It.largest_weak_component ?domains ~n:p.W.size ~succs:(succs p)
+      ~preds:It.no_preds
+      ~keep:(fun v -> not necklace_faulty.(v))
+      ()
+  in
+  finish p faults necklace_faulty members root_hint
+
+let component_members p ~faults node =
+  let necklace_faulty = Nk.mark_faulty_necklaces p faults in
+  if necklace_faulty.(node) then [||]
+  else
+    It.component_members ~n:p.W.size ~succs:(succs p) ~preds:(preds p)
+      ~keep:(fun v -> not necklace_faulty.(v))
+      node
+
+let component_of p ~faults node =
+  let necklace_faulty = Nk.mark_faulty_necklaces p faults in
+  if necklace_faulty.(node) then None
+  else
+    let members =
+      It.component_members ~n:p.W.size ~succs:(succs p) ~preds:(preds p)
+        ~keep:(fun v -> not necklace_faulty.(v))
+        node
+    in
+    finish p faults necklace_faulty members (Some node)
+
+let nodes t =
+  let acc = ref [] in
+  for v = t.p.W.size - 1 downto 0 do
+    if t.in_bstar.(v) then acc := v :: !acc
+  done;
+  !acc
 
 let necklace_count t =
-  List.length (List.filter (fun r -> t.in_bstar.(r)) (Nk.all_representatives t.p))
+  (* Ascending sweep: the first node seen of each necklace is its
+     minimal rotation, i.e. the representative — one O(size) pass, no
+     canonical-form computation. *)
+  let seen = Graphlib.Bitset.create t.p.W.size in
+  let count = ref 0 in
+  for v = 0 to t.p.W.size - 1 do
+    if t.in_bstar.(v) && not (Graphlib.Bitset.mem seen v) then begin
+      incr count;
+      Nk.iter_nodes_from t.p v (fun y -> Graphlib.Bitset.add seen y)
+    end
+  done;
+  !count
 
-let eccentricity_of_root t =
-  let dist = Tr.bfs_dist_restricted t.graph (fun v -> t.in_bstar.(v)) t.root in
-  Array.fold_left max 0 dist
+let eccentricity_of_root ?domains t =
+  It.eccentricity ?domains ~n:t.p.W.size ~succs:(succs t.p)
+    ~keep:(fun v -> t.in_bstar.(v))
+    t.root
 
 let diameter t =
-  List.fold_left
-    (fun acc v ->
-      let dist = Tr.bfs_dist_restricted t.graph (fun u -> t.in_bstar.(u)) v in
-      max acc (Array.fold_left max 0 dist))
-    0 (nodes t)
+  let keep v = t.in_bstar.(v) in
+  let best = ref 0 in
+  for v = 0 to t.p.W.size - 1 do
+    if t.in_bstar.(v) then
+      best :=
+        max !best (It.eccentricity ~n:t.p.W.size ~succs:(succs t.p) ~keep v)
+  done;
+  !best
 
 let is_strongly_connected t =
-  Tr.is_strongly_connected t.graph (fun v -> t.in_bstar.(v))
+  It.is_strongly_connected ~n:t.p.W.size ~succs:(succs t.p) ~preds:(preds t.p)
+    ~keep:(fun v -> t.in_bstar.(v))
+    ()

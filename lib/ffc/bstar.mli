@@ -5,11 +5,18 @@
     Because the removed set is a union of necklaces, every weak
     component is strongly connected (any edge αw→wβ between two live
     necklaces is matched by the edge βw→wα in the other direction), so
-    "component" is unambiguous. *)
+    "component" is unambiguous.
+
+    All computations here are {e implicit}: they traverse B(d,n) through
+    the arithmetic neighbor iterators ([Debruijn.Word.iter_succs]), so
+    nothing graph-shaped is allocated.  The [graph] field materializes
+    the full B(d,n) as a [Digraph.t] lazily — only the netsim-backed
+    distributed engines (which need a message topology) force it. *)
 
 type t = {
   p : Debruijn.Word.params;
-  graph : Graphlib.Digraph.t;  (** the full B(d,n) *)
+  graph : Graphlib.Digraph.t Lazy.t;
+      (** the full B(d,n), materialized on first force *)
   faults : int list;  (** the faulty nodes as given *)
   necklace_faulty : bool array;  (** node-level: lies on a faulty necklace *)
   in_bstar : bool array;  (** node-level membership in B\u{2217} *)
@@ -17,18 +24,32 @@ type t = {
   root : int;  (** the distinguished node R with N(R) = \[R\] *)
 }
 
-val compute : ?root_hint:int -> Debruijn.Word.params -> faults:int list -> t option
+val compute :
+  ?root_hint:int ->
+  ?domains:int ->
+  Debruijn.Word.params ->
+  faults:int list ->
+  t option
 (** The largest component after removing faulty necklaces; [None] when
     every node is on a faulty necklace.  The root is the necklace
     representative of [root_hint] when that lies inside the chosen
     component (the thesis's tables use R = 0…01); otherwise the smallest
     necklace representative in the component.  Ties between equal-size
-    components break toward the one containing the smallest node. *)
+    components break toward the one containing the smallest node.
+    [?domains] parallelizes the component BFS (bit-identical result). *)
 
 val component_of : Debruijn.Word.params -> faults:int list -> int -> t option
 (** The component containing the given node, with that node's necklace
     representative as root; [None] if the node lies on a faulty
-    necklace.  Used for the Table 2.1/2.2 experiments. *)
+    necklace.  Used for the Table 2.1/2.2 experiments.  Costs
+    O(component) beyond the fault marking, so probing a small component
+    of a huge B(d,n) is cheap. *)
+
+val component_members :
+  Debruijn.Word.params -> faults:int list -> int -> int array
+(** The members of that component in BFS discovery order from the node
+    (symmetric closure, live nodes only); [[||]] if the node lies on a
+    faulty necklace. *)
 
 val nodes : t -> int list
 (** Members of B\u{2217}, increasing. *)
@@ -36,7 +57,7 @@ val nodes : t -> int list
 val necklace_count : t -> int
 (** Number of live necklaces inside B\u{2217}. *)
 
-val eccentricity_of_root : t -> int
+val eccentricity_of_root : ?domains:int -> t -> int
 (** max distance from the root within B\u{2217} — the broadcast round count
     of Step 1.1. *)
 

@@ -47,7 +47,7 @@ let probe_phase ?domains (bstar : Bstar.t) =
       wants_step = (fun _ -> false);
     }
   in
-  S.run ?domains ~topology:bstar.Bstar.graph ~faulty proto
+  S.run ?domains ~topology:(Lazy.force bstar.Bstar.graph) ~faulty proto
 
 let live_necklace_flags bstar =
   let r = probe_phase bstar in
@@ -83,7 +83,7 @@ let broadcast_phase ?domains (bstar : Bstar.t) (live : bool array) =
       wants_step = (fun _ -> false);
     }
   in
-  S.run ?domains ~topology:bstar.Bstar.graph ~faulty proto
+  S.run ?domains ~topology:(Lazy.force bstar.Bstar.graph) ~faulty proto
 
 (* ------------------------------------------------------------------ *)
 (* Phase 3: elect the earliest-reached node Y of each necklace. *)
@@ -121,7 +121,7 @@ let choose_phase ?domains (bstar : Bstar.t) (bc : bcast_state array) =
       wants_step = (fun _ -> false);
     }
   in
-  S.run ?domains ~topology:bstar.Bstar.graph ~faulty proto
+  S.run ?domains ~topology:(Lazy.force bstar.Bstar.graph) ~faulty proto
 
 (* ------------------------------------------------------------------ *)
 (* Phases 4+5: exchange T_w announcements, then circulate membership. *)
@@ -194,7 +194,7 @@ let exchange_phase ?domains (bstar : Bstar.t) (chosen : candidate option array) 
       wants_step = (fun _ -> false);
     }
   in
-  S.run ?domains ~topology:bstar.Bstar.graph ~faulty proto
+  S.run ?domains ~topology:(Lazy.force bstar.Bstar.graph) ~faulty proto
 
 type member_msg = { mfrag : fragment; mhops : int }
 
@@ -224,7 +224,7 @@ let membership_phase ?domains (bstar : Bstar.t) (chosen : candidate option array
       wants_step = (fun _ -> false);
     }
   in
-  S.run ?domains ~topology:bstar.Bstar.graph ~faulty proto
+  S.run ?domains ~topology:(Lazy.force bstar.Bstar.graph) ~faulty proto
 
 (* ------------------------------------------------------------------ *)
 (* Local successor computation and the driver. *)

@@ -8,47 +8,68 @@ type t = {
 }
 
 let successor_map (m : Spanning.modified) =
-  let adj = m.Spanning.tree.Spanning.adj in
-  let bstar = adj.Adjacency.bstar in
+  let bstar = m.Spanning.tree.Spanning.adj.Adjacency.bstar in
   let p = bstar.Bstar.p in
+  let in_bstar = bstar.Bstar.in_bstar in
+  let override = m.Spanning.succ_override in
   let succ = Array.make p.W.size (-1) in
+  (* One flat pass: exit nodes of D-edges jump to the recorded entry
+     node, everyone else follows its necklace (rotate left, inlined:
+     W.rotl without the per-call range check). *)
+  let d = p.W.d in
+  let stride = p.W.size / d in
   for x = 0 to p.W.size - 1 do
-    if bstar.Bstar.in_bstar.(x) then begin
-      let w = W.suffix p x in
-      let idx = adj.Adjacency.idx_of_node.(x) in
-      match Hashtbl.find_opt m.Spanning.out_edge (idx, w) with
-      | Some next_idx -> (
-          match Adjacency.node_with_prefix adj next_idx w with
-          | Some target -> succ.(x) <- target
-          | None -> assert false)
-      | None -> succ.(x) <- W.rotl p x
-    end
+    if in_bstar.(x) then
+      succ.(x) <-
+        (if override.(x) >= 0 then override.(x)
+         else (x mod stride * d) + (x / stride))
   done;
   succ
 
-let of_bstar bstar =
+let of_bstar ?domains bstar =
   let adj = Adjacency.build bstar in
-  let tree = Spanning.build adj in
+  let tree = Spanning.build ?domains adj in
   let modified = Spanning.modify tree in
   let successor = successor_map modified in
   let cycle =
     match
-      Graphlib.Cycle.of_successor_map ~start:bstar.Bstar.root (fun v -> successor.(v))
+      Graphlib.Cycle.of_successor_array_n ~start:bstar.Bstar.root successor
     with
     | Some c -> c
     | None -> failwith "Ffc.Embed: successor map did not close into a cycle"
   in
   { bstar; modified; successor; cycle }
 
-let embed ?root_hint p ~faults =
-  Option.map of_bstar (Bstar.compute ?root_hint p ~faults)
+let embed ?root_hint ?domains p ~faults =
+  Option.map (of_bstar ?domains) (Bstar.compute ?root_hint ?domains p ~faults)
 
 let verify t =
-  let bstar = t.bstar in
-  Graphlib.Cycle.is_hamiltonian bstar.Bstar.graph
-    ~subset:(fun v -> bstar.Bstar.in_bstar.(v))
-    t.cycle
-  && Graphlib.Cycle.avoids_nodes t.cycle (fun v -> bstar.Bstar.necklace_faulty.(v))
+  let b = t.bstar in
+  let p = b.Bstar.p in
+  let k = Array.length t.cycle in
+  k = b.Bstar.size && k > 0
+  &&
+  (* Arithmetic Hamiltonicity: the cycle is simple, covers exactly B*,
+     avoids faulty necklaces, and every consecutive pair (wrap
+     included) is a De Bruijn edge — x → y iff prefix y = suffix x.
+     No Digraph is forced even at B(2,22). *)
+  let seen = Graphlib.Bitset.create p.W.size in
+  let ok = ref true in
+  for i = 0 to k - 1 do
+    let x = t.cycle.(i) in
+    if
+      x < 0 || x >= p.W.size
+      || (not b.Bstar.in_bstar.(x))
+      || b.Bstar.necklace_faulty.(x)
+      || Graphlib.Bitset.mem seen x
+    then ok := false
+    else begin
+      Graphlib.Bitset.add seen x;
+      let y = t.cycle.((i + 1) mod k) in
+      if y < 0 || y >= p.W.size || W.prefix p y <> W.suffix p x then ok := false
+    end
+  done;
+  !ok
 
 let length t = Array.length t.cycle
 

@@ -19,15 +19,23 @@ type t = {
 
 val successor_map : Spanning.modified -> int array
 
-val of_bstar : Bstar.t -> t
-(** Run steps 1–3 on an already-computed B\u{2217}. *)
+val of_bstar : ?domains:int -> Bstar.t -> t
+(** Run steps 1–3 on an already-computed B\u{2217}.  [?domains]
+    parallelizes the BFS levels (bit-identical result). *)
 
-val embed : ?root_hint:int -> Debruijn.Word.params -> faults:int list -> t option
+val embed :
+  ?root_hint:int ->
+  ?domains:int ->
+  Debruijn.Word.params ->
+  faults:int list ->
+  t option
 (** Full pipeline: compute B\u{2217}, build N\u{2217}, T, D, and H.  [None] when
-    no live necklace remains. *)
+    no live necklace remains.  Entirely implicit/flat — B(2,22) (4M
+    nodes) embeds in seconds without materializing any graph. *)
 
 val verify : t -> bool
-(** H is a Hamiltonian cycle of B\u{2217} avoiding all faulty necklaces. *)
+(** H is a Hamiltonian cycle of B\u{2217} avoiding all faulty necklaces
+    (checked arithmetically; does not force [bstar.graph]). *)
 
 val length : t -> int
 

@@ -166,7 +166,7 @@ let run ?domains (bstar : Bstar.t) =
     }
   in
   let r =
-    S.run ?domains ~max_rounds:(total + 8) ~topology:bstar.Bstar.graph ~faulty
+    S.run ?domains ~max_rounds:(total + 8) ~topology:(Lazy.force bstar.Bstar.graph) ~faulty
       proto
   in
   let successor = Array.make p.W.size (-1) in

@@ -1,6 +1,6 @@
 module W = Debruijn.Word
-module DG = Graphlib.Digraph
-module Tr = Graphlib.Traversal
+module Nk = Debruijn.Necklace
+module It = Graphlib.Itopo
 
 type tree = {
   adj : Adjacency.t;
@@ -12,51 +12,61 @@ type tree = {
   chosen : int array;
 }
 
-let build (adj : Adjacency.t) =
+let build ?domains (adj : Adjacency.t) =
   let bstar = adj.Adjacency.bstar in
   let p = bstar.Bstar.p in
-  let g = bstar.Bstar.graph in
+  let size = p.W.size in
   let in_bstar v = bstar.Bstar.in_bstar.(v) in
   let root = bstar.Bstar.root in
-  let dist = Tr.bfs_dist_restricted g in_bstar root in
-  (* T′ parent: minimal predecessor one BFS level up, inside B*. *)
-  let node_parent = Array.make p.W.size (-1) in
-  for v = 0 to p.W.size - 1 do
-    if in_bstar v && v <> root && dist.(v) > 0 then begin
-      let best = ref max_int in
-      List.iter
-        (fun u -> if in_bstar u && dist.(u) = dist.(v) - 1 && u < !best then best := u)
-        (DG.preds g v);
-      if !best < max_int then node_parent.(v) <- !best
-    end
+  let bfs =
+    It.bfs ?domains ~n:size
+      ~succs:(fun x f -> W.iter_succs p x f)
+      ~keep:in_bstar root
+  in
+  let dist = bfs.It.dist in
+  (* T′ parent: minimal predecessor one BFS level up, inside B*.  Only
+     reached nodes are scanned (via discovery order); predecessors are
+     a·stride + v/d for a = 0..d−1 — ascending in a, so the first live
+     hit at the previous level is already the minimal one. *)
+  let node_parent = Array.make size (-1) in
+  let stride = size / p.W.d in
+  for i = 1 to bfs.It.count - 1 do
+    let v = bfs.It.order.(i) in
+    let dv = dist.(v) in
+    let pre = v / p.W.d in
+    let rec find a =
+      if a = p.W.d then -1
+      else
+        let u = (a * stride) + pre in
+        if bstar.Bstar.in_bstar.(u) && dist.(u) = dv - 1 then u
+        else find (a + 1)
+    in
+    node_parent.(v) <- find 0
   done;
   let m = Array.length adj.Adjacency.reps in
   let root_idx = adj.Adjacency.idx_of_node.(root) in
   let parent = Array.make m (-1) in
   let label = Array.make m (-1) in
   let chosen = Array.make m (-1) in
+  (* Earliest receipt, ties toward the minimal node — a lexicographic
+     (dist, node) minimum per necklace.  One ascending node scan: on
+     equal distance the first (smallest) node sticks. *)
+  for v = 0 to size - 1 do
+    let i = adj.Adjacency.idx_of_node.(v) in
+    if i >= 0 then begin
+      let b = chosen.(i) in
+      if b < 0 || dist.(v) < dist.(b) then chosen.(i) <- v
+    end
+  done;
   for i = 0 to m - 1 do
-    let members = Debruijn.Necklace.nodes p adj.Adjacency.reps.(i) in
-    (* Earliest receipt, ties toward the minimal node: necklace nodes
-       are visited in increasing order so the first minimum wins. *)
-    let y =
-      List.fold_left
-        (fun best v ->
-          match best with
-          | None -> Some v
-          | Some b -> if dist.(v) < dist.(b) || (dist.(v) = dist.(b) && v < b) then Some v else Some b)
-        None (List.sort compare members)
-    in
-    match y with
-    | None -> assert false
-    | Some y ->
-        chosen.(i) <- y;
-        if i <> root_idx then begin
-          let par_node = node_parent.(y) in
-          assert (par_node >= 0);
-          parent.(i) <- adj.Adjacency.idx_of_node.(par_node);
-          label.(i) <- W.prefix p y
-        end
+    let y = chosen.(i) in
+    assert (y >= 0);
+    if i <> root_idx then begin
+      let par_node = node_parent.(y) in
+      assert (par_node >= 0);
+      parent.(i) <- adj.Adjacency.idx_of_node.(par_node);
+      label.(i) <- W.prefix p y
+    end
   done;
   (* The root's chosen node is R itself (distance 0). *)
   chosen.(root_idx) <- root;
@@ -65,7 +75,8 @@ let build (adj : Adjacency.t) =
 let tree_edges t =
   let m = Array.length t.adj.Adjacency.reps in
   List.filter_map
-    (fun i -> if i = t.root_idx then None else Some (t.parent.(i), i, t.label.(i)))
+    (fun i ->
+      if i = t.root_idx then None else Some (t.parent.(i), i, t.label.(i)))
     (List.init m Fun.id)
 
 let check_height_one t =
@@ -79,43 +90,125 @@ let check_height_one t =
       | Some par' -> par = par')
     (tree_edges t)
 
-type modified = {
-  tree : tree;
-  groups : (int * int list) list;
-  out_edge : (int * int, int) Hashtbl.t;
-}
+type modified = { tree : tree; succ_override : int array }
+
+(* Bucket the non-root necklaces by their parent-edge label w — labels
+   are ints below wsize, so two arrays replace the seed's Hashtbl.
+   Height-one means all w-edges share one parent, so each bucket records
+   the parent once plus the child list. *)
+let label_buckets t =
+  let adj = t.adj in
+  let p = adj.Adjacency.bstar.Bstar.p in
+  let wsize = p.W.size / p.W.d in
+  let m = Array.length adj.Adjacency.reps in
+  let bucket_par = Array.make wsize (-1) in
+  let bucket_children = Array.make wsize [] in
+  for i = 0 to m - 1 do
+    if i <> t.root_idx then begin
+      let w = t.label.(i) in
+      let par = t.parent.(i) in
+      if bucket_par.(w) < 0 then bucket_par.(w) <- par
+      else assert (bucket_par.(w) = par);
+      bucket_children.(w) <- i :: bucket_children.(w)
+    end
+  done;
+  (bucket_par, bucket_children)
 
 let modify t =
-  let by_label = Hashtbl.create 16 in
-  List.iter
-    (fun (par, child, w) ->
-      let cur = Option.value ~default:[] (Hashtbl.find_opt by_label w) in
-      let cur = if List.mem par cur then cur else par :: cur in
-      Hashtbl.replace by_label w (child :: cur))
-    (tree_edges t);
-  let rep i = t.adj.Adjacency.reps.(i) in
-  let groups =
-    Hashtbl.fold
-      (fun w members acc ->
-        (w, List.sort (fun a b -> compare (rep a) (rep b)) members) :: acc)
-      by_label []
-    |> List.sort compare
-  in
-  let out_edge = Hashtbl.create 64 in
-  List.iter
-    (fun (w, members) ->
-      let arr = Array.of_list members in
-      let k = Array.length arr in
-      Array.iteri (fun i idx -> Hashtbl.replace out_edge (idx, w) arr.((i + 1) mod k)) arr)
-    groups;
-  { tree = t; groups; out_edge }
+  let adj = t.adj in
+  let p = adj.Adjacency.bstar.Bstar.p in
+  let wsize = p.W.size / p.W.d in
+  let m = Array.length adj.Adjacency.reps in
+  let bucket_par, bucket_children = label_buckets t in
+  (* The D-edges, flattened to node level: the w-edge [X]→[Y] leaves [X]
+     at its unique exit node αw and enters [Y] at its unique entry node
+     wβ, so one int per node replaces the (idx, w)-keyed Hashtbl. *)
+  let succ_override = Array.make p.W.size (-1) in
+  let scratch = Array.make (m + 1) 0 in
+  for w = 0 to wsize - 1 do
+    let par = bucket_par.(w) in
+    if par >= 0 then begin
+      let k = ref 1 in
+      scratch.(0) <- par;
+      List.iter
+        (fun c ->
+          scratch.(!k) <- c;
+          incr k)
+        bucket_children.(w);
+      let k = !k in
+      (* Insertion sort over necklace indices: representatives ascend
+         with index, so index order IS increasing-representative order;
+         a T_w is tiny (two members is typical). *)
+      for i = 1 to k - 1 do
+        let x = scratch.(i) in
+        let j = ref (i - 1) in
+        while !j >= 0 && scratch.(!j) > x do
+          scratch.(!j + 1) <- scratch.(!j);
+          decr j
+        done;
+        scratch.(!j + 1) <- x
+      done;
+      for i = 0 to k - 1 do
+        let idx = scratch.(i) and next = scratch.((i + 1) mod k) in
+        match
+          ( Adjacency.node_with_suffix adj idx w,
+            Adjacency.node_with_prefix adj next w )
+        with
+        | Some exit, Some entry -> succ_override.(exit) <- entry
+        | _ -> assert false
+      done
+    end
+  done;
+  { tree = t; succ_override }
+
+let groups m =
+  let t = m.tree in
+  let adj = t.adj in
+  let p = adj.Adjacency.bstar.Bstar.p in
+  let wsize = p.W.size / p.W.d in
+  let bucket_par, bucket_children = label_buckets t in
+  let rep i = adj.Adjacency.reps.(i) in
+  let acc = ref [] in
+  for w = wsize - 1 downto 0 do
+    let par = bucket_par.(w) in
+    if par >= 0 then
+      acc :=
+        ( w,
+          List.sort
+            (fun a b -> compare (rep a : int) (rep b))
+            (par :: bucket_children.(w)) )
+        :: !acc
+  done;
+  !acc
+
+let out_edge m idx w =
+  let adj = m.tree.adj in
+  match Adjacency.node_with_suffix adj idx w with
+  | None -> None
+  | Some exit ->
+      let entry = m.succ_override.(exit) in
+      if entry < 0 then None else Some adj.Adjacency.idx_of_node.(entry)
+
+let d_edge_count m =
+  Array.fold_left
+    (fun acc target -> if target >= 0 then acc + 1 else acc)
+    0 m.succ_override
 
 let is_spanning_subgraph m =
   let adj = m.tree.adj in
-  Hashtbl.fold
-    (fun (src, w) dst acc ->
-      acc
-      && Option.is_some (Adjacency.node_with_suffix adj src w)
-      && Option.is_some (Adjacency.node_with_prefix adj dst w)
-      && src <> dst)
-    m.out_edge true
+  List.for_all
+    (fun (w, members) ->
+      let arr = Array.of_list members in
+      let k = Array.length arr in
+      let ok = ref true in
+      Array.iteri
+        (fun i src ->
+          let dst = arr.((i + 1) mod k) in
+          ok :=
+            !ok
+            && Option.is_some (Adjacency.node_with_suffix adj src w)
+            && Option.is_some (Adjacency.node_with_prefix adj dst w)
+            && src <> dst)
+        arr;
+      !ok)
+    (groups m)

@@ -10,7 +10,11 @@
       necklace of Y's T′-parent (Step 1.2).
 
     The height-one property of every T_w follows because sibling nodes
-    wα and wβ share their full predecessor set, hence their T′ parent. *)
+    wα and wβ share their full predecessor set, hence their T′ parent.
+
+    The BFS runs over the arithmetic iterators (no graph is built) and
+    accepts [?domains] for level-synchronous parallel expansion — the
+    result is bit-identical to the sequential run. *)
 
 type tree = {
   adj : Adjacency.t;
@@ -22,7 +26,7 @@ type tree = {
   chosen : int array;  (** per necklace: the earliest-reached node Y *)
 }
 
-val build : Adjacency.t -> tree
+val build : ?domains:int -> Adjacency.t -> tree
 
 val check_height_one : tree -> bool
 (** Every label class T_w has a single common parent — guaranteed by
@@ -33,15 +37,31 @@ val tree_edges : tree -> (int * int * int) list
 
 type modified = {
   tree : tree;
-  groups : (int * int list) list;  (** label w → members of T_w, sorted by representative *)
-  out_edge : (int * int, int) Hashtbl.t;
-      (** (necklace idx, w) → successor necklace idx on the w-cycle *)
+  succ_override : int array;
+      (** node-level D-edges: the unique exit node αw of a w-edge maps
+          to the entry node wβ of the successor necklace on the
+          w-cycle; −1 everywhere else (take the necklace successor).
+          Replaces the seed's (idx, w)-keyed Hashtbl — a necklace has
+          at most one node per suffix w, so the node {e is} the key. *)
 }
 
 val modify : tree -> modified
 (** Step 2: each T_w (parent and children) becomes the directed cycle
     that steps through its members in increasing representative order
     and wraps. *)
+
+val groups : modified -> (int * int list) list
+(** Label w → members of T_w sorted by representative, for w ascending.
+    Recomputed on demand — [modify] itself only materialises
+    [succ_override]. *)
+
+val out_edge : modified -> int -> int -> int option
+(** [out_edge m idx w] — the successor necklace of [idx] on the
+    w-cycle, if D carries that edge (the seed's [Hashtbl] lookup,
+    recovered from [succ_override]). *)
+
+val d_edge_count : modified -> int
+(** Number of D-edges (Lemma 2.1 counts these against tree edges). *)
 
 val is_spanning_subgraph : modified -> bool
 (** Every D edge exists in N\u{2217} — exposed for tests. *)

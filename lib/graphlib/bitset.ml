@@ -1,0 +1,41 @@
+type t = { bits : Bytes.t; len : int }
+
+let create len =
+  if len < 0 then invalid_arg "Bitset.create: negative length";
+  { bits = Bytes.make ((len + 7) lsr 3) '\000'; len }
+
+let length t = t.len
+
+(* Kept out of line so [mem]/[add] stay small enough to inline into the
+   traversal hot loops even without flambda. *)
+let[@inline never] out_of_range () = invalid_arg "Bitset: index out of range"
+
+let[@inline] check t i = if i < 0 || i >= t.len then out_of_range ()
+
+let[@inline] mem t i =
+  check t i;
+  Char.code (Bytes.unsafe_get t.bits (i lsr 3)) land (1 lsl (i land 7)) <> 0
+
+let[@inline] add t i =
+  check t i;
+  let byte = i lsr 3 in
+  Bytes.unsafe_set t.bits byte
+    (Char.unsafe_chr (Char.code (Bytes.unsafe_get t.bits byte) lor (1 lsl (i land 7))))
+
+let remove t i =
+  check t i;
+  let byte = i lsr 3 in
+  Bytes.unsafe_set t.bits byte
+    (Char.unsafe_chr (Char.code (Bytes.unsafe_get t.bits byte) land lnot (1 lsl (i land 7))))
+
+let clear t = Bytes.fill t.bits 0 (Bytes.length t.bits) '\000'
+
+(* popcount via the 8-entry-per-byte table would be overkill here: the
+   only callers count once per traversal, so a per-byte loop is fine. *)
+let cardinal t =
+  let count = ref 0 in
+  for i = 0 to t.len - 1 do
+    if Char.code (Bytes.unsafe_get t.bits (i lsr 3)) land (1 lsl (i land 7)) <> 0 then
+      incr count
+  done;
+  !count

@@ -1,0 +1,122 @@
+type t = {
+  n : int;
+  off : int array; (* length n+1; succs of v are dst.(off.(v) .. off.(v+1)-1) *)
+  dst : int array;
+  mutable rev : t option; (* reverse CSR, built on first preds query *)
+}
+
+module Builder = struct
+  type t = {
+    n : int;
+    mutable src : int array;
+    mutable tgt : int array;
+    mutable len : int;
+  }
+
+  let create n =
+    if n < 0 then invalid_arg "Csr.Builder.create: negative size";
+    { n; src = Array.make 16 0; tgt = Array.make 16 0; len = 0 }
+
+  let add_edge b u v =
+    if u < 0 || u >= b.n || v < 0 || v >= b.n then
+      invalid_arg "Csr.Builder.add_edge: node out of range";
+    if b.len = Array.length b.src then begin
+      let cap = 2 * b.len in
+      let src = Array.make cap 0 and tgt = Array.make cap 0 in
+      Array.blit b.src 0 src 0 b.len;
+      Array.blit b.tgt 0 tgt 0 b.len;
+      b.src <- src;
+      b.tgt <- tgt
+    end;
+    b.src.(b.len) <- u;
+    b.tgt.(b.len) <- v;
+    b.len <- b.len + 1
+
+  (* Stable counting sort of the edge list by [key]: per-key insertion
+     order is preserved, so successor order matches Digraph's
+     (edge-insertion order per source). *)
+  let sort_by n key other len =
+    let off = Array.make (n + 1) 0 in
+    for i = 0 to len - 1 do
+      off.(key.(i) + 1) <- off.(key.(i) + 1) + 1
+    done;
+    for v = 1 to n do
+      off.(v) <- off.(v) + off.(v - 1)
+    done;
+    let dst = Array.make len 0 in
+    let cursor = Array.copy off in
+    for i = 0 to len - 1 do
+      let k = key.(i) in
+      dst.(cursor.(k)) <- other.(i);
+      cursor.(k) <- cursor.(k) + 1
+    done;
+    (off, dst)
+
+  let build b =
+    let off, dst = sort_by b.n b.src b.tgt b.len in
+    { n = b.n; off; dst; rev = None }
+end
+
+let of_edge_arrays ~n ~src ~dst =
+  if Array.length src <> Array.length dst then
+    invalid_arg "Csr.of_edge_arrays: length mismatch";
+  let off, dst = Builder.sort_by n src dst (Array.length src) in
+  { n; off; dst; rev = None }
+
+let n_nodes t = t.n
+let n_edges t = Array.length t.dst
+let out_degree t v = t.off.(v + 1) - t.off.(v)
+
+let iter_succs t v f =
+  for i = t.off.(v) to t.off.(v + 1) - 1 do
+    f t.dst.(i)
+  done
+
+let succs t v =
+  List.init (out_degree t v) (fun i -> t.dst.(t.off.(v) + i))
+
+let reverse t =
+  match t.rev with
+  | Some r -> r
+  | None ->
+      (* Counting sort by destination is stable on source order, so
+         predecessors come back in increasing-source insertion order —
+         the same order Digraph.preds yields. *)
+      let m = n_edges t in
+      let src = Array.make m 0 in
+      for v = 0 to t.n - 1 do
+        for i = t.off.(v) to t.off.(v + 1) - 1 do
+          src.(i) <- v
+        done
+      done;
+      let off, dst = Builder.sort_by t.n t.dst src m in
+      let r = { n = t.n; off; dst; rev = Some t } in
+      t.rev <- Some r;
+      r
+
+let iter_preds t v f = iter_succs (reverse t) v f
+let preds t v = succs (reverse t) v
+let in_degree t v = out_degree (reverse t) v
+
+let iter_edges f t =
+  for v = 0 to t.n - 1 do
+    for i = t.off.(v) to t.off.(v + 1) - 1 do
+      f v t.dst.(i)
+    done
+  done
+
+let mem_edge t u v =
+  let found = ref false in
+  iter_succs t u (fun w -> if w = v then found := true);
+  !found
+
+let of_digraph g =
+  let n = Digraph.n_nodes g in
+  let b = Builder.create n in
+  Digraph.iter_edges (fun u v -> Builder.add_edge b u v) g;
+  Builder.build b
+
+let to_digraph t =
+  let b = Digraph.Builder.create t.n in
+  iter_edges (fun u v -> Digraph.Builder.add_edge b u v) t;
+  Digraph.Builder.build b

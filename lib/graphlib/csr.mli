@@ -1,0 +1,53 @@
+(** Compact digraphs in compressed-sparse-row form.
+
+    Two [int array]s (offsets + destinations) instead of {!Digraph}'s
+    boxed successor lists — 2 words per edge, cache-linear iteration.
+    For graphs that genuinely must be materialized (the necklace
+    adjacency N*, whose edges come from a nontrivial construction);
+    graphs with arithmetic neighbors should stay implicit via
+    {!Itopo.iter} instead.
+
+    Successor order is edge-insertion order per source and predecessor
+    order is increasing-source insertion order, both matching
+    {!Digraph}.  Parallel edges and loops are allowed.  The reverse CSR
+    is built lazily on the first predecessor query and cached. *)
+
+type t
+
+module Builder : sig
+  type csr := t
+  type t
+
+  val create : int -> t
+  (** [create n] starts an empty graph on nodes [0 .. n−1]. *)
+
+  val add_edge : t -> int -> int -> unit
+  (** Append a directed edge; duplicates are kept. *)
+
+  val build : t -> csr
+end
+
+val of_edge_arrays : n:int -> src:int array -> dst:int array -> t
+(** Build directly from parallel edge arrays (consumed by counting
+    sort; the arrays are not retained). *)
+
+val n_nodes : t -> int
+val n_edges : t -> int
+val out_degree : t -> int -> int
+val in_degree : t -> int -> int
+
+val iter_succs : t -> int -> (int -> unit) -> unit
+(** Zero-allocation successor iteration; [fun v f -> iter_succs t v f]
+    is an {!Itopo.iter}. *)
+
+val iter_preds : t -> int -> (int -> unit) -> unit
+val succs : t -> int -> int list
+val preds : t -> int -> int list
+val mem_edge : t -> int -> int -> bool
+val iter_edges : (int -> int -> unit) -> t -> unit
+
+val reverse : t -> t
+(** The reverse graph (cached; [reverse (reverse t) == t]). *)
+
+val of_digraph : Digraph.t -> t
+val to_digraph : t -> Digraph.t

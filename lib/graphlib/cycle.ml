@@ -75,3 +75,48 @@ let of_successor_map ~start succ =
     end
   in
   go [] start 0
+
+let of_successor_map_n ~n ~start succ =
+  if start < 0 || start >= n then
+    invalid_arg "Cycle.of_successor_map_n: start out of range";
+  (* Flat variant of [of_successor_map]: a bitset instead of a Hashtbl,
+     and the cycle accumulated directly into an array — following a
+     Hamiltonian successor rule over millions of nodes stays
+     allocation-light. *)
+  let seen = Bitset.create n in
+  (* A simple cycle has at most n nodes, so the buffer never grows. *)
+  let buf = Array.make n 0 in
+  let len = ref 0 in
+  let rec go v =
+    if v = start && !len > 0 then Some (Array.sub buf 0 !len)
+    else if v < 0 || v >= n || Bitset.mem seen v then None
+    else begin
+      Bitset.add seen v;
+      buf.(!len) <- v;
+      incr len;
+      go (succ v)
+    end
+  in
+  go start
+
+let of_successor_array_n ~start (succ : int array) =
+  let n = Array.length succ in
+  if start < 0 || start >= n then
+    invalid_arg "Cycle.of_successor_array_n: start out of range";
+  (* Same as [of_successor_map_n] with the successor map given flat —
+     the per-step closure call disappears, which matters when the step
+     runs dⁿ times. *)
+  let seen = Bitset.create n in
+  let buf = Array.make n 0 in
+  let len = ref 0 in
+  let rec go v =
+    if v = start && !len > 0 then Some (Array.sub buf 0 !len)
+    else if v < 0 || v >= n || Bitset.mem seen v then None
+    else begin
+      Bitset.add seen v;
+      buf.(!len) <- v;
+      incr len;
+      go succ.(v)
+    end
+  in
+  go start

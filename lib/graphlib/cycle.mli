@@ -45,3 +45,14 @@ val of_successor_map : start:int -> (int -> int) -> int array option
 (** Follow a successor function from [start] until it returns to
     [start], failing with [None] if a node repeats before closing or
     after 2{^30} steps. *)
+
+val of_successor_map_n : n:int -> start:int -> (int -> int) -> int array option
+(** Flat-state variant of {!of_successor_map} for node ids in [0 .. n−1]
+    (bitset + array instead of a Hashtbl — use it whenever [n] is
+    known).  Additionally fails with [None] if the successor function
+    ever leaves the id range. *)
+
+val of_successor_array_n : start:int -> int array -> int array option
+(** {!of_successor_map_n} with the successor map as a flat array
+    ([n = Array.length succ]); negative entries fail the walk, so −1
+    works as "no successor". *)

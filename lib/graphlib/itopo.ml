@@ -1,0 +1,235 @@
+type iter = int -> (int -> unit) -> unit
+
+type bfs = { dist : int array; order : int array; count : int }
+
+let keep_all = fun _ -> true
+
+(* Physically-recognized empty predecessor iterator: when a caller knows
+   every weak component is already strongly connected (so directed
+   reachability covers it), passing [no_preds] lets the component sweeps
+   walk [succs] alone instead of a wrapper that calls both closures. *)
+let no_preds : iter = fun _ _ -> ()
+
+let symmetric ~succs ~preds : iter =
+  if preds == no_preds then succs
+  else
+    fun u f ->
+      succs u f;
+      preds u f
+
+(* Below this many frontier nodes a level is expanded sequentially even
+   when [domains > 1]: spawning is ~20–50 µs per domain and would
+   dominate small levels (same threshold rationale as
+   Netsim.Simulator.par_threshold). *)
+let par_threshold = 2048
+
+(* The visited bitset doubles as the keep mask: nodes failing [keep]
+   are pre-marked once, so the per-candidate test in the hot loops is a
+   single bit probe instead of a bit probe plus a closure call. *)
+let masked_visited ~n ~keep =
+  let visited = Bitset.create n in
+  if keep != keep_all then
+    for v = 0 to n - 1 do
+      if not (keep v) then Bitset.add visited v
+    done;
+  visited
+
+(* Expand one BFS level [order.(lo..hi-1)] in parallel.  Workers only
+   READ the visited bits, stashing candidate discoveries per chunk;
+   [commit] then dedupes sequentially in (chunk, frontier-position,
+   successor-order) order — exactly the order the sequential loop
+   considers candidates — so frontier contents, discovery order and
+   distances are bit-identical to the sequential expansion. *)
+let expand_par ~domains ~succs ~visited ~commit ~(order : int array) lo hi =
+  let k = hi - lo in
+  let chunk = (k + domains - 1) / domains in
+  let results = Array.make domains [||] in
+  let worker j =
+    let clo = lo + (j * chunk) and chi = min hi (lo + ((j + 1) * chunk)) in
+    if clo < chi then begin
+      let buf = ref (Array.make 256 0) in
+      let len = ref 0 in
+      let push v =
+        if !len = Array.length !buf then begin
+          let b = Array.make (2 * !len) 0 in
+          Array.blit !buf 0 b 0 !len;
+          buf := b
+        end;
+        !buf.(!len) <- v;
+        incr len
+      in
+      for i = clo to chi - 1 do
+        succs order.(i) (fun v -> if not (Bitset.mem visited v) then push v)
+      done;
+      results.(j) <- Array.sub !buf 0 !len
+    end
+  in
+  let spawned =
+    List.init (domains - 1) (fun j -> Domain.spawn (fun () -> worker (j + 1)))
+  in
+  worker 0;
+  List.iter Domain.join spawned;
+  Array.iter
+    (Array.iter (fun v -> if not (Bitset.mem visited v) then commit v))
+    results
+
+let bfs ?(domains = 1) ~n ~succs ?(keep = keep_all) src =
+  if src < 0 || src >= n then invalid_arg "Itopo.bfs: source out of range";
+  let dist = Array.make n (-1) in
+  let order = Array.make n 0 in
+  let count = ref 0 in
+  let visited = masked_visited ~n ~keep in
+  if not (Bitset.mem visited src) then begin
+    Bitset.add visited src;
+    dist.(src) <- 0;
+    order.(0) <- src;
+    count := 1;
+    let level_start = ref 0 in
+    let d = ref 0 in
+    while !level_start < !count do
+      let lo = !level_start and hi = !count in
+      level_start := hi;
+      incr d;
+      let commit v =
+        Bitset.add visited v;
+        dist.(v) <- !d;
+        order.(!count) <- v;
+        incr count
+      in
+      if domains > 1 && hi - lo >= par_threshold then
+        expand_par ~domains ~succs ~visited ~commit ~order lo hi
+      else
+        for i = lo to hi - 1 do
+          succs order.(i) (fun v ->
+              if not (Bitset.mem visited v) then commit v)
+        done
+    done
+  end;
+  { dist; order; count = !count }
+
+let bfs_dist ?domains ~n ~succs ?keep src =
+  (bfs ?domains ~n ~succs ?keep src).dist
+
+let eccentricity ?domains ~n ~succs ?keep src =
+  let r = bfs ?domains ~n ~succs ?keep src in
+  (* BFS discovers nodes by nondecreasing distance, so the last
+     discovery is the farthest. *)
+  if r.count = 0 then 0 else r.dist.(r.order.(r.count - 1))
+
+(* Visited-bitset BFS (no distances) appending discoveries to [order]
+   from position [!count]; [visited] must already have [src] unmarked
+   and every excluded node pre-marked ({!masked_visited}).  Shared by
+   the component sweeps so that one bitset + one order array span every
+   seed. *)
+let flood ~domains ~succs ~visited ~(order : int array) ~count src =
+  Bitset.add visited src;
+  order.(!count) <- src;
+  incr count;
+  let level_start = ref (!count - 1) in
+  while !level_start < !count do
+    let lo = !level_start and hi = !count in
+    level_start := hi;
+    let commit v =
+      Bitset.add visited v;
+      order.(!count) <- v;
+      incr count
+    in
+    if domains > 1 && hi - lo >= par_threshold then
+      expand_par ~domains ~succs ~visited ~commit ~order lo hi
+    else
+      for i = lo to hi - 1 do
+        succs order.(i) (fun v -> if not (Bitset.mem visited v) then commit v)
+      done
+  done
+
+let component_members ~n ~succs ~preds ?(keep = keep_all) src =
+  if src < 0 || src >= n then
+    invalid_arg "Itopo.component_members: source out of range";
+  if not (keep src) then [||]
+  else begin
+    let both = symmetric ~succs ~preds in
+    let visited = masked_visited ~n ~keep in
+    (* Growable order so a small component on a huge graph costs
+       O(component) words beyond the bitset. *)
+    let buf = ref (Array.make 64 0) in
+    let len = ref 0 in
+    Bitset.add visited src;
+    !buf.(0) <- src;
+    len := 1;
+    let head = ref 0 in
+    while !head < !len do
+      let u = !buf.(!head) in
+      incr head;
+      both u (fun v ->
+          if not (Bitset.mem visited v) then begin
+            Bitset.add visited v;
+            if !len = Array.length !buf then begin
+              let b = Array.make (2 * !len) 0 in
+              Array.blit !buf 0 b 0 !len;
+              buf := b
+            end;
+            !buf.(!len) <- v;
+            incr len
+          end)
+    done;
+    Array.sub !buf 0 !len
+  end
+
+let largest_weak_component ?(domains = 1) ~n ~succs ~preds ?(keep = keep_all) ()
+    =
+  let both = symmetric ~succs ~preds in
+  let visited = masked_visited ~n ~keep in
+  let order = Array.make n 0 in
+  let count = ref 0 in
+  let best_start = ref 0 and best_size = ref 0 in
+  for seed = 0 to n - 1 do
+    if not (Bitset.mem visited seed) then begin
+      let start = !count in
+      flood ~domains ~succs:both ~visited ~order ~count seed;
+      let size = !count - start in
+      (* strict [>]: ties go to the earlier seed, i.e. the component
+         containing the smallest node — matching
+         Traversal.largest_weak_component. *)
+      if size > !best_size then begin
+        best_size := size;
+        best_start := start
+      end
+    end
+  done;
+  (* Each component occupies a contiguous segment of [order], already
+     in BFS discovery order from its smallest member (seeds ascend). *)
+  Array.sub order !best_start !best_size
+
+let weak_labels ~n ~succs ~preds ?(keep = keep_all) () =
+  let both = symmetric ~succs ~preds in
+  let visited = masked_visited ~n ~keep in
+  let order = Array.make n 0 in
+  let count = ref 0 in
+  let label = Array.make n (-1) in
+  for seed = 0 to n - 1 do
+    if not (Bitset.mem visited seed) then begin
+      let start = !count in
+      flood ~domains:1 ~succs:both ~visited ~order ~count seed;
+      for i = start to !count - 1 do
+        label.(order.(i)) <- seed
+      done
+    end
+  done;
+  label
+
+let is_strongly_connected ?domains ~n ~succs ~preds ?(keep = keep_all) () =
+  let root = ref (-1) in
+  let kept = ref 0 in
+  for v = n - 1 downto 0 do
+    if keep v then begin
+      root := v;
+      incr kept
+    end
+  done;
+  !kept <= 1
+  ||
+  let fwd = bfs ?domains ~n ~succs ~keep !root in
+  fwd.count = !kept
+  &&
+  let bwd = bfs ?domains ~n ~succs:preds ~keep !root in
+  bwd.count = !kept

@@ -1,0 +1,91 @@
+(** Traversals over {e implicit} topologies.
+
+    Every algorithm here takes the graph as neighbor-iterator closures
+    instead of a materialized {!Digraph.t}: [succs v f] must call [f] on
+    each successor of [v] (in a fixed order), likewise [preds].  For De
+    Bruijn graphs the iterators are pure arithmetic
+    ([Debruijn.Word.iter_succs]), so million-node traversals run without
+    building any adjacency structure at all.  State is flat: distances
+    and discovery order in [int array]s (the BFS queue {e is} the
+    discovery-order array — every node is pushed at most once, so no
+    ring buffer is needed), visited marks in {!Bitset}.
+
+    [?domains:k] switches large BFS levels to level-synchronous parallel
+    expansion: workers read the visited marks read-only and stash
+    candidates per chunk, then a sequential merge dedupes them in the
+    exact order the sequential loop would consider them — results are
+    bit-identical to [domains = 1] (same contract as
+    [Netsim.Simulator]'s parallel stepping). *)
+
+type iter = int -> (int -> unit) -> unit
+(** [iter v f] calls [f] on each neighbor of [v], in a deterministic
+    order.  [f] may be invoked on nodes failing the traversal's [?keep]
+    predicate — filtering happens at the traversal layer. *)
+
+val no_preds : iter
+(** An empty predecessor iterator, recognized {e physically} by the
+    component sweeps: when the caller knows every weak component of the
+    induced subgraph is strongly connected (true for B\u{2217}, whose removed
+    set is a union of necklaces), passing [no_preds] makes the sweep
+    walk [succs] alone — half the edge work and no wrapper closure. *)
+
+type bfs = {
+  dist : int array;  (** distance from the source; [-1] if unreached *)
+  order : int array;
+      (** [order.(0 .. count−1)] are the reached nodes in discovery
+          order (nondecreasing distance); entries beyond [count] are
+          meaningless *)
+  count : int;  (** number of reached nodes *)
+}
+
+val bfs :
+  ?domains:int -> n:int -> succs:iter -> ?keep:(int -> bool) -> int -> bfs
+(** [bfs ~n ~succs src] — BFS from [src] over node ids [0 .. n−1].
+    [?keep] restricts to an induced subgraph; a source failing [keep]
+    reaches nothing ([count = 0]). *)
+
+val bfs_dist :
+  ?domains:int -> n:int -> succs:iter -> ?keep:(int -> bool) -> int -> int array
+(** Just the distance array of {!bfs}. *)
+
+val eccentricity :
+  ?domains:int -> n:int -> succs:iter -> ?keep:(int -> bool) -> int -> int
+(** Maximum finite BFS distance from the node (directed); [0] if the
+    source reaches nothing. *)
+
+val component_members :
+  n:int -> succs:iter -> preds:iter -> ?keep:(int -> bool) -> int -> int array
+(** Weakly-connected component of the node (BFS over the symmetric
+    closure), in BFS discovery order.  Costs O(component) words beyond
+    the n-bit visited set, so probing a small component of a huge graph
+    is cheap.  Empty if the node fails [keep]. *)
+
+val largest_weak_component :
+  ?domains:int ->
+  n:int ->
+  succs:iter ->
+  preds:iter ->
+  ?keep:(int -> bool) ->
+  unit ->
+  int array
+(** Largest weakly-connected node set of the induced subgraph, in BFS
+    discovery order from its smallest member; size ties break toward
+    the component containing the smallest node (both as in
+    {!Traversal.largest_weak_component}).  Empty iff no node passes
+    [keep]. *)
+
+val weak_labels :
+  n:int -> succs:iter -> preds:iter -> ?keep:(int -> bool) -> unit -> int array
+(** Labels every kept node with the smallest node of its weak component
+    ([-1] for nodes failing [keep]). *)
+
+val is_strongly_connected :
+  ?domains:int ->
+  n:int ->
+  succs:iter ->
+  preds:iter ->
+  ?keep:(int -> bool) ->
+  unit ->
+  bool
+(** Is the induced subgraph strongly connected?  (Vacuously true on
+    ≤ 1 node.)  Forward + backward reachability from one kept node. *)

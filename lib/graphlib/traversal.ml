@@ -21,20 +21,42 @@ let bfs_dist_restricted g keep src =
 let bfs_dist g src = bfs_dist_restricted g (fun _ -> true) src
 
 let bfs_tree g src =
-  let dist = bfs_dist g src in
   let n = Digraph.n_nodes g in
+  if src < 0 || src >= n then
+    invalid_arg "Traversal.bfs_tree: source out of range";
+  let dist = Array.make n (-1) in
+  (* Flat queue doubling as discovery order — so the parent scan below
+     can visit exactly the reached nodes, never touching the
+     predecessor lists of unreachable ones. *)
+  let order = Array.make n 0 in
+  let count = ref 0 in
+  dist.(src) <- 0;
+  order.(0) <- src;
+  count := 1;
+  let head = ref 0 in
+  while !head < !count do
+    let u = order.(!head) in
+    incr head;
+    List.iter
+      (fun v ->
+        if dist.(v) < 0 then begin
+          dist.(v) <- dist.(u) + 1;
+          order.(!count) <- v;
+          incr count
+        end)
+      (Digraph.succs g u)
+  done;
   let parent = Array.make n (-1) in
-  for v = 0 to n - 1 do
-    if v <> src && dist.(v) > 0 then begin
-      (* Minimal predecessor at the previous BFS level: this is the
-         paper's tie-break, and it is what makes sibling De Bruijn nodes
-         wα, wβ share a parent (they share their full predecessor set). *)
-      let best = ref max_int in
-      List.iter
-        (fun u -> if dist.(u) = dist.(v) - 1 && u < !best then best := u)
-        (Digraph.preds g v);
-      if !best < max_int then parent.(v) <- !best
-    end
+  for i = 1 to !count - 1 do
+    let v = order.(i) in
+    (* Minimal predecessor at the previous BFS level: this is the
+       paper's tie-break, and it is what makes sibling De Bruijn nodes
+       wα, wβ share a parent (they share their full predecessor set). *)
+    let best = ref max_int in
+    List.iter
+      (fun u -> if dist.(u) = dist.(v) - 1 && u < !best then best := u)
+      (Digraph.preds g v);
+    if !best < max_int then parent.(v) <- !best
   done;
   (dist, parent)
 

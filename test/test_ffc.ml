@@ -57,6 +57,21 @@ let test_bstar_component_of () =
   check_bool "faulty node has no component" true
     (B.component_of p ~faults:[ fault ] fault = None)
 
+let test_bstar_component_members_order () =
+  (* Same scenario as component_of: B(2,4), faulty necklace of 0001 =
+     {1, 2, 4, 8}, isolating 0000.  component_members must return the
+     symmetric-BFS discovery order (successors then predecessors per
+     node) in O(component), not a filter over the full node list —
+     which would come back ascending. *)
+  let p = W.params ~d:2 ~n:4 in
+  let faults = [ W.of_string p "0001" ] in
+  Alcotest.(check (array int)) "isolated node" [| 0 |]
+    (B.component_members p ~faults 0);
+  Alcotest.(check (array int)) "discovery order from 1111"
+    [| 15; 14; 7; 12; 13; 3; 11; 9; 6; 10; 5 |]
+    (B.component_members p ~faults 15);
+  Alcotest.(check (array int)) "faulty node" [||] (B.component_members p ~faults 1)
+
 let test_bstar_root_hint () =
   let b =
     Option.get (B.compute ~root_hint:(W.of_string p33 "221") p33 ~faults:example_faults)
@@ -95,10 +110,11 @@ let test_adjacency_figure_2_3 () =
   Alcotest.(check (list string)) "[122]-[222]" [ "22" ] (labels "122" "222");
   Alcotest.(check (list string)) "[011]-[012]" [ "01" ] (labels "011" "012");
   (* Symmetry of N*. *)
+  let edges = A.edges adj in
   List.iter
     (fun (i, j, w) ->
-      check_bool "antiparallel twin" true (List.mem (j, i, w) adj.A.edges))
-    adj.A.edges;
+      check_bool "antiparallel twin" true (List.mem (j, i, w) edges))
+    edges;
   check_bool "connected" true (A.is_connected adj);
   (* no edges between non-adjacent necklaces *)
   Alcotest.(check (list string)) "[000]-[111]" [] (labels "000" "111")
@@ -172,13 +188,13 @@ let test_modified_groups () =
       check_bool "group size" true (List.length members >= 2);
       List.iter
         (fun idx ->
-          check_bool "has out edge" true (Hashtbl.mem m.Sp.out_edge (idx, w)))
+          check_bool "has out edge" true (Option.is_some (Sp.out_edge m idx w)))
         members)
-    m.Sp.groups;
+    (Sp.groups m);
   (* D has as many edges as T edges plus one per group (cycle closing). *)
-  let d_edges = Hashtbl.length m.Sp.out_edge in
+  let d_edges = Sp.d_edge_count m in
   let t_edges = List.length (Sp.tree_edges m.Sp.tree) in
-  check_int "edge count" (t_edges + List.length m.Sp.groups) d_edges
+  check_int "edge count" (t_edges + List.length (Sp.groups m)) d_edges
 
 (* ------------------------------------------------------------------ *)
 (* the embedding: Example 2.1 and bounds *)
@@ -460,13 +476,17 @@ let test_lemma_2_1_arc_structure () =
               cyc;
             (* expected: the number of distinct w with an outgoing D-edge
                (single-necklace B* has zero D-edges and one "arc") *)
+            let out_degrees = Array.make (Array.length adj.A.reps) 0 in
+            Array.iteri
+              (fun x target ->
+                if target >= 0 then begin
+                  let i = adj.A.idx_of_node.(x) in
+                  out_degrees.(i) <- out_degrees.(i) + 1
+                end)
+              m.Sp.succ_override;
             Array.iteri
               (fun idx _ ->
-                let out_degree =
-                  Hashtbl.fold
-                    (fun (i, _) _ acc -> if i = idx then acc + 1 else acc)
-                    m.Sp.out_edge 0
-                in
+                let out_degree = out_degrees.(idx) in
                 let expected = max out_degree (if Array.length adj.A.reps = 1 then 0 else out_degree) in
                 if Array.length adj.A.reps > 1 then
                   check_int "arcs = D out-degree" expected entries.(idx))
@@ -620,6 +640,30 @@ let test_distributed_b217 () =
             "cycles identical" true
             (dist.Dist.cycle = emb.E.cycle))
 
+(* B(2,20) (1M nodes, one fault) through the implicit pipeline — the
+   flat-state acceptance run, gated like the netsim one. *)
+let test_implicit_b220 () =
+  match Sys.getenv_opt "NETSIM_BIG" with
+  | None | Some "" | Some "0" -> ()
+  | Some _ -> (
+      let p = W.params ~d:2 ~n:20 in
+      match E.embed p ~faults:[ 1 ] with
+      | None -> Alcotest.fail "B(2,20) f=1: no live necklace"
+      | Some e ->
+          check_bool "verify" true (E.verify e);
+          check_int "cycle covers B*" e.E.bstar.B.size (E.length e))
+
+(* ?domains:2 must be bit-identical to the sequential run; B(2,13) is
+   the smallest binary instance whose middle BFS levels exceed
+   Itopo.par_threshold, so the parallel expansion genuinely fires. *)
+let test_embed_domains_identical () =
+  let p = W.params ~d:2 ~n:13 in
+  let faults = [ 1 ] in
+  let seq = Option.get (E.embed p ~faults) in
+  let par = Option.get (E.embed ~domains:2 p ~faults) in
+  check_bool "successor maps identical" true (seq.E.successor = par.E.successor);
+  check_bool "cycles identical" true (seq.E.cycle = par.E.cycle)
+
 (* ------------------------------------------------------------------ *)
 (* properties *)
 
@@ -650,6 +694,21 @@ let qsuite =
         match E.embed p ~faults with
         | None -> true
         | Some e -> E.length e = e.E.bstar.B.size);
+    Test.make ~name:"implicit pipeline = frozen list-based reference" ~count:150
+      (make scenario) (fun (d, n, f, seed) ->
+        let p = W.params ~d ~n in
+        let rng = Util.Rng.create seed in
+        let f = min f (p.W.size - 1) in
+        let faults = Util.Rng.sample_distinct rng ~k:f ~bound:p.W.size in
+        match (E.embed p ~faults, Ffc.Reference.embed p ~faults) with
+        | None, None -> true
+        | Some e, Some r ->
+            e.E.bstar.B.root = r.Ffc.Reference.root
+            && e.E.bstar.B.size = r.Ffc.Reference.size
+            && e.E.bstar.B.in_bstar = r.Ffc.Reference.in_bstar
+            && e.E.successor = r.Ffc.Reference.successor
+            && e.E.cycle = r.Ffc.Reference.cycle
+        | _ -> false);
     Test.make ~name:"length >= d^n - nf whenever f <= d-2" ~count:150 (make scenario)
       (fun (d, n, f, seed) ->
         let p = W.params ~d ~n in
@@ -671,6 +730,8 @@ let () =
           Alcotest.test_case "no faults" `Quick test_bstar_no_faults;
           Alcotest.test_case "all faulty" `Quick test_bstar_all_faulty;
           Alcotest.test_case "component_of / isolation" `Quick test_bstar_component_of;
+          Alcotest.test_case "component_members discovery order" `Quick
+            test_bstar_component_members_order;
           Alcotest.test_case "root hint" `Quick test_bstar_root_hint;
           Alcotest.test_case "eccentricity" `Quick test_bstar_eccentricity;
         ] );
@@ -699,6 +760,9 @@ let () =
           Alcotest.test_case "best case (short necklace)" `Quick test_pancyclic_best_case;
           Alcotest.test_case "Lemma 2.1 arc structure" `Quick test_lemma_2_1_arc_structure;
           Alcotest.test_case "Table 2.2 regression slice" `Quick test_table_2_2_regression;
+          Alcotest.test_case "domains:2 bit-identical" `Quick test_embed_domains_identical;
+          Alcotest.test_case "B(2,20) implicit acceptance (NETSIM_BIG=1)" `Slow
+            test_implicit_b220;
         ] );
       ( "routing",
         [

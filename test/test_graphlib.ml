@@ -184,6 +184,164 @@ let test_of_successor_map () =
   Alcotest.(check bool) "rho fails" true
     (C.of_successor_map ~start:0 (fun v -> if v = 0 then 1 else if v = 1 then 2 else 1) = None)
 
+let test_bfs_tree_unreachable () =
+  (* 3 ⇄ 4 is a separate component: bfs_tree must leave parents at −1
+     without ever scanning their predecessor lists. *)
+  let g = D.of_edges 5 [ (0, 1); (1, 2); (3, 4); (4, 3) ] in
+  let dist, parent = T.bfs_tree g 0 in
+  check_int "unreached dist" (-1) dist.(3);
+  check_int "unreached parent 3" (-1) parent.(3);
+  check_int "unreached parent 4" (-1) parent.(4);
+  check_int "reached parent" 1 parent.(2)
+
+let test_bfs_tree_shared_preds () =
+  (* Siblings 3 and 4 share predecessor set {1, 2}: both must pick the
+     minimal predecessor 1; node 5 has only 2. *)
+  let g = D.of_edges 6 [ (0, 1); (0, 2); (1, 3); (2, 3); (1, 4); (2, 4); (2, 5) ] in
+  let _, parent = T.bfs_tree g 0 in
+  check_int "3 minimal parent" 1 parent.(3);
+  check_int "4 minimal parent" 1 parent.(4);
+  check_int "5 sole parent" 2 parent.(5);
+  Alcotest.check_raises "source out of range"
+    (Invalid_argument "Traversal.bfs_tree: source out of range") (fun () ->
+      ignore (T.bfs_tree g 6))
+
+(* ------------------------------------------------------------------ *)
+(* bitset *)
+
+module BS = Graphlib.Bitset
+
+let test_bitset_basic () =
+  let b = BS.create 70 in
+  check_int "length" 70 (BS.length b);
+  check_bool "fresh empty" false (BS.mem b 0);
+  List.iter (BS.add b) [ 0; 7; 8; 69 ];
+  List.iter (fun i -> check_bool (string_of_int i) true (BS.mem b i)) [ 0; 7; 8; 69 ];
+  check_bool "unset" false (BS.mem b 9);
+  check_int "cardinal" 4 (BS.cardinal b);
+  BS.remove b 7;
+  check_bool "removed" false (BS.mem b 7);
+  check_int "cardinal after remove" 3 (BS.cardinal b);
+  BS.clear b;
+  check_int "cleared" 0 (BS.cardinal b);
+  Alcotest.check_raises "out of range" (Invalid_argument "Bitset: index out of range")
+    (fun () -> ignore (BS.mem b 70));
+  Alcotest.check_raises "negative" (Invalid_argument "Bitset: index out of range")
+    (fun () -> BS.add b (-1))
+
+(* ------------------------------------------------------------------ *)
+(* csr *)
+
+module Csr = Graphlib.Csr
+
+let test_csr_ring () =
+  let c = Csr.of_digraph ring5 in
+  check_int "nodes" 5 (Csr.n_nodes c);
+  check_int "edges" 5 (Csr.n_edges c);
+  Alcotest.(check (list int)) "succs" [ 1 ] (Csr.succs c 0);
+  Alcotest.(check (list int)) "preds" [ 4 ] (Csr.preds c 0);
+  check_bool "mem" true (Csr.mem_edge c 2 3);
+  check_bool "not mem" false (Csr.mem_edge c 3 2);
+  check_int "out degree" 1 (Csr.out_degree c 0);
+  check_int "in degree" 1 (Csr.in_degree c 0)
+
+let test_csr_parallel_and_loops () =
+  let b = Csr.Builder.create 2 in
+  Csr.Builder.add_edge b 0 0;
+  Csr.Builder.add_edge b 0 1;
+  Csr.Builder.add_edge b 0 1;
+  let c = Csr.Builder.build b in
+  check_int "edges with multiplicity" 3 (Csr.n_edges c);
+  Alcotest.(check (list int)) "succ order kept" [ 0; 1; 1 ] (Csr.succs c 0);
+  check_int "in degree of loop" 1 (Csr.in_degree c 0);
+  check_bool "reverse cached" true (Csr.reverse (Csr.reverse c) == c)
+
+(* ------------------------------------------------------------------ *)
+(* itopo: implicit-topology traversals *)
+
+module It = Graphlib.Itopo
+
+let isuccs g v f = List.iter f (D.succs g v)
+let ipreds g v f = List.iter f (D.preds g v)
+
+let test_itopo_bfs_ring () =
+  let r = It.bfs ~n:5 ~succs:(isuccs ring5) 0 in
+  Alcotest.(check (array int)) "dist" [| 0; 1; 2; 3; 4 |] r.It.dist;
+  check_int "count" 5 r.It.count;
+  Alcotest.(check (array int)) "order" [| 0; 1; 2; 3; 4 |]
+    (Array.sub r.It.order 0 r.It.count);
+  check_int "ecc" 4 (It.eccentricity ~n:5 ~succs:(isuccs ring5) 0);
+  (* keep predicate cuts the ring *)
+  let r = It.bfs ~n:5 ~succs:(isuccs ring5) ~keep:(fun v -> v <> 2) 0 in
+  check_int "blocked dist" (-1) r.It.dist.(3);
+  check_int "blocked count" 2 r.It.count;
+  (* source failing keep reaches nothing *)
+  let r = It.bfs ~n:5 ~succs:(isuccs ring5) ~keep:(fun v -> v <> 0) 0 in
+  check_int "dead source" 0 r.It.count
+
+let test_itopo_component_members () =
+  (* 0 → {1, 2}, 2 → 3: symmetric BFS from 3 discovers 3, then its
+     predecessor 2, then 2's predecessor 0, then 0's successor 1 — the
+     exact discovery order is part of the contract. *)
+  let g = D.of_edges 4 [ (0, 1); (0, 2); (2, 3) ] in
+  Alcotest.(check (array int)) "discovery order" [| 3; 2; 0; 1 |]
+    (It.component_members ~n:4 ~succs:(isuccs g) ~preds:(ipreds g) 3);
+  Alcotest.(check (array int)) "excluded source" [||]
+    (It.component_members ~n:4 ~succs:(isuccs g) ~preds:(ipreds g)
+       ~keep:(fun v -> v <> 3) 3)
+
+let test_itopo_largest_weak () =
+  let g = D.of_edges 6 [ (0, 1); (1, 2); (2, 0); (3, 4) ] in
+  let sorted a = List.sort compare (Array.to_list a) in
+  Alcotest.(check (list int)) "largest" [ 0; 1; 2 ]
+    (sorted
+       (It.largest_weak_component ~n:6 ~succs:(isuccs g) ~preds:(ipreds g) ()));
+  Alcotest.(check (list int)) "with exclusion" [ 3; 4 ]
+    (sorted
+       (It.largest_weak_component ~n:6 ~succs:(isuccs g) ~preds:(ipreds g)
+          ~keep:(fun v -> v >= 3) ()));
+  Alcotest.(check (list int)) "empty" []
+    (sorted
+       (It.largest_weak_component ~n:6 ~succs:(isuccs g) ~preds:(ipreds g)
+          ~keep:(fun _ -> false) ()))
+
+let test_itopo_no_preds () =
+  (* B*-style usage: every weak component strongly connected, so the
+     successor-only sweep must find the same component set. *)
+  let g = D.of_edges 6 [ (0, 1); (1, 2); (2, 0); (3, 4); (4, 3) ] in
+  let sorted a = List.sort compare (Array.to_list a) in
+  Alcotest.(check (list int)) "succ-only sweep" [ 0; 1; 2 ]
+    (sorted
+       (It.largest_weak_component ~n:6 ~succs:(isuccs g) ~preds:It.no_preds ()));
+  check_bool "strongly connected" true
+    (It.is_strongly_connected ~n:6 ~succs:(isuccs g) ~preds:(ipreds g)
+       ~keep:(fun v -> v < 3) ());
+  check_bool "not strongly connected" false
+    (It.is_strongly_connected ~n:6 ~succs:(isuccs g) ~preds:(ipreds g) ())
+
+let test_itopo_parallel_levels () =
+  (* A graph wide enough to push levels past par_threshold so the
+     domains > 1 path genuinely runs expand_par: star from 0 into
+     10000 nodes, each fanning further via arithmetic jumps. *)
+  let n = 30000 in
+  let succs v f =
+    if v = 0 then
+      for i = 1 to 10000 do
+        f i
+      done
+    else begin
+      f (((v * 7) + 11) mod n);
+      f (((v * 13) + 5) mod n)
+    end
+  in
+  let seq = It.bfs ~n ~succs 0 in
+  let par = It.bfs ~domains:4 ~n ~succs 0 in
+  check_int "same count" seq.It.count par.It.count;
+  Alcotest.(check (array int)) "same dist" seq.It.dist par.It.dist;
+  Alcotest.(check (array int)) "same order"
+    (Array.sub seq.It.order 0 seq.It.count)
+    (Array.sub par.It.order 0 par.It.count)
+
 (* ------------------------------------------------------------------ *)
 (* connectivity *)
 
@@ -279,6 +437,96 @@ let qsuite =
         all = List.init n Fun.id);
   ]
 
+(* Agreement between the flat/implicit layer (Csr, Itopo) and the
+   list-based reference layer (Digraph, Traversal) on random digraphs —
+   the same pinning discipline test_netsim.ml uses for its engines. *)
+let qsuite_compact =
+  let open QCheck in
+  let keep_of n v = v = 0 || (v * 31) mod n <> 1 in
+  [
+    Test.make ~name:"Csr.of_digraph preserves succ/pred lists" ~count:200
+      arb_graph (fun (n, es) ->
+        let g = D.of_edges n es in
+        let c = Csr.of_digraph g in
+        Csr.n_nodes c = n
+        && Csr.n_edges c = D.n_edges g
+        && List.for_all
+             (fun v -> Csr.succs c v = D.succs g v && Csr.preds c v = D.preds g v)
+             (List.init n Fun.id));
+    Test.make ~name:"Csr to_digraph round-trips the edge lists" ~count:200
+      arb_graph (fun (n, es) ->
+        let g = D.of_edges n es in
+        let g' = Csr.to_digraph (Csr.of_digraph g) in
+        List.for_all (fun v -> D.succs g' v = D.succs g v) (List.init n Fun.id));
+    Test.make ~name:"Itopo.bfs_dist = Traversal.bfs_dist" ~count:200 arb_graph
+      (fun (n, es) ->
+        let g = D.of_edges n es in
+        It.bfs_dist ~n ~succs:(isuccs g) 0 = T.bfs_dist g 0);
+    Test.make ~name:"Itopo.bfs_dist with keep = bfs_dist_restricted" ~count:200
+      arb_graph (fun (n, es) ->
+        let g = D.of_edges n es in
+        let keep = keep_of n in
+        It.bfs_dist ~n ~succs:(isuccs g) ~keep 0 = T.bfs_dist_restricted g keep 0);
+    Test.make ~name:"Itopo.eccentricity = Traversal.eccentricity" ~count:200
+      arb_graph (fun (n, es) ->
+        let g = D.of_edges n es in
+        It.eccentricity ~n ~succs:(isuccs g) 0 = T.eccentricity g 0);
+    Test.make ~name:"Itopo.largest_weak_component = Traversal's" ~count:200
+      arb_graph (fun (n, es) ->
+        let g = D.of_edges n es in
+        let keep = keep_of n in
+        let mine =
+          List.sort compare
+            (Array.to_list
+               (It.largest_weak_component ~n ~succs:(isuccs g) ~preds:(ipreds g)
+                  ~keep ()))
+        in
+        mine = List.sort compare (T.largest_weak_component g keep));
+    Test.make ~name:"Itopo.weak_labels induces Traversal's partition" ~count:200
+      arb_graph (fun (n, es) ->
+        let g = D.of_edges n es in
+        let mine = It.weak_labels ~n ~succs:(isuccs g) ~preds:(ipreds g) () in
+        let reference, _ = T.weak_components g in
+        let ids = List.init n Fun.id in
+        (* same equivalence classes, and each label is the smallest member *)
+        List.for_all
+          (fun u ->
+            mine.(u) <= u
+            && mine.(mine.(u)) = mine.(u)
+            && List.for_all
+                 (fun v -> mine.(u) = mine.(v) = (reference.(u) = reference.(v)))
+                 ids)
+          ids);
+    Test.make ~name:"Itopo.component_members = weak component of node" ~count:200
+      arb_graph (fun (n, es) ->
+        let g = D.of_edges n es in
+        let members =
+          It.component_members ~n ~succs:(isuccs g) ~preds:(ipreds g) 0
+        in
+        let reference, _ = T.weak_components g in
+        Array.length members > 0
+        && members.(0) = 0
+        && List.sort compare (Array.to_list members)
+           = List.filter (fun v -> reference.(v) = reference.(0)) (List.init n Fun.id));
+    Test.make ~name:"Itopo.is_strongly_connected = Traversal's" ~count:200
+      arb_graph (fun (n, es) ->
+        let g = D.of_edges n es in
+        let keep = keep_of n in
+        It.is_strongly_connected ~n ~succs:(isuccs g) ~preds:(ipreds g) ()
+        = T.is_strongly_connected g (fun _ -> true)
+        && It.is_strongly_connected ~n ~succs:(isuccs g) ~preds:(ipreds g) ~keep ()
+           = T.is_strongly_connected g keep);
+    Test.make ~name:"Itopo.bfs ~domains:4 is bit-identical" ~count:100 arb_graph
+      (fun (n, es) ->
+        let g = D.of_edges n es in
+        let seq = It.bfs ~n ~succs:(isuccs g) 0 in
+        let par = It.bfs ~domains:4 ~n ~succs:(isuccs g) 0 in
+        seq.It.dist = par.It.dist
+        && seq.It.count = par.It.count
+        && Array.sub seq.It.order 0 seq.It.count
+           = Array.sub par.It.order 0 par.It.count);
+  ]
+
 let () =
   Alcotest.run "graphlib"
     [
@@ -296,6 +544,8 @@ let () =
           Alcotest.test_case "bfs" `Quick test_bfs;
           Alcotest.test_case "bfs restricted" `Quick test_bfs_restricted;
           Alcotest.test_case "bfs tree minimal parent" `Quick test_bfs_tree;
+          Alcotest.test_case "bfs tree unreachable nodes" `Quick test_bfs_tree_unreachable;
+          Alcotest.test_case "bfs tree shared predecessors" `Quick test_bfs_tree_shared_preds;
           Alcotest.test_case "eccentricity" `Quick test_eccentricity;
           Alcotest.test_case "weak components" `Quick test_weak_components;
           Alcotest.test_case "largest weak component" `Quick test_largest_weak_component;
@@ -327,5 +577,21 @@ let () =
           Alcotest.test_case "cut vertex" `Quick test_connectivity_cut_vertex;
           Alcotest.test_case "De Bruijn facts (EH85)" `Quick test_connectivity_de_bruijn;
         ] );
+      ("bitset", [ Alcotest.test_case "basic" `Quick test_bitset_basic ]);
+      ( "csr",
+        [
+          Alcotest.test_case "ring" `Quick test_csr_ring;
+          Alcotest.test_case "parallel edges and loops" `Quick test_csr_parallel_and_loops;
+        ] );
+      ( "itopo",
+        [
+          Alcotest.test_case "bfs on ring" `Quick test_itopo_bfs_ring;
+          Alcotest.test_case "component members order" `Quick test_itopo_component_members;
+          Alcotest.test_case "largest weak component" `Quick test_itopo_largest_weak;
+          Alcotest.test_case "no_preds sweep" `Quick test_itopo_no_preds;
+          Alcotest.test_case "parallel levels bit-identical" `Quick test_itopo_parallel_levels;
+        ] );
       ("properties", List.map (QCheck_alcotest.to_alcotest ~long:false) qsuite);
+      ( "compact vs reference",
+        List.map (QCheck_alcotest.to_alcotest ~long:false) qsuite_compact );
     ]
