@@ -5,10 +5,10 @@
    Usage:
      dune exec bench/main.exe              run everything
      dune exec bench/main.exe -- tables    only the tables
-     (sections: tables figures sweeps ablations open-problems timing scale)
+     (sections: tables figures sweeps ablations open-problems timing scale dhc)
 
-   Flags (consumed by the scale section):
-     --json    also write the scale measurements to BENCH_scale.json
+   Flags (consumed by the scale and dhc sections):
+     --json    also write the measurements to BENCH_scale.json / BENCH_dhc.json
      --smoke   smallest instances only (CI smoke run) *)
 
 let () =
@@ -18,7 +18,8 @@ let () =
   let sections =
     [ ("tables", Tables.run); ("figures", Figures.run); ("sweeps", Sweeps.run);
       ("ablations", Ablations.run); ("open-problems", Open_problems.run);
-      ("timing", Timing.run); ("scale", Scale.run ~json ~smoke) ]
+      ("timing", Timing.run); ("scale", Scale.run ~json ~smoke);
+      ("dhc", Dhc_bench.run ~json ~smoke) ]
   in
   let requested =
     match List.filter (fun a -> not (String.starts_with ~prefix:"--" a)) args with

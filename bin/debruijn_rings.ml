@@ -3,6 +3,7 @@
    Subcommands:
      ffc       fault-free ring under node failures (Chapter 2)
      edge      Hamiltonian ring under link failures (Chapter 3)
+     dhc       streaming Chapter-3 engine: rings and edge-fault campaigns
      disjoint  edge-disjoint Hamiltonian rings
      count     necklace counts (Chapter 4)
      psi       the tolerance functions psi / phi / MAX
@@ -100,6 +101,67 @@ let edge_cmd =
   Cmd.v
     (Cmd.info "edge" ~doc:"Hamiltonian ring under link failures (Chapter 3).")
     Term.(const run $ d_arg $ n_arg $ faults)
+
+let dhc_cmd =
+  let faults =
+    Arg.(value & opt_all string [] & info [ "fault" ] ~docv:"U-V" ~doc:"A faulty link as U-V, e.g. 01-12 (repeatable).")
+  in
+  let campaign =
+    Arg.(value & flag & info [ "campaign" ] ~doc:"Run a randomized edge-fault campaign sweeping f from 0 past MAX(psi-1, phi).")
+  in
+  let trials =
+    Arg.(value & opt int 20 & info [ "trials" ] ~docv:"T" ~doc:"Trials per fault count (with --campaign).")
+  in
+  let fmax =
+    Arg.(value & opt (some int) None & info [ "fmax" ] ~docv:"F" ~doc:"Largest fault count to sweep (default 2 MAX + 2).")
+  in
+  let seed =
+    Arg.(value & opt int 0x5eed & info [ "seed" ] ~docv:"S" ~doc:"Campaign PRNG seed.")
+  in
+  let domains =
+    Arg.(value & opt int 1 & info [ "domains" ] ~docv:"K" ~doc:"Parallelize campaign trials on $(docv) OCaml domains (statistics unchanged).")
+  in
+  let run d n fault_strs campaign trials fmax seed domains =
+    let p = Core.Word.params ~d ~n in
+    if campaign then begin
+      Printf.printf "# campaign on B(%d,%d): %d trials per point, tolerance MAX(psi-1, phi) = %d\n"
+        d n trials (Core.Psi.max_tolerance d);
+      Printf.printf "#   f  success  construction  disjoint  masked  mean-ring-length\n";
+      List.iter
+        (fun (pt : Core.Campaign.point) ->
+          Printf.printf "%5d  %3d/%-3d  %12d  %8d  %6d  %16.1f\n" pt.Core.Campaign.f
+            pt.Core.Campaign.successes pt.Core.Campaign.trials
+            pt.Core.Campaign.via_construction pt.Core.Campaign.via_disjoint
+            pt.Core.Campaign.masked_fallbacks pt.Core.Campaign.mean_ring_length)
+        (Core.Campaign.run ~domains ~trials ~seed ?fmax ~d ~n ())
+    end
+    else begin
+      let faults = List.map (parse_edge d n) fault_strs in
+      match Core.Edge_fault.best_hc_avoiding_stream ~d ~n ~faults with
+      | None ->
+          prerr_endline "no fault-free Hamiltonian ring found";
+          exit 1
+      | Some st ->
+          let route =
+            match Core.Edge_fault.hc_avoiding_stream ~d ~n ~faults with
+            | Some _ -> "construction"
+            | None -> "psi-family"
+          in
+          let fs = Core.Edge_fault.Faults.make p faults in
+          let ok =
+            Core.Stream.is_hamiltonian st
+            && Core.Stream.avoids st (Core.Edge_fault.Faults.mem fs)
+          in
+          Printf.printf
+            "# streaming ring of B(%d,%d): %d nodes via %s, verified fault-free hamiltonian %b\n"
+            d n st.Core.Stream.length route ok;
+          if p.Core.Word.size <= 4096 then
+            print_endline (render p (Core.Stream.to_nodes st))
+    end
+  in
+  Cmd.v
+    (Cmd.info "dhc" ~doc:"Streaming Chapter-3 engine: O(n)-memory fault-avoiding rings and edge-fault campaigns.")
+    Term.(const run $ d_arg $ n_arg $ faults $ campaign $ trials $ fmax $ seed $ domains)
 
 let disjoint_cmd =
   let run d n =
@@ -201,4 +263,4 @@ let route_cmd =
 let () =
   let doc = "fault-tolerant ring embedding in De Bruijn networks (Rowley & Bose)" in
   let info = Cmd.info "debruijn-rings" ~version:"1.0.0" ~doc in
-  exit (Cmd.eval (Cmd.group info [ ffc_cmd; edge_cmd; disjoint_cmd; count_cmd; psi_cmd; butterfly_cmd; route_cmd ]))
+  exit (Cmd.eval (Cmd.group info [ ffc_cmd; edge_cmd; dhc_cmd; disjoint_cmd; count_cmd; psi_cmd; butterfly_cmd; route_cmd ]))

@@ -36,6 +36,8 @@ module Strategies = Dhc.Strategies
 module Edge_fault = Dhc.Edge_fault
 module Psi = Dhc.Psi
 module Mdb = Dhc.Mdb
+module Stream = Dhc.Stream
+module Campaign = Dhc.Campaign
 module Butterfly_graph = Butterfly.Graph
 module Butterfly_embed = Butterfly.Embed
 module Count = Necklace_count.Count

@@ -116,6 +116,17 @@ let iter_preds p x f =
     f ((a * stride) + w)
   done
 
+let edge_code p u v =
+  check p u;
+  check p v;
+  if suffix p u <> prefix p v then invalid_arg "Word.edge_code: not a De Bruijn edge";
+  (u * p.d) + last_digit p v
+
+let edge_of_code p c =
+  if c < 0 || c >= p.size * p.d then invalid_arg "Word.edge_of_code: out of range";
+  let u = c / p.d and a = c mod p.d in
+  (u, snoc p (suffix p u) a)
+
 let to_string p x =
   String.concat "" (Array.to_list (Array.map string_of_int (decode p x)))
 

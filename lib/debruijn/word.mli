@@ -75,6 +75,15 @@ val iter_succs : params -> int -> (int -> unit) -> unit
 val iter_preds : params -> int -> (int -> unit) -> unit
 (** Likewise for {!predecessors}. *)
 
+val edge_code : params -> int -> int -> int
+(** [edge_code p u v] packs the De Bruijn edge u → v into the integer
+    u·d + vₙ ∈ [0, dⁿ·d) — the (n+1)-digit window as a number, the key
+    the flat fault tables ({!Dhc.Edge_fault}) index by.
+    @raise Invalid_argument if u → v is not a De Bruijn edge. *)
+
+val edge_of_code : params -> int -> int * int
+(** Inverse of {!edge_code}. *)
+
 val to_string : params -> int -> string
 (** Digits concatenated, e.g. ["0112"]. *)
 

@@ -32,3 +32,15 @@ let rec disjoint_hamiltonian_cycles ~d ~n =
       let as_ = disjoint_hamiltonian_cycles ~d:s ~n in
       let bs = Strategies.disjoint_hamiltonian_cycles ~d:t ~n in
       List.concat_map (fun a -> List.map (fun b -> product ~s ~t a b) bs) as_
+
+(* The same family as streams: identical recursion, so the i-th stream
+   is the i-th materialized cycle with the same node order. *)
+let rec disjoint_hamiltonian_streams ~d ~n =
+  match N.factorize d with
+  | [] | [ _ ] -> Strategies.disjoint_hamiltonian_streams ~d ~n
+  | (p, e) :: _ ->
+      let t = N.pow p e in
+      let s = d / t in
+      let as_ = disjoint_hamiltonian_streams ~d:s ~n in
+      let bs = Strategies.disjoint_hamiltonian_streams ~d:t ~n in
+      List.concat_map (fun a -> List.map (fun b -> Stream.product ~s ~t a b) bs) as_

@@ -18,3 +18,8 @@ val disjoint_hamiltonian_cycles : d:int -> n:int -> int array list
 (** ψ(d) pairwise edge-disjoint HCs of B(d,n) for any d ≥ 2, n ≥ 2,
     built by composing the prime-power families over the factorization
     of d. *)
+
+val disjoint_hamiltonian_streams : d:int -> n:int -> Stream.t list
+(** The same ψ(d) cycles as O(n)-memory {!Stream.t}s (same order, same
+    node order): materializing the family costs ψ(d)·dⁿ words, the
+    streams a handful of closures each. *)

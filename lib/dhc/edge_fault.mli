@@ -1,4 +1,4 @@
-(** Fault-free Hamiltonian cycles under edge failures (§3.3).
+(** Fault-free Hamiltonian cycles under edge failures (§3.3), streaming.
 
     Proposition 3.3 (constructive): B(d,n) admits an HC avoiding any
     f ≤ φ(d) = Σpᵢᵉⁱ − 2k faulty edges.
@@ -10,24 +10,71 @@
       φ(s) to A and φ(t) to B, and recurse.
 
     Proposition 3.4 adds the alternative of picking a fault-free member
-    of the ψ(d) disjoint HCs, tolerating ψ(d)−1 faults. *)
+    of the ψ(d) disjoint HCs, tolerating ψ(d)−1 faults.
+
+    This engine works over {!Stream.t} successor functions: the search
+    touches only the f faults and O(d) insertion-edge probes, never a
+    dⁿ array, so rings of million-edge networks fit in O(n) memory.
+    Outputs are pinned node-for-node to the frozen seed implementation
+    in {!Reference}. *)
 
 type fault = int * int
 (** A faulty edge as a node pair of B(d,n). *)
 
+val validate_faults : Debruijn.Word.params -> fault list -> unit
+(** @raise Invalid_argument if a fault has a node out of range or is not
+    a De Bruijn edge. *)
+
+(** Constant-time fault-set membership.
+
+    Edges are keyed by {!Debruijn.Word.edge_code}: a dense
+    {!Graphlib.Bitset} when the code space dⁿ·d is small enough
+    (≤ 2²⁷), a hashtable beyond that — either way [mem] is O(1), not an
+    O(f) association-list scan. *)
+module Faults : sig
+  type t
+
+  val make : Debruijn.Word.params -> fault list -> t
+  (** Validates the faults and builds the probe structure. *)
+
+  val count : t -> int
+
+  val mem : t -> int -> int -> bool
+  (** [mem t u v] — (u, v) must be a De Bruijn edge. *)
+
+  val mem_code : t -> int -> bool
+  (** Membership by pre-computed {!Debruijn.Word.edge_code}. *)
+end
+
+(** {1 Streaming engine} *)
+
+val hc_avoiding_stream : d:int -> n:int -> faults:fault list -> Stream.t option
+(** The Proposition 3.3 construction as an O(n)-memory stream; [None] if
+    the search fails (guaranteed to succeed for |faults| ≤ φ(d); may
+    also succeed beyond).  Requires n ≥ 2.  Same search order — hence
+    same answer — as {!Reference.hc_avoiding}. *)
+
+val hc_avoiding_via_disjoint_stream : d:int -> n:int -> faults:fault list -> Stream.t option
+(** Pick a fault-free member of the ψ(d) disjoint HC streams — handles
+    up to ψ(d)−1 faults.  Each candidate is screened with O(1) successor
+    probes per fault ({!Stream.contains_edge}), not a dⁿ walk. *)
+
+val best_hc_avoiding_stream : d:int -> n:int -> faults:fault list -> Stream.t option
+(** Try {!hc_avoiding_stream}, falling back to
+    {!hc_avoiding_via_disjoint_stream} — realizes the MAX(ψ(d)−1, φ(d))
+    bound of Proposition 3.4. *)
+
+(** {1 Materializing wrappers (the seed API)} *)
+
 val hc_avoiding : d:int -> n:int -> faults:fault list -> int array option
-(** The Proposition 3.3 construction; returns the HC as a sequence of
-    length dⁿ, or [None] if the search fails (guaranteed to succeed for
-    |faults| ≤ φ(d); may also succeed beyond).  Requires n ≥ 2.
-    Non-De-Bruijn-edge faults are rejected with [Invalid_argument]. *)
+(** {!hc_avoiding_stream} materialized to a digit sequence of length
+    dⁿ. *)
 
 val hc_avoiding_via_disjoint : d:int -> n:int -> faults:fault list -> int array option
-(** Pick a fault-free cycle among the ψ(d) disjoint HCs — handles up to
-    ψ(d)−1 faults. *)
+(** {!hc_avoiding_via_disjoint_stream} materialized. *)
 
 val best_hc_avoiding : d:int -> n:int -> faults:fault list -> int array option
-(** Try {!hc_avoiding}, falling back to {!hc_avoiding_via_disjoint} —
-    realizes the MAX(ψ(d)−1, φ(d)) bound of Proposition 3.4. *)
+(** {!best_hc_avoiding_stream} materialized. *)
 
 val via_node_masking : d:int -> n:int -> faults:fault list -> int array option
 (** The strawman the chapter opens with: declare every endpoint of a

@@ -51,6 +51,28 @@ let maximal_cycle ?init t =
   (* The tail wraps onto the head by maximality; return one period. *)
   Array.sub c 0 period
 
+(* The recurrence as a function on node codes: the node x₁…xₙ of B(d,n)
+   holding a length-n window of s + C is followed by x₂…xₙc where
+   c = Σ aⱼxⱼ₊₁ + s(1 − ω).  Everything is integer/table arithmetic, so
+   a walk of the whole cycle allocates nothing. *)
+let successor_fun t ~shift =
+  let f = t.field in
+  let d = G.order f in
+  let affine = G.mul f shift (G.sub f 1 t.omega) in
+  let add = G.add_fun f in
+  let rows = Array.map (G.mul_row f) t.coeffs in
+  let n = t.n in
+  let stride = Numtheory.pow d (n - 1) in
+  fun x ->
+    let acc = ref affine and y = ref x in
+    for j = n - 1 downto 0 do
+      acc := add !acc rows.(j).(!y mod d);
+      y := !y / d
+    done;
+    (x mod stride * d) + !acc
+
+let successor t ~shift x = successor_fun t ~shift x
+
 let satisfies_recurrence t ?(affine = 0) c =
   let f = t.field in
   let k = Array.length c in

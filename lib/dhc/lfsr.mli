@@ -29,6 +29,18 @@ val maximal_cycle : ?init:int array -> t -> int array
     (nonzero; default 0,…,0,1).
     @raise Invalid_argument if [init] is all-zero or has wrong length. *)
 
+val successor_fun : t -> shift:int -> int -> int
+(** [successor_fun t ~shift] is the successor function of the cycle
+    shift + C on B(d,n) node codes: x₁…xₙ ↦ x₂…xₙc with
+    c = Σ aⱼxⱼ₊₁ + shift·(1 − ω) (Lemma 3.2).  The tap multiplications
+    and field additions are pre-tabulated; partially apply it once per
+    walk and each call is an O(n) loop of array lookups with no
+    allocation. *)
+
+val successor : t -> shift:int -> int -> int
+(** One-off {!successor_fun} application (rebuilds the tables; use
+    [successor_fun] in loops). *)
+
 val satisfies_recurrence : t -> ?affine:int -> int array -> bool
 (** Does the circular sequence satisfy
     c_{n+i} = Σ aⱼc_{j+i} + [affine] (cyclically)?  [affine] defaults

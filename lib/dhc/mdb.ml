@@ -138,7 +138,7 @@ let build_odd_prime_power ~d ~n =
 let build_binary ~n =
   let t = Shift_cycles.make ~d:2 ~n in
   let p = t.Shift_cycles.p in
-  let c0 = Seq_.nodes_of_sequence p t.Shift_cycles.base in
+  let c0 = Seq_.nodes_of_sequence p (Lazy.force t.Shift_cycles.base) in
   let c1 = Seq_.nodes_of_sequence p (Shift_cycles.shifted t 1) in
   let zero = W.constant p 0 and one = W.constant p 1 in
   (* H₀: insert 0ⁿ between 10ⁿ⁻¹ and 0ⁿ⁻¹1 on C. *)
@@ -211,3 +211,8 @@ let verify t =
 let new_edge_count t =
   let b = Debruijn.Graph.b t.p in
   DG.fold_edges (fun acc u v -> if DG.mem_edge b u v then acc else acc + 1) 0 t.graph
+
+(* MB cycles contain the extra nodes sⁿ routed mid-cycle, so they don't
+   admit the LFSR successor form; expose them through the table-backed
+   stream adapter instead. *)
+let stream_cycles t = List.map (Stream.of_cycle t.p) t.cycles

@@ -38,3 +38,8 @@ val contains_ub : t -> bool
 
 val new_edge_count : t -> int
 (** Number of MB edges that are not B(d,n) edges. *)
+
+val stream_cycles : t -> Stream.t list
+(** The decomposition's cycles as {!Stream.t}s (table-backed: MB cycles
+    reroute through the constant nodes, so they have no LFSR successor
+    form). *)

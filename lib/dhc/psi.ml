@@ -17,6 +17,12 @@ let phi_bound d =
 
 let max_tolerance d = max (psi d - 1) (phi_bound d)
 
+type bounds = { psi : int; phi : int; max_ : int }
+
+let bounds d =
+  let psi = psi d and phi = phi_bound d in
+  { psi; phi; max_ = max (psi - 1) phi }
+
 let psi_lower_bound_corollary d =
   let fs = N.factorize d in
   let k = List.length fs in

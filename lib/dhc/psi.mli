@@ -18,6 +18,12 @@ val phi_bound : int -> int
 val max_tolerance : int -> int
 (** MAX(ψ(d) − 1, φ(d)) — Proposition 3.4's fault bound. *)
 
+type bounds = { psi : int; phi : int; max_ : int }
+(** One row of Tables 3.1–3.2: ψ(d), φ(d) and MAX(ψ(d)−1, φ(d)). *)
+
+val bounds : int -> bounds
+(** All three tolerance figures for d in one call. *)
+
 val psi_lower_bound_corollary : int -> int
 (** Corollary 3.1's closed form 2^{−k}·∏(pᵢᵉⁱ − 1) rounded up — a lower
     bound on ψ(d) exposed for cross-checking. *)

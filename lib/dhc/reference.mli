@@ -1,0 +1,22 @@
+(** The seed Chapter-3 edge-fault engine, frozen as the oracle.
+
+    Everything here is the pre-streaming implementation kept verbatim:
+    cycles are materialized dⁿ-length arrays and every fault check is an
+    association-list scan.  {!Edge_fault} (the streaming engine) must
+    agree with it output-for-output on small instances — pinned by the
+    qcheck suite in [test/test_dhc.ml] — and is benchmarked against it
+    by `bench/main.exe -- dhc`. *)
+
+type fault = int * int
+
+val validate_faults : Debruijn.Word.params -> fault list -> unit
+
+val hc_avoiding : d:int -> n:int -> faults:fault list -> int array option
+(** Proposition 3.3 construction, seed implementation (digit sequence of
+    length dⁿ). *)
+
+val hc_avoiding_via_disjoint : d:int -> n:int -> faults:fault list -> int array option
+(** Proposition 3.4 ψ-route, seed implementation. *)
+
+val best_hc_avoiding : d:int -> n:int -> faults:fault list -> int array option
+(** {!hc_avoiding} with {!hc_avoiding_via_disjoint} fallback. *)

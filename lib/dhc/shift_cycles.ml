@@ -5,7 +5,7 @@ module Seq_ = Debruijn.Sequence
 type t = {
   lfsr : Lfsr.t;
   p : W.params;
-  base : int array;
+  base : int array Lazy.t;
 }
 
 let make_with_poly ~d ~n poly =
@@ -15,7 +15,7 @@ let make_with_poly ~d ~n poly =
   if Galois.Gf_poly.degree poly <> n then
     invalid_arg "Shift_cycles.make_with_poly: degree mismatch";
   let p = W.params ~d ~n in
-  { lfsr; p; base = Lfsr.maximal_cycle lfsr }
+  { lfsr; p; base = lazy (Lfsr.maximal_cycle lfsr) }
 
 let make ~d ~n =
   if n < 2 then invalid_arg "Shift_cycles.make: n must be >= 2";
@@ -23,7 +23,7 @@ let make ~d ~n =
   make_with_poly ~d ~n (Galois.Gf_poly.find_primitive field n)
 
 let field t = t.lfsr.Lfsr.field
-let shifted t s = Seq_.add_scalar (G.add (field t)) t.base s
+let shifted t s = Seq_.add_scalar (G.add (field t)) (Lazy.force t.base) s
 let omega t = t.lfsr.Lfsr.omega
 let a0 t = t.lfsr.Lfsr.coeffs.(0)
 
@@ -35,6 +35,32 @@ let alpha_hat t ~s ~k =
 let alpha_for t ~s ~alpha_hat =
   let f = field t in
   G.add f s (G.mul f (G.inv f (a0 t)) (G.sub f alpha_hat s))
+
+(* The three nodes of the H_s insertion α sⁿ α̂ (Eq. 3.3): the exit node
+   α s^{n−1}, the inserted constant sⁿ, and the entry node s^{n−1} α̂.
+   Shared by the materializing [hamiltonize] path, the streaming engine,
+   and the edge-fault survivor probes. *)
+let insertion_nodes t ~s ~k =
+  if s = k then invalid_arg "Shift_cycles.insertion_nodes: k must differ from s";
+  let n = t.lfsr.Lfsr.n in
+  let a_hat = alpha_hat t ~s ~k in
+  let a = alpha_for t ~s ~alpha_hat:a_hat in
+  let digits = Array.make n s in
+  digits.(0) <- a;
+  let exit_node = W.encode t.p digits in
+  digits.(0) <- s;
+  digits.(n - 1) <- a_hat;
+  let entry_node = W.encode t.p digits in
+  (exit_node, W.constant t.p s, entry_node)
+
+let start_node t s =
+  (* The node holding the first window of s + C under the default LFSR
+     seed 0…01, i.e. position 0 of [shifted t s] as a node sequence. *)
+  let f = field t in
+  let n = t.lfsr.Lfsr.n in
+  let digits = Array.make n s in
+  digits.(n - 1) <- G.add f s 1;
+  W.encode t.p digits
 
 let owner_of_window t w =
   let f = field t in

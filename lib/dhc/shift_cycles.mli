@@ -14,7 +14,9 @@
 type t = {
   lfsr : Lfsr.t;
   p : Debruijn.Word.params;
-  base : int array;  (** the maximal cycle C *)
+  base : int array Lazy.t;
+      (** the maximal cycle C — lazy so stream-only users (successor
+          arithmetic) never pay the dⁿ materialization *)
 }
 
 val make : d:int -> n:int -> t
@@ -35,6 +37,16 @@ val alpha_hat : t -> s:int -> k:int -> int
 
 val alpha_for : t -> s:int -> alpha_hat:int -> int
 (** α = s + a₀^{-1}(α̂ − s), inverting Eq. 3.3. *)
+
+val insertion_nodes : t -> s:int -> k:int -> int * int * int
+(** [(exit, sⁿ, entry)] — the nodes α s^{n−1}, sⁿ, s^{n−1} α̂ of the H_s
+    insertion with replacement cycle k (Eq. 3.3): H_s reroutes the
+    s + C edge exit → entry as exit → sⁿ → entry.
+    @raise Invalid_argument if k = s. *)
+
+val start_node : t -> int -> int
+(** The node at position 0 of [shifted t s] viewed as a node sequence
+    (the default-seed window s…s(s+1)). *)
 
 val owner_of_window : t -> int array -> int
 (** [owner_of_window t w] for an (n+1)-digit window: the unique s with

@@ -87,10 +87,18 @@ let selected_shifts field choice =
       in
       List.sort compare with_zero
 
-let disjoint_hamiltonian_cycles ~d ~n =
+let disjoint_shift_pairs ~d ~n =
   let t = Shift_cycles.make ~d ~n in
   let field = t.Shift_cycles.lfsr.Lfsr.field in
   let p = match N.is_prime_power d with Some (p, _) -> p | None -> assert false in
   let choice = choose ~p in
   let f = replacement_function t choice in
-  List.map (fun s -> Shift_cycles.hamiltonize t ~s ~k:(f s)) (selected_shifts field choice)
+  (t, List.map (fun s -> (s, f s)) (selected_shifts field choice))
+
+let disjoint_hamiltonian_cycles ~d ~n =
+  let t, pairs = disjoint_shift_pairs ~d ~n in
+  List.map (fun (s, k) -> Shift_cycles.hamiltonize t ~s ~k) pairs
+
+let disjoint_hamiltonian_streams ~d ~n =
+  let t, pairs = disjoint_shift_pairs ~d ~n in
+  List.map (fun (s, k) -> Stream.hamiltonize t ~s ~k) pairs

@@ -1,0 +1,171 @@
+module G = Galois.Gf
+module W = Debruijn.Word
+
+type t = {
+  p : W.params;
+  start : int;
+  length : int;
+  succ : int -> int;
+}
+
+let of_shift sc s =
+  let lfsr = sc.Shift_cycles.lfsr in
+  let p = sc.Shift_cycles.p in
+  {
+    p;
+    start = Shift_cycles.start_node sc s;
+    length = p.W.size - 1;
+    succ = Lfsr.successor_fun lfsr ~shift:s;
+  }
+
+let hamiltonize sc ~s ~k =
+  let exit_node, sn, entry_node = Shift_cycles.insertion_nodes sc ~s ~k in
+  let base = of_shift sc s in
+  let base_succ = base.succ in
+  {
+    p = base.p;
+    (* Start at the exit node so the node order matches the materialized
+       [Shift_cycles.hamiltonize] rotation: exit, sⁿ, entry, …. *)
+    start = exit_node;
+    length = base.p.W.size;
+    succ =
+      (fun x -> if x = exit_node then sn else if x = sn then entry_node else base_succ x);
+  }
+
+let product ~s ~t a b =
+  if Numtheory.gcd s t <> 1 then invalid_arg "Stream.product: s and t must be coprime";
+  if a.p.W.d <> s || b.p.W.d <> t || a.p.W.n <> b.p.W.n then
+    invalid_arg "Stream.product: factor parameters mismatch";
+  let n = a.p.W.n in
+  let p = W.params ~d:(s * t) ~n in
+  let d = p.W.d in
+  (* v ↦ (v_A, v_B): split every digit vᵢ = aᵢ·t + bᵢ of the B(st,n)
+     code into base-s and base-t codes, and zip back after stepping each
+     factor — the Rees product as a successor transformer (Lemma 3.6). *)
+  let proj_hi v =
+    let u = ref 0 and y = ref v and m = ref 1 in
+    for _ = 1 to n do
+      u := !u + (!y mod d / t * !m);
+      m := !m * s;
+      y := !y / d
+    done;
+    !u
+  in
+  let proj_lo v =
+    let w = ref 0 and y = ref v and m = ref 1 in
+    for _ = 1 to n do
+      w := !w + (!y mod d mod t * !m);
+      m := !m * t;
+      y := !y / d
+    done;
+    !w
+  in
+  let zip u w =
+    let v = ref 0 and yu = ref u and yw = ref w and m = ref 1 in
+    for _ = 1 to n do
+      v := !v + (((!yu mod s * t) + (!yw mod t)) * !m);
+      m := !m * d;
+      yu := !yu / s;
+      yw := !yw / t
+    done;
+    !v
+  in
+  let sa = a.succ and sb = b.succ in
+  {
+    p;
+    start = zip a.start b.start;
+    length = a.length * b.length;
+    succ = (fun v -> zip (sa (proj_hi v)) (sb (proj_lo v)));
+  }
+
+let of_cycle p nodes =
+  let len = Array.length nodes in
+  if len = 0 then invalid_arg "Stream.of_cycle: empty cycle";
+  let tbl = Hashtbl.create (2 * len) in
+  Array.iteri
+    (fun i v ->
+      if Hashtbl.mem tbl v then invalid_arg "Stream.of_cycle: repeated node";
+      Hashtbl.replace tbl v nodes.((i + 1) mod len))
+    nodes;
+  {
+    p;
+    start = nodes.(0);
+    length = len;
+    succ =
+      (fun v ->
+        match Hashtbl.find_opt tbl v with
+        | Some w -> w
+        | None -> invalid_arg "Stream.of_cycle: node not on the cycle");
+  }
+
+let iter t f =
+  let v = ref t.start in
+  for _ = 1 to t.length do
+    f !v;
+    v := t.succ !v
+  done
+
+let fold_edges t ~init ~f =
+  let acc = ref init and v = ref t.start in
+  for _ = 1 to t.length do
+    let w = t.succ !v in
+    acc := f !acc !v w;
+    v := w
+  done;
+  !acc
+
+let to_nodes t =
+  let v = ref t.start in
+  Array.init t.length (fun _ ->
+      let x = !v in
+      v := t.succ x;
+      x)
+
+let to_sequence t =
+  let v = ref t.start in
+  Array.init t.length (fun _ ->
+      let x = !v in
+      v := t.succ x;
+      W.first_digit t.p x)
+
+let first_return t ~max_steps =
+  let v = ref (t.succ t.start) and steps = ref 1 in
+  while !v <> t.start && !steps < max_steps do
+    v := t.succ !v;
+    incr steps
+  done;
+  if !v = t.start then Some !steps else None
+
+let is_cycle t = first_return t ~max_steps:(t.length + 1) = Some t.length
+
+let is_hamiltonian t = t.length = t.p.W.size && is_cycle t
+
+let is_de_bruijn_walk t =
+  (* Every step must be a genuine De Bruijn edge — prefix of the target
+     equals suffix of the source — checked by word arithmetic alone. *)
+  fold_edges t ~init:true ~f:(fun ok u v -> ok && W.suffix t.p u = W.prefix t.p v)
+
+let avoids t is_fault =
+  let ok = ref true and v = ref t.start in
+  (try
+     for _ = 1 to t.length do
+       let w = t.succ !v in
+       if is_fault !v w then begin
+         ok := false;
+         raise Exit
+       end;
+       v := w
+     done
+   with Exit -> ());
+  !ok
+
+let contains_edge t u v =
+  (* Valid for Hamiltonian streams, where every node lies on the cycle;
+     then u → v is an edge of the cycle iff v is u's successor. *)
+  t.succ u = v
+
+let edge_disjoint a b =
+  if a.length <> a.p.W.size || b.length <> b.p.W.size then
+    invalid_arg "Stream.edge_disjoint: requires Hamiltonian streams";
+  let sb = b.succ in
+  fold_edges a ~init:true ~f:(fun ok u v -> ok && sb u <> v)

@@ -101,6 +101,21 @@ let elt_order f a =
   if a = 0 then invalid_arg "Gf.elt_order: zero";
   (f.d - 1) / Numtheory.gcd (f.d - 1) (log f a)
 
+let mul_row f a =
+  check f a;
+  Array.init f.d (fun x -> mul f a x)
+
+let add_fun f =
+  (* Tabulate + for small fields: the LFSR successor walks do d·n field
+     additions per million nodes, and the carry-free base-p loop in
+     [add] is the hot instruction there.  64×64 ints is 32 KB — cheap;
+     past that fall back to the loop. *)
+  if f.d <= 64 then begin
+    let m = Array.init f.d (fun a -> Array.init f.d (fun b -> add f a b)) in
+    fun a b -> m.(a).(b)
+  end
+  else add f
+
 let sum f = List.fold_left (add f) 0
 let product f = List.fold_left (mul f) 1
 let has_characteristic_2 f = f.p = 2

@@ -66,6 +66,15 @@ val log : t -> elt -> int
 val elt_order : t -> elt -> int
 (** Multiplicative order of a nonzero element. *)
 
+val mul_row : t -> elt -> int array
+(** [mul_row f a] is the length-d table [x ↦ a·x], turning repeated
+    multiplications by a fixed element (the LFSR taps) into array
+    indexing. *)
+
+val add_fun : t -> elt -> elt -> elt
+(** Addition as a (possibly tabulated) closure: for d ≤ 64 a d×d matrix
+    lookup, else {!add}.  Build it once per walk, outside hot loops. *)
+
 val sum : t -> elt list -> elt
 val product : t -> elt list -> elt
 

@@ -122,23 +122,30 @@ let is_primitive f p =
        (fun (q, _) -> not (equal (pow_mod f p x (order / q)) one))
        (Numtheory.factorize order)
 
+let monic_of_code f n code =
+  let q = Gf.order f in
+  let p = Array.make (n + 1) 0 in
+  p.(n) <- 1;
+  let rec fill c i = if i < n then (p.(i) <- c mod q; fill (c / q) (i + 1)) in
+  fill code 0;
+  normalize f p
+
 let all_monic f n =
   if n < 0 then []
-  else begin
-    let q = Gf.order f in
-    let count = Numtheory.pow q n in
-    List.init count (fun code ->
-        let p = Array.make (n + 1) 0 in
-        p.(n) <- 1;
-        let rec fill c i = if i < n then (p.(i) <- c mod q; fill (c / q) (i + 1)) in
-        fill code 0;
-        normalize f p)
-  end
+  else List.init (Numtheory.pow (Gf.order f) n) (monic_of_code f n)
 
+(* Scan codes lazily (same order as [all_monic], so the polynomial found
+   is unchanged): materializing all qⁿ candidates first costs gigabytes
+   at q = 2, n = 22 when the answer is among the first few dozen. *)
 let find_primitive f n =
-  match List.find_opt (is_primitive f) (all_monic f n) with
-  | Some p -> p
-  | None -> raise Not_found
+  let count = Numtheory.pow (Gf.order f) n in
+  let rec go code =
+    if code >= count then raise Not_found
+    else
+      let p = monic_of_code f n code in
+      if is_primitive f p then p else go (code + 1)
+  in
+  go 0
 
 let to_string _f p =
   if is_zero p then "0"

@@ -1,0 +1,113 @@
+#!/usr/bin/env python3
+"""Bench-regression gate: compare a fresh BENCH_*.json against the
+committed baseline.
+
+Rows are flat JSON objects; a row's identity is every field that is not
+a measurement (section, d, n, f, engine, workload, pipeline, ...).
+Measurements fall into tolerance classes:
+
+- exact: deterministic counters (rounds, delivered, ring lengths, node
+  and cycle counts, campaign success splits, verification booleans) —
+  these are seeded and domain-invariant, so any drift is a real
+  behaviour change;
+- ratio: machine-dependent figures (wall_s, speedups, live heap) —
+  allowed to move within a generous factor;
+- percent: everything else numeric, +/-25% by default.
+
+Rows whose engine mentions "domains" are skipped outright (the domain
+count is machine-dependent).  A baseline row with no counterpart in the
+fresh run fails the gate (coverage loss); extra fresh rows only warn.
+
+Usage: bench_gate.py BASELINE.json FRESH.json
+"""
+
+import json
+import sys
+
+EXACT = {
+    "rounds", "delivered", "ring_length", "nodes", "psi",
+    "successes", "via_construction", "via_disjoint", "masked_fallbacks",
+    "verified", "same_output",
+}
+# measurement -> allowed factor in either direction
+RATIO = {"wall_s": 4.0, "speedup_vs_reference": 3.0, "live_heap_words": 3.0}
+PERCENT_DEFAULT = 0.25
+
+MEASUREMENTS = EXACT | set(RATIO) | {"mean_ring_length"}
+
+
+def identity(row):
+    return tuple(sorted((k, v) for k, v in row.items() if k not in MEASUREMENTS))
+
+
+def skip(row):
+    return "domains" in str(row.get("engine", ""))
+
+
+def load(path):
+    with open(path) as fh:
+        rows = json.load(fh)
+    table = {}
+    for row in rows:
+        if skip(row):
+            continue
+        key = identity(row)
+        if key in table:
+            print(f"warning: duplicate row identity in {path}: {key}")
+        table[key] = row
+    return table
+
+
+def compare(key, base, fresh, failures):
+    for field, want in base.items():
+        if field not in MEASUREMENTS:
+            continue
+        if field not in fresh:
+            failures.append(f"{dict(key)}: field {field} missing from fresh run")
+            continue
+        got = fresh[field]
+        if field in EXACT:
+            if got != want:
+                failures.append(
+                    f"{dict(key)}: {field} = {got}, baseline {want} (exact match required)")
+        elif field in RATIO:
+            factor = RATIO[field]
+            if want > 0 and got > 0:
+                if got > want * factor or got < want / factor:
+                    failures.append(
+                        f"{dict(key)}: {field} = {got}, baseline {want} "
+                        f"(outside x{factor} window)")
+        else:
+            tol = PERCENT_DEFAULT
+            if abs(got - want) > tol * max(abs(want), 1e-9):
+                failures.append(
+                    f"{dict(key)}: {field} = {got}, baseline {want} (outside +/-{tol:.0%})")
+
+
+def main():
+    if len(sys.argv) != 3:
+        sys.exit(__doc__)
+    base_path, fresh_path = sys.argv[1], sys.argv[2]
+    base = load(base_path)
+    fresh = load(fresh_path)
+    failures = []
+    for key, row in base.items():
+        if key not in fresh:
+            failures.append(f"baseline row missing from fresh run: {dict(key)}")
+        else:
+            compare(key, row, fresh[key], failures)
+    for key in fresh:
+        if key not in base:
+            print(f"note: new row not in baseline: {dict(key)}")
+    compared = sum(1 for k in base if k in fresh)
+    print(f"bench gate: {compared} rows compared against {base_path}")
+    if failures:
+        print(f"FAILED ({len(failures)} regressions):")
+        for f in failures:
+            print(f"  {f}")
+        sys.exit(1)
+    print("ok")
+
+
+if __name__ == "__main__":
+    main()

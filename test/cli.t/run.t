@@ -47,6 +47,32 @@ Edge faults (Chapter 3): a Hamiltonian ring avoiding two links of B(5,2):
   $ debruijn-rings edge -d 5 -n 2 01-12 12-21 | head -n 1
   # tolerance MAX(psi-1, phi) = 3
 
+The streaming Chapter-3 engine: the ring is built and verified through
+successor arithmetic (no d^n array), and the route taken is reported:
+
+  $ debruijn-rings dhc -d 3 -n 2 --fault 01-12
+  # streaming ring of B(3,2): 9 nodes via construction, verified fault-free hamiltonian true
+  01 11 10 02 22 21 12 20 00
+
+  $ debruijn-rings dhc -d 2 -n 10 | head -n 1
+  # streaming ring of B(2,10): 1024 nodes via construction, verified fault-free hamiltonian true
+
+A seeded edge-fault campaign is fully reproducible, also across domains:
+
+  $ debruijn-rings dhc -d 6 -n 2 --campaign --trials 5 --fmax 3
+  # campaign on B(6,2): 5 trials per point, tolerance MAX(psi-1, phi) = 1
+  #   f  success  construction  disjoint  masked  mean-ring-length
+      0    5/5               5         0       0              36.0
+      1    5/5               5         0       0              36.0
+      2    4/5               4         0       1              34.6
+      3    1/5               0         1       4              28.6
+
+  $ debruijn-rings dhc -d 6 -n 2 --campaign --trials 5 --fmax 3 --domains 2 | tail -n 4
+      0    5/5               5         0       0              36.0
+      1    5/5               5         0       0              36.0
+      2    4/5               4         0       1              34.6
+      3    1/5               0         1       4              28.6
+
 Disjoint rings (psi(4) = 3):
 
   $ debruijn-rings disjoint -d 4 -n 2 | head -n 1

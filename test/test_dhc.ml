@@ -12,6 +12,9 @@ module Co = Dhc.Compose
 module P = Dhc.Psi
 module EF = Dhc.Edge_fault
 module M = Dhc.Mdb
+module Str = Dhc.Stream
+module R = Dhc.Reference
+module Ca = Dhc.Campaign
 
 let check_int = Alcotest.(check int)
 let check_bool = Alcotest.(check bool)
@@ -334,6 +337,31 @@ let test_table_3_2 () =
     (fun d -> check_int (Printf.sprintf "optimal at prime power %d" d) (d - 2) (P.max_tolerance d))
     [ 3; 4; 5; 7; 8; 9; 11; 13; 16; 25; 27; 32 ]
 
+let test_phi_full_table () =
+  (* φ(d) = Σpᵢᵉⁱ − 2k for every d ≤ 32, worked by hand from the
+     factorization (the Table 3.2 column). *)
+  List.iter
+    (fun (d, want) ->
+      check_int (Printf.sprintf "phi(%d)" d) want (P.phi_bound d);
+      let b = P.bounds d in
+      check_int "bounds.phi" want b.P.phi;
+      check_int "bounds.psi" (P.psi d) b.P.psi;
+      check_int "bounds.max_" (P.max_tolerance d) b.P.max_)
+    [ (2, 0); (3, 1); (4, 2); (5, 3); (6, 1); (7, 5); (8, 6); (9, 7); (10, 3);
+      (11, 9); (12, 3); (13, 11); (14, 5); (15, 4); (16, 14); (17, 15); (18, 7);
+      (19, 17); (20, 5); (21, 6); (22, 9); (23, 21); (24, 7); (25, 23); (26, 11);
+      (27, 25); (28, 7); (29, 27); (30, 4); (31, 29); (32, 30) ]
+
+let test_max_full_table () =
+  (* MAX(ψ(d)−1, φ(d)) for every d ≤ 32: equals φ everywhere except
+     d = 28 where ψ − 1 = 8 wins (the thesis's remark). *)
+  List.iter
+    (fun (d, want) -> check_int (Printf.sprintf "MAX(%d)" d) want (P.max_tolerance d))
+    [ (2, 0); (3, 1); (4, 2); (5, 3); (6, 1); (7, 5); (8, 6); (9, 7); (10, 3);
+      (11, 9); (12, 3); (13, 11); (14, 5); (15, 4); (16, 14); (17, 15); (18, 7);
+      (19, 17); (20, 5); (21, 6); (22, 9); (23, 21); (24, 7); (25, 23); (26, 11);
+      (27, 25); (28, 8); (29, 27); (30, 4); (31, 29); (32, 30) ]
+
 let test_corollary_3_1 () =
   for d = 2 to 40 do
     check_bool
@@ -458,6 +486,141 @@ let test_fault_validation () =
       ignore (EF.hc_avoiding ~d:3 ~n:2 ~faults:[ (0, 8) ]))
 
 (* ------------------------------------------------------------------ *)
+(* Streams: the O(n)-memory engine *)
+
+let test_edge_codes () =
+  let p = W.params ~d:3 ~n:3 in
+  for c = 0 to (p.W.size * p.W.d) - 1 do
+    let u, v = W.edge_of_code p c in
+    check_int "roundtrip" c (W.edge_code p u v)
+  done;
+  Alcotest.check_raises "non-edge rejected"
+    (Invalid_argument "Word.edge_code: not a De Bruijn edge") (fun () ->
+      ignore (W.edge_code p 0 (p.W.size - 1)))
+
+let test_stream_matches_materialized () =
+  List.iter
+    (fun (d, n) ->
+      let t = SC.make ~d ~n in
+      let p = t.SC.p in
+      List.iter
+        (fun s ->
+          Alcotest.(check (array int)) "s+C node order"
+            (S.nodes_of_sequence p (SC.shifted t s))
+            (Str.to_nodes (Str.of_shift t s));
+          List.iter
+            (fun k ->
+              if k <> s then begin
+                let st = Str.hamiltonize t ~s ~k in
+                Alcotest.(check (array int)) "H_s digits" (SC.hamiltonize t ~s ~k)
+                  (Str.to_sequence st);
+                check_bool "stream is Hamiltonian (O(1)-memory walk)" true
+                  (Str.is_hamiltonian st);
+                check_bool "de Bruijn walk" true (Str.is_de_bruijn_walk st)
+              end)
+            (List.init d Fun.id))
+        (List.init d Fun.id))
+    [ (2, 4); (3, 2); (3, 3); (5, 2); (8, 2); (9, 2) ]
+
+let test_disjoint_streams_match_and_disjoint () =
+  List.iter
+    (fun (d, n) ->
+      let cycles = Co.disjoint_hamiltonian_cycles ~d ~n in
+      let streams = Co.disjoint_hamiltonian_streams ~d ~n in
+      check_int "count = psi" (P.psi d) (List.length streams);
+      List.iter2
+        (fun c st -> Alcotest.(check (array int)) "same digits" c (Str.to_sequence st))
+        cycles streams;
+      (* Pairwise disjointness established by walk + successor probe,
+         never materializing an edge set. *)
+      let rec pairs = function
+        | [] -> ()
+        | a :: rest ->
+            List.iter
+              (fun b -> check_bool "edge disjoint" true (Str.edge_disjoint a b))
+              rest;
+            pairs rest
+      in
+      pairs streams)
+    [ (2, 6); (4, 2); (6, 2); (9, 2); (12, 2) ]
+
+let test_large_fault_set () =
+  (* Fault every edge of the shifted cycle 1 + C of B(4,6): 4095 faults,
+     vastly beyond φ(4) = 2, yet all owned by s = 1 — the construction
+     must route around them via another shift.  With the old O(f) list
+     scans this is quadratic; with the bitset probe it is instant. *)
+  let d = 4 and n = 6 in
+  let t = SC.make ~d ~n in
+  let p = t.SC.p in
+  let faults = C.edges_of_cycle (S.cycle_of_sequence p (SC.shifted t 1)) in
+  check_int "4^6 - 1 faults" (p.W.size - 1) (List.length faults);
+  (match EF.hc_avoiding_stream ~d ~n ~faults with
+  | None -> Alcotest.fail "should survive a fully-faulted shifted cycle"
+  | Some st ->
+      check_bool "hamiltonian" true (Str.is_hamiltonian st);
+      let fs = EF.Faults.make p faults in
+      check_bool "avoids all 4095 faults" true (Str.avoids st (EF.Faults.mem fs)));
+  (* The probe structure agrees with the naive list scan. *)
+  let fs = EF.Faults.make p faults in
+  check_int "count" (p.W.size - 1) (EF.Faults.count fs);
+  let rng = Util.Rng.create 7 in
+  for _ = 1 to 1000 do
+    let u, v = W.edge_of_code p (Util.Rng.int rng (p.W.size * p.W.d)) in
+    check_bool "probe = list scan" (List.mem (u, v) faults) (EF.Faults.mem fs u v)
+  done
+
+let test_faults_hashtable_regime () =
+  (* B(2,28): 2^29 edge codes exceed the bitset cap, so Faults falls
+     back to a hashtable — membership must be unaffected. *)
+  let p = W.params ~d:2 ~n:28 in
+  let faults = List.map (W.edge_of_code p) [ 0; 12345; 400_000_000 ] in
+  let fs = EF.Faults.make p faults in
+  List.iter (fun (u, v) -> check_bool "present" true (EF.Faults.mem fs u v)) faults;
+  let u, v = W.edge_of_code p 999_999 in
+  check_bool "absent" false (EF.Faults.mem fs u v)
+
+let test_mdb_streams () =
+  let t = M.build ~d:5 ~n:2 in
+  List.iter2
+    (fun c st ->
+      Alcotest.(check (array int)) "nodes" c (Str.to_nodes st);
+      check_bool "cycle" true (Str.is_cycle st))
+    t.M.cycles (M.stream_cycles t)
+
+(* ------------------------------------------------------------------ *)
+(* Campaign *)
+
+let test_campaign_guarantee () =
+  (* Below MAX(ψ−1, φ) every trial must produce a full Hamiltonian
+     ring (Propositions 3.3/3.4). *)
+  List.iter
+    (fun d ->
+      let mt = P.max_tolerance d in
+      let pts = Ca.run ~trials:8 ~fmax:mt ~d ~n:2 () in
+      check_int "points" (mt + 1) (List.length pts);
+      let size = (W.params ~d ~n:2).W.size in
+      List.iter
+        (fun (pt : Ca.point) ->
+          check_int (Printf.sprintf "d=%d f=%d all succeed" d pt.Ca.f) pt.Ca.trials
+            pt.Ca.successes;
+          check_int "success split" pt.Ca.successes
+            (pt.Ca.via_construction + pt.Ca.via_disjoint);
+          check_bool "full rings" true
+            (pt.Ca.mean_ring_length = float_of_int size))
+        pts)
+    [ 3; 4; 5; 6; 8; 9; 10 ]
+
+let test_campaign_deterministic_across_domains () =
+  let strip (pt : Ca.point) =
+    ( pt.Ca.f, pt.Ca.successes, pt.Ca.via_construction, pt.Ca.via_disjoint,
+      pt.Ca.masked_fallbacks, pt.Ca.mean_ring_length )
+  in
+  let a = Ca.run ~trials:6 ~fmax:4 ~d:6 ~n:2 () in
+  let b = Ca.run ~domains:3 ~trials:6 ~fmax:4 ~d:6 ~n:2 () in
+  check_bool "domains don't change statistics" true
+    (List.map strip a = List.map strip b)
+
+(* ------------------------------------------------------------------ *)
 (* MB(d,n): Hamiltonian decompositions *)
 
 let test_mdb_sizes () =
@@ -531,6 +694,35 @@ let qsuite =
         let f v = (v + 1 + (seed mod (d - 1))) mod d in
         QCheck.assume (List.for_all (fun v -> f v <> v) (G.elements field));
         SC.hs_conflicts t ~f x y = SC.hs_conflicts t ~f y x);
+    Test.make ~name:"streaming engine = frozen Reference" ~count:60
+      (pair
+         (oneofl
+            [ (2, 4); (3, 3); (4, 2); (5, 2); (6, 2); (8, 2); (9, 2); (10, 2); (12, 2) ])
+         (int_range 0 1_000_000))
+      (fun ((d, n), seed) ->
+        let p = W.params ~d ~n in
+        let rng = Util.Rng.create seed in
+        let bound = p.W.size * p.W.d in
+        let f = Util.Rng.int rng (min bound (P.max_tolerance d + 3)) in
+        let faults =
+          List.map (W.edge_of_code p) (Util.Rng.sample_distinct rng ~k:f ~bound)
+        in
+        EF.hc_avoiding ~d ~n ~faults = R.hc_avoiding ~d ~n ~faults
+        && EF.hc_avoiding_via_disjoint ~d ~n ~faults
+           = R.hc_avoiding_via_disjoint ~d ~n ~faults
+        && EF.best_hc_avoiding ~d ~n ~faults = R.best_hc_avoiding ~d ~n ~faults);
+    Test.make ~name:"streamed H_s pairwise disjointness = materialized" ~count:40
+      (pair (oneofl [ (3, 3); (4, 2); (5, 2); (7, 2); (9, 2) ])
+         (pair (int_range 0 100) (int_range 0 100)))
+      (fun ((d, n), (i, j)) ->
+        let streams = St.disjoint_hamiltonian_streams ~d ~n in
+        let cycles = St.disjoint_hamiltonian_cycles ~d ~n in
+        let len = List.length streams in
+        let i = i mod len and j = j mod len in
+        QCheck.assume (i <> j);
+        let p = W.params ~d ~n in
+        Str.edge_disjoint (List.nth streams i) (List.nth streams j)
+        = S.edge_disjoint p (List.nth cycles i) (List.nth cycles j));
     Test.make ~name:"product of HCs is an HC" ~count:40
       (pair (int_range 0 2) (int_range 0 1))
       (fun (i, j) ->
@@ -581,6 +773,8 @@ let () =
           Alcotest.test_case "Table 3.1" `Quick test_table_3_1;
           Alcotest.test_case "phi bound" `Quick test_phi_bound;
           Alcotest.test_case "Table 3.2 / d=28" `Quick test_table_3_2;
+          Alcotest.test_case "phi full table d<=32" `Quick test_phi_full_table;
+          Alcotest.test_case "MAX full table d<=32" `Quick test_max_full_table;
           Alcotest.test_case "Corollary 3.1" `Quick test_corollary_3_1;
         ] );
       ( "edge-fault",
@@ -591,6 +785,24 @@ let () =
           Alcotest.test_case "Prop 3.4 psi route" `Quick test_prop_3_4_psi_route;
           Alcotest.test_case "node masking strawman" `Quick test_via_node_masking;
           Alcotest.test_case "validation" `Quick test_fault_validation;
+        ] );
+      ( "stream",
+        [
+          Alcotest.test_case "edge codes roundtrip" `Quick test_edge_codes;
+          Alcotest.test_case "streams match materialized" `Quick
+            test_stream_matches_materialized;
+          Alcotest.test_case "disjoint families match + walk-disjoint" `Quick
+            test_disjoint_streams_match_and_disjoint;
+          Alcotest.test_case "4095-fault set via bitset probe" `Quick
+            test_large_fault_set;
+          Alcotest.test_case "hashtable regime" `Quick test_faults_hashtable_regime;
+          Alcotest.test_case "MB cycles as streams" `Quick test_mdb_streams;
+        ] );
+      ( "campaign",
+        [
+          Alcotest.test_case "guaranteed regime" `Quick test_campaign_guarantee;
+          Alcotest.test_case "domains-invariant statistics" `Quick
+            test_campaign_deterministic_across_domains;
         ] );
       ( "mdb",
         [
