@@ -22,32 +22,12 @@ module R = Dhc.Reference
 module Str = Dhc.Stream
 module Ca = Dhc.Campaign
 
-let time f =
-  let t0 = Unix.gettimeofday () in
-  let x = f () in
-  (x, Unix.gettimeofday () -. t0)
-
-let json_rows : string list ref = ref []
-let jstr s = Printf.sprintf "%S" s
-let jint (i : int) = string_of_int i
-let jnum f = Printf.sprintf "%.6f" f
-let jbool = string_of_bool
-
-let record fields =
-  json_rows :=
-    ("  {"
-    ^ String.concat ", "
-        (List.map (fun (k, v) -> Printf.sprintf "%S: %s" k v) fields)
-    ^ "}")
-    :: !json_rows
-
-let write_json path =
-  let oc = open_out path in
-  output_string oc "[\n";
-  output_string oc (String.concat ",\n" (List.rev !json_rows));
-  output_string oc "\n]\n";
-  close_out oc;
-  Printf.printf "wrote %s (%d rows)\n" path (List.length !json_rows)
+let time = Jrec.time
+let jstr = Jrec.jstr
+let jint = Jrec.jint
+let jnum = Jrec.jnum
+let jbool = Jrec.jbool
+let record = Jrec.record
 
 let random_faults ~d ~n ~f ~seed =
   let p = W.params ~d ~n in
@@ -63,35 +43,40 @@ let streaming_vs_reference ~smoke () =
   List.iter
     (fun (d, n, f) ->
       let faults = random_faults ~d ~n ~f ~seed:((100 * d) + n) in
-      let ref_hc, t_ref = time (fun () -> Option.get (R.best_hc_avoiding ~d ~n ~faults)) in
-      let st, t_stream =
-        time (fun () -> Option.get (EF.best_hc_avoiding_stream ~d ~n ~faults))
+      let ref_hc, gt_ref =
+        Jrec.time_gc (fun () -> Option.get (R.best_hc_avoiding ~d ~n ~faults))
       in
+      let st, gt_stream =
+        Jrec.time_gc (fun () -> Option.get (EF.best_hc_avoiding_stream ~d ~n ~faults))
+      in
+      let t_ref = gt_ref.Jrec.wall_s and t_stream = gt_stream.Jrec.wall_s in
       let same = Str.to_sequence st = ref_hc in
       Printf.printf
         "  B(%d,%2d) f=%d  seed %8.3f s  stream %8.6f s  speedup %9.1fx  same output %b\n"
         d n f t_ref t_stream (t_ref /. t_stream) same;
       record
-        [
-          ("section", jstr "dhc-engine");
-          ("d", jint d);
-          ("n", jint n);
-          ("f", jint f);
-          ("engine", jstr "reference");
-          ("wall_s", jnum t_ref);
-          ("speedup_vs_reference", jnum 1.0);
-        ];
+        ([
+           ("section", jstr "dhc-engine");
+           ("d", jint d);
+           ("n", jint n);
+           ("f", jint f);
+           ("engine", jstr "reference");
+         ]
+        @ Jrec.gc_fields gt_ref
+        @ [ ("speedup_vs_reference", jnum 1.0) ]);
       record
-        [
-          ("section", jstr "dhc-engine");
-          ("d", jint d);
-          ("n", jint n);
-          ("f", jint f);
-          ("engine", jstr "stream");
-          ("wall_s", jnum t_stream);
-          ("speedup_vs_reference", jnum (t_ref /. t_stream));
-          ("same_output", jbool same);
-        ];
+        ([
+           ("section", jstr "dhc-engine");
+           ("d", jint d);
+           ("n", jint n);
+           ("f", jint f);
+           ("engine", jstr "stream");
+         ]
+        @ Jrec.gc_fields gt_stream
+        @ [
+            ("speedup_vs_reference", jnum (t_ref /. t_stream));
+            ("same_output", jbool same);
+          ]);
       if not same then failwith "dhc: streaming engine diverged from Reference")
     cases
 
@@ -104,11 +89,15 @@ let acceptance_walk () =
   Gc.compact ();
   let d = 2 and n = 22 in
   let p = W.params ~d ~n in
-  let st, t_build =
-    time (fun () -> Option.get (EF.best_hc_avoiding_stream ~d ~n ~faults:[]))
+  let (st, t_build, ham, t_ham, db, t_db), gt =
+    Jrec.time_gc (fun () ->
+        let st, t_build =
+          time (fun () -> Option.get (EF.best_hc_avoiding_stream ~d ~n ~faults:[]))
+        in
+        let ham, t_ham = time (fun () -> Str.is_hamiltonian st) in
+        let db, t_db = time (fun () -> Str.is_de_bruijn_walk st) in
+        (st, t_build, ham, t_ham, db, t_db))
   in
-  let ham, t_ham = time (fun () -> Str.is_hamiltonian st) in
-  let db, t_db = time (fun () -> Str.is_de_bruijn_walk st) in
   Gc.compact ();
   let heap = (Gc.stat ()).Gc.live_words in
   Printf.printf
@@ -117,16 +106,15 @@ let acceptance_walk () =
     p.W.size t_build t_ham t_db (ham && db)
     (float_of_int heap /. 1e6);
   record
-    [
-      ("section", jstr "dhc-acceptance");
-      ("d", jint d);
-      ("n", jint n);
-      ("nodes", jint p.W.size);
-      ("ring_length", jint st.Str.length);
-      ("wall_s", jnum (t_build +. t_ham +. t_db));
-      ("verified", jbool (ham && db));
-      ("live_heap_words", jint heap);
-    ];
+    ([
+       ("section", jstr "dhc-acceptance");
+       ("d", jint d);
+       ("n", jint n);
+       ("nodes", jint p.W.size);
+       ("ring_length", jint st.Str.length);
+     ]
+    @ Jrec.gc_fields gt
+    @ [ ("verified", jbool (ham && db)); ("live_heap_words", jint heap) ]);
   if not (ham && db) then failwith "dhc: B(2,22) streaming ring failed verification"
 
 (* Faults at the same scale: φ(4) = 2 random faults on the 4.2M-node
@@ -135,27 +123,31 @@ let faulted_walk () =
   let d = 4 and n = 11 in
   let p = W.params ~d ~n in
   let faults = random_faults ~d ~n ~f:2 ~seed:411 in
-  let st, t_build =
-    time (fun () -> Option.get (EF.best_hc_avoiding_stream ~d ~n ~faults))
-  in
-  let fs = EF.Faults.make p faults in
-  let ok, t_walk =
-    time (fun () -> Str.is_hamiltonian st && Str.avoids st (EF.Faults.mem fs))
+  let (st, t_build, ok, t_walk), gt =
+    Jrec.time_gc (fun () ->
+        let st, t_build =
+          time (fun () -> Option.get (EF.best_hc_avoiding_stream ~d ~n ~faults))
+        in
+        let fs = EF.Faults.make p faults in
+        let ok, t_walk =
+          time (fun () -> Str.is_hamiltonian st && Str.avoids st (EF.Faults.mem fs))
+        in
+        (st, t_build, ok, t_walk))
   in
   Printf.printf
     " faulted: B(4,11) %d nodes, f=2  build %8.6f s  walks %6.3f s  fault-free \
      hamiltonian %b\n"
     p.W.size t_build t_walk ok;
   record
-    [
-      ("section", jstr "dhc-faulted");
-      ("d", jint d);
-      ("n", jint n);
-      ("f", jint 2);
-      ("ring_length", jint st.Str.length);
-      ("wall_s", jnum (t_build +. t_walk));
-      ("verified", jbool ok);
-    ];
+    ([
+       ("section", jstr "dhc-faulted");
+       ("d", jint d);
+       ("n", jint n);
+       ("f", jint 2);
+       ("ring_length", jint st.Str.length);
+     ]
+    @ Jrec.gc_fields gt
+    @ [ ("verified", jbool ok) ]);
   if not ok then failwith "dhc: faulted B(4,11) ring failed verification"
 
 (* ψ(4) = 3 disjoint Hamiltonian streams of the million-node B(4,10):
@@ -164,8 +156,8 @@ let faulted_walk () =
 let disjoint_walks () =
   let d = 4 and n = 10 in
   let streams = Dhc.Compose.disjoint_hamiltonian_streams ~d ~n in
-  let ok, wall =
-    time (fun () ->
+  let ok, gt =
+    Jrec.time_gc (fun () ->
         let rec pairs = function
           | [] -> true
           | a :: rest -> List.for_all (Str.edge_disjoint a) rest && pairs rest
@@ -173,16 +165,16 @@ let disjoint_walks () =
         pairs streams)
   in
   Printf.printf " disjoint: B(4,10) psi=%d streams pairwise edge-disjoint %b  %6.3f s\n"
-    (List.length streams) ok wall;
+    (List.length streams) ok gt.Jrec.wall_s;
   record
-    [
-      ("section", jstr "dhc-disjoint");
-      ("d", jint d);
-      ("n", jint n);
-      ("psi", jint (List.length streams));
-      ("wall_s", jnum wall);
-      ("verified", jbool ok);
-    ];
+    ([
+       ("section", jstr "dhc-disjoint");
+       ("d", jint d);
+       ("n", jint n);
+       ("psi", jint (List.length streams));
+     ]
+    @ Jrec.gc_fields gt
+    @ [ ("verified", jbool ok) ]);
   if not ok then failwith "dhc: disjoint streams share an edge"
 
 let campaign_specs ~smoke =
@@ -197,7 +189,19 @@ let campaigns ~smoke () =
       let size = (W.params ~d ~n).W.size in
       Printf.printf " campaign: B(%d,%d) (%d nodes), %d trials/point, MAX=%d\n" d n size
         trials (Dhc.Psi.max_tolerance d);
-      let points = Ca.run ~domains ~trials ~d ~n () in
+      let points, gt = Jrec.time_gc (fun () -> Ca.run ~domains ~trials ~d ~n ()) in
+      (* Campaign points carry no per-point GC data; one summary row per
+         campaign keeps the allocation counters uniform across sections.
+         Gc.counters is per-domain, so the figures depend on the domain
+         count — the engine name keeps the gate off this row. *)
+      record
+        ([
+           ("section", jstr "dhc-campaign-gc");
+           ("d", jint d);
+           ("n", jint n);
+           ("engine", jstr (Printf.sprintf "x%d domains" domains));
+         ]
+        @ Jrec.gc_fields gt);
       List.iter
         (fun (pt : Ca.point) ->
           Printf.printf
@@ -235,4 +239,4 @@ let run ?(json = false) ?(smoke = false) () =
   end;
   campaigns ~smoke ();
   print_newline ();
-  if json then write_json "BENCH_dhc.json"
+  if json then Jrec.write "BENCH_dhc.json"

@@ -1,0 +1,58 @@
+(* Shared --json recorder for the bench sections.
+
+   Each section accumulates flat JSON objects with [record] and dumps
+   them with [write] (which also clears the buffer, so sections running
+   in one process never leak rows into each other's files).  Values are
+   pre-encoded strings, so no JSON library is needed.
+
+   [time_gc] is the uniform measurement wrapper: wall clock plus the
+   minor/major-heap words allocated by the thunk (from [Gc.counters],
+   so promotion is not double-counted), letting every section report
+   allocation next to speed and the CI gate window both. *)
+
+let rows : string list ref = ref []
+let jstr s = Printf.sprintf "%S" s
+let jint (i : int) = string_of_int i
+let jnum f = Printf.sprintf "%.6f" f
+let jbool = string_of_bool
+
+let record fields =
+  rows :=
+    ("  {"
+    ^ String.concat ", "
+        (List.map (fun (k, v) -> Printf.sprintf "%S: %s" k v) fields)
+    ^ "}")
+    :: !rows
+
+let write path =
+  let oc = open_out path in
+  output_string oc "[\n";
+  output_string oc (String.concat ",\n" (List.rev !rows));
+  output_string oc "\n]\n";
+  close_out oc;
+  Printf.printf "wrote %s (%d rows)\n" path (List.length !rows);
+  rows := []
+
+let time f =
+  let t0 = Unix.gettimeofday () in
+  let x = f () in
+  (x, Unix.gettimeofday () -. t0)
+
+type gc_timed = { wall_s : float; minor_words : float; major_words : float }
+
+let time_gc f =
+  let mn0, _, mj0 = Gc.counters () in
+  let t0 = Unix.gettimeofday () in
+  let x = f () in
+  let wall_s = Unix.gettimeofday () -. t0 in
+  let mn1, _, mj1 = Gc.counters () in
+  (x, { wall_s; minor_words = mn1 -. mn0; major_words = mj1 -. mj0 })
+
+let gc_fields g =
+  [
+    ("wall_s", jnum g.wall_s);
+    ("minor_words", jnum g.minor_words);
+    ("major_words", jnum g.major_words);
+  ]
+
+let top_heap_words () = (Gc.quick_stat ()).Gc.top_heap_words

@@ -5,10 +5,12 @@
    Usage:
      dune exec bench/main.exe              run everything
      dune exec bench/main.exe -- tables    only the tables
-     (sections: tables figures sweeps ablations open-problems timing scale dhc)
+     (sections: tables figures sweeps ablations open-problems timing scale dhc
+      ffc-campaign)
 
-   Flags (consumed by the scale and dhc sections):
-     --json    also write the measurements to BENCH_scale.json / BENCH_dhc.json
+   Flags (consumed by the scale, dhc and ffc-campaign sections):
+     --json    also write the measurements to BENCH_scale.json /
+               BENCH_dhc.json / BENCH_ffc_campaign.json
      --smoke   smallest instances only (CI smoke run) *)
 
 let () =
@@ -19,7 +21,8 @@ let () =
     [ ("tables", Tables.run); ("figures", Figures.run); ("sweeps", Sweeps.run);
       ("ablations", Ablations.run); ("open-problems", Open_problems.run);
       ("timing", Timing.run); ("scale", Scale.run ~json ~smoke);
-      ("dhc", Dhc_bench.run ~json ~smoke) ]
+      ("dhc", Dhc_bench.run ~json ~smoke);
+      ("ffc-campaign", Ffc_campaign.run ~json ~smoke) ]
   in
   let requested =
     match List.filter (fun a -> not (String.starts_with ~prefix:"--" a)) args with

@@ -20,10 +20,7 @@ module DG = Graphlib.Digraph
 module S = Netsim.Simulator
 module R = Netsim.Reference
 
-let time f =
-  let t0 = Unix.gettimeofday () in
-  let x = f () in
-  (x, Unix.gettimeofday () -. t0)
+let time = Jrec.time
 
 (* Best-of-k wall time: scale numbers go into EXPERIMENTS.md, and min
    over a few runs is the usual way to shed scheduler noise. *)
@@ -37,30 +34,14 @@ let best_of k f =
 
 let no_fault _ = false
 
-(* --json support: every printed measurement is also recorded as a flat
-   JSON object; [write_json] dumps them to BENCH_scale.json.  Values
-   are pre-encoded strings so no JSON library is needed. *)
-let json_rows : string list ref = ref []
-let jstr s = Printf.sprintf "%S" s
-let jint (i : int) = string_of_int i
-let jnum f = Printf.sprintf "%.6f" f
-let jbool = string_of_bool
-
-let record fields =
-  json_rows :=
-    ("  {"
-    ^ String.concat ", "
-        (List.map (fun (k, v) -> Printf.sprintf "%S: %s" k v) fields)
-    ^ "}")
-    :: !json_rows
-
-let write_json path =
-  let oc = open_out path in
-  output_string oc "[\n";
-  output_string oc (String.concat ",\n" (List.rev !json_rows));
-  output_string oc "\n]\n";
-  close_out oc;
-  Printf.printf "wrote %s (%d rows)\n" path (List.length !json_rows)
+(* --json support is shared ({!Jrec}): every printed measurement is
+   also recorded as a flat JSON object — wall clock and GC allocation
+   counters uniformly — and dumped to BENCH_scale.json. *)
+let jstr = Jrec.jstr
+let jint = Jrec.jint
+let jnum = Jrec.jnum
+let jbool = Jrec.jbool
+let record = Jrec.record
 
 (* BFS broadcast: a node forwards to all out-neighbors on first
    receipt; node 0 kicks off in round 0 (where every node steps once,
@@ -111,39 +92,38 @@ let spin g k =
     wants_step = (fun (_, rem) -> rem > 0);
   }
 
-let row ~ctx:(d, n, workload) name wall rounds delivered =
+let row ~ctx:(d, n, workload) name (g : Jrec.gc_timed) rounds delivered =
   Printf.printf "  %-24s %8.3f s %6d rounds %10.0f rounds/s %8.2f Mmsg/s\n" name
-    wall rounds
-    (float_of_int rounds /. wall)
-    (float_of_int delivered /. wall /. 1e6);
+    g.Jrec.wall_s rounds
+    (float_of_int rounds /. g.Jrec.wall_s)
+    (float_of_int delivered /. g.Jrec.wall_s /. 1e6);
   record
-    [
-      ("section", jstr "netsim");
-      ("d", jint d);
-      ("n", jint n);
-      ("workload", jstr workload);
-      ("engine", jstr name);
-      ("wall_s", jnum wall);
-      ("rounds", jint rounds);
-      ("delivered", jint delivered);
-    ]
+    ([
+       ("section", jstr "netsim");
+       ("d", jint d);
+       ("n", jint n);
+       ("workload", jstr workload);
+       ("engine", jstr name);
+     ]
+    @ Jrec.gc_fields g
+    @ [ ("rounds", jint rounds); ("delivered", jint delivered) ])
 
 let engines ~ctx ~domains ~with_seed ~g proto_s proto_r =
   if with_seed then begin
-    let r, wall =
-      time (fun () ->
+    let r, gt =
+      Jrec.time_gc (fun () ->
           R.run ~max_rounds:10_000 ~topology:g ~faulty:no_fault proto_r)
     in
-    row ~ctx "seed full-scan" wall r.R.rounds r.R.delivered
+    row ~ctx "seed full-scan" gt r.R.rounds r.R.delivered
   end
   else print_endline "  seed full-scan               (skipped: too slow at this size)";
-  let r, wall = time (fun () -> proto_s ~domains:1) in
-  row ~ctx "worklist" wall r.S.rounds r.S.delivered;
+  let r, gt = Jrec.time_gc (fun () -> proto_s ~domains:1) in
+  row ~ctx "worklist" gt r.S.rounds r.S.delivered;
   if domains > 1 then begin
-    let r, wall = time (fun () -> proto_s ~domains) in
+    let r, gt = Jrec.time_gc (fun () -> proto_s ~domains) in
     row ~ctx
       (Printf.sprintf "worklist x%d domains" domains)
-      wall r.S.rounds r.S.delivered
+      gt r.S.rounds r.S.delivered
   end
 
 let workload ~domains ~with_seed ~d ~n ~k =
@@ -226,6 +206,12 @@ let ffc_scale ~smoke () =
     \  list-based reference     %8.3f s\n\
     \  speedup                  %7.1fx\n"
     reps t_imp t_ref (t_ref /. t_imp);
+  (* Allocation is deterministic per run, so one extra instrumented run
+     per pipeline puts GC counters next to the best-of wall times. *)
+  let _, gc_imp =
+    Jrec.time_gc (fun () -> ignore (Option.get (Ffc.Embed.embed p17 ~faults)))
+  in
+  let _, gc_ref = Jrec.time_gc (fun () -> ignore (Ffc.Reference.embed p17 ~faults)) in
   record
     [
       ("section", jstr "ffc");
@@ -233,6 +219,8 @@ let ffc_scale ~smoke () =
       ("n", jint 17);
       ("pipeline", jstr "reference");
       ("wall_s", jnum t_ref);
+      ("minor_words", jnum gc_ref.Jrec.minor_words);
+      ("major_words", jnum gc_ref.Jrec.major_words);
       ("speedup_vs_reference", jnum 1.0);
     ];
   record
@@ -242,6 +230,8 @@ let ffc_scale ~smoke () =
       ("n", jint 17);
       ("pipeline", jstr "implicit");
       ("wall_s", jnum t_imp);
+      ("minor_words", jnum gc_imp.Jrec.minor_words);
+      ("major_words", jnum gc_imp.Jrec.major_words);
       ("speedup_vs_reference", jnum (t_ref /. t_imp));
     ];
   let sweep = if smoke then [ 17 ] else [ 17; 18; 19; 20; 21; 22 ] in
@@ -249,26 +239,28 @@ let ffc_scale ~smoke () =
   List.iter
     (fun n ->
       let p = W.params ~d:2 ~n in
-      let e, wall = time (fun () -> Option.get (Ffc.Embed.embed p ~faults)) in
+      let e, gt = Jrec.time_gc (fun () -> Option.get (Ffc.Embed.embed p ~faults)) in
       let ok = Ffc.Embed.verify e in
       Gc.compact ();
       let heap = (Gc.stat ()).Gc.live_words in
       Printf.printf
         "  B(2,%2d) %9d nodes  embed %8.3f s  verify %b  live heap %6.1f Mwords\n"
-        n p.W.size wall ok
+        n p.W.size gt.Jrec.wall_s ok
         (float_of_int heap /. 1e6);
       record
-        [
-          ("section", jstr "ffc-sweep");
-          ("d", jint 2);
-          ("n", jint n);
-          ("nodes", jint p.W.size);
-          ("pipeline", jstr "implicit");
-          ("wall_s", jnum wall);
-          ("verified", jbool ok);
-          ("ring_length", jint (Ffc.Embed.length e));
-          ("live_heap_words", jint heap);
-        ];
+        ([
+           ("section", jstr "ffc-sweep");
+           ("d", jint 2);
+           ("n", jint n);
+           ("nodes", jint p.W.size);
+           ("pipeline", jstr "implicit");
+         ]
+        @ Jrec.gc_fields gt
+        @ [
+            ("verified", jbool ok);
+            ("ring_length", jint (Ffc.Embed.length e));
+            ("live_heap_words", jint heap);
+          ]);
       if not ok then failwith "scale: implicit FFC ring failed verification")
     sweep
 
@@ -287,4 +279,4 @@ let run ?(json = false) ?(smoke = false) () =
   ffc_scale ~smoke ();
   if not smoke then distributed_acceptance ~domains;
   print_newline ();
-  if json then write_json "BENCH_scale.json"
+  if json then Jrec.write "BENCH_scale.json"

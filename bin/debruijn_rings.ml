@@ -31,8 +31,31 @@ let ffc_cmd =
   let faults =
     Arg.(value & pos_all string [] & info [] ~docv:"FAULT" ~doc:"Faulty nodes as digit strings, e.g. 020 112.")
   in
-  let run d n fault_strs distributed domains trace =
+  let run d n fault_strs distributed domains trace campaign trials seed fcounts =
     let p = Core.Word.params ~d ~n in
+    if campaign then begin
+      Printf.printf
+        "# node-fault campaign on B(%d,%d): %d trials per point, one workspace per domain\n"
+        d n trials;
+      Printf.printf
+        "#   f  embedded  verified     bound  mean-|B*|  mean-ring  mean-ecc  min-ring\n";
+      List.iter
+        (fun (pt : Core.Ffc_campaign.point) ->
+          let bound =
+            if pt.Core.Ffc_campaign.bound_applicable = 0 then "-"
+            else
+              Printf.sprintf "%d/%d" pt.Core.Ffc_campaign.bound_ok
+                pt.Core.Ffc_campaign.bound_applicable
+          in
+          Printf.printf "%5d  %4d/%-4d  %8d  %8s  %9.1f  %9.1f  %8.2f  %8d\n"
+            pt.Core.Ffc_campaign.f pt.Core.Ffc_campaign.embedded
+            pt.Core.Ffc_campaign.trials pt.Core.Ffc_campaign.verified bound
+            pt.Core.Ffc_campaign.mean_bstar_size
+            pt.Core.Ffc_campaign.mean_ring_length pt.Core.Ffc_campaign.mean_ecc
+            pt.Core.Ffc_campaign.min_ring_length)
+        (Core.Ffc_campaign.run ~domains ~trials ~seed ?fs:fcounts ~d ~n ())
+    end
+    else begin
     let faults = List.map (words_conv d n) fault_strs in
     let result =
       if distributed then
@@ -65,19 +88,33 @@ let ffc_cmd =
           (Core.ring_length_guarantee ~d ~n ~f:(List.length faults))
           (List.length faults);
         print_endline (render p ring)
+    end
   in
   let distributed =
     Arg.(value & flag & info [ "distributed" ] ~doc:"Run the network-level protocol on the simulator.")
   in
   let domains =
-    Arg.(value & opt int 1 & info [ "domains" ] ~docv:"K" ~doc:"Step big simulator rounds on $(docv) OCaml domains (with --distributed).")
+    Arg.(value & opt int 1 & info [ "domains" ] ~docv:"K" ~doc:"Run on $(docv) OCaml domains: simulator rounds with --distributed, trials with --campaign.")
   in
   let trace =
     Arg.(value & flag & info [ "trace" ] ~doc:"Print per-phase round-by-round metrics (with --distributed).")
   in
+  let campaign =
+    Arg.(value & flag & info [ "campaign" ] ~doc:"Run a seeded randomized node-fault campaign instead of embedding a given fault set.")
+  in
+  let trials =
+    Arg.(value & opt int 20 & info [ "trials" ] ~docv:"T" ~doc:"Trials per fault count (with --campaign).")
+  in
+  let seed =
+    Arg.(value & opt int 0x5eed & info [ "seed" ] ~docv:"S" ~doc:"Campaign seed; trial outcomes depend only on (seed, f, trial).")
+  in
+  let fcounts =
+    Arg.(value & opt (some (list int)) None & info [ "fcounts" ] ~docv:"F,..." ~doc:"Comma-separated fault counts to sweep (with --campaign); default 1,5,10,30,50 clipped to the node count.")
+  in
   Cmd.v
     (Cmd.info "ffc" ~doc:"Fault-free ring under node failures (Chapter 2).")
-    Term.(const run $ d_arg $ n_arg $ faults $ distributed $ domains $ trace)
+    Term.(const run $ d_arg $ n_arg $ faults $ distributed $ domains $ trace
+          $ campaign $ trials $ seed $ fcounts)
 
 let parse_edge d n s =
   match String.split_on_char '-' s with

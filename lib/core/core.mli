@@ -28,6 +28,8 @@ module Simulator = Netsim.Simulator
 module Cycle = Graphlib.Cycle
 module Bstar = Ffc.Bstar
 module Embed = Ffc.Embed
+module Ffc_workspace = Ffc.Workspace
+module Ffc_campaign = Ffc.Campaign
 module Distributed = Ffc.Distributed
 module Selftimed = Ffc.Selftimed
 module Routing = Ffc.Routing

@@ -39,7 +39,15 @@ let count p = List.length (all_representatives p)
 let representatives_of_nodes p xs =
   List.sort_uniq compare (List.map (canonical p) xs)
 
+let mark_faulty_necklaces_into p faults buf =
+  if Array.length buf <> p.Word.size then
+    invalid_arg "Necklace.mark_faulty_necklaces_into: buffer sized wrong";
+  Array.fill buf 0 p.Word.size false;
+  (* Walk each faulty node's rotation cycle directly — no canonical
+     search, no lists: the marked set is the same either way. *)
+  List.iter (fun x -> iter_nodes_from p x (fun y -> buf.(y) <- true)) faults
+
 let mark_faulty_necklaces p faults =
   let faulty = Array.make p.Word.size false in
-  List.iter (fun x -> List.iter (fun y -> faulty.(y) <- true) (nodes p x)) faults;
+  mark_faulty_necklaces_into p faults faulty;
   faulty

@@ -46,3 +46,7 @@ val mark_faulty_necklaces : Word.params -> int list -> bool array
 (** [mark_faulty_necklaces p faults] flags every node lying on a
     necklace that contains a faulty node — the node set removed from
     B(d,n) to form B*. *)
+
+val mark_faulty_necklaces_into : Word.params -> int list -> bool array -> unit
+(** Allocation-free {!mark_faulty_necklaces} into a caller buffer of
+    length dⁿ (cleared first) — same marked set. *)

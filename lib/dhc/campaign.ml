@@ -11,19 +11,19 @@ type point = {
   wall_s : float;
 }
 
-(* Seeds are a function of (campaign seed, f, trial) alone, so the
-   per-trial fault samples — and hence every statistic except wall_s —
-   are bit-identical at any ?domains. *)
-let trial_seed ~seed ~f ~trial = seed + (1000003 * f) + trial
+(* Per-trial generators are substreams of (campaign seed, f, trial)
+   alone — Util.Rng.split, the seeding scheme shared with
+   Ffc.Campaign — so the per-trial fault samples, and hence every
+   statistic except wall_s, are bit-identical at any ?domains. *)
+let trial_rng ~seed ~f ~trial = Util.Rng.split seed ((1_000_003 * f) + trial)
 
 (* Node masking materializes B* over all dⁿ nodes; past this size the
    fallback costs more than the datum is worth, so failures just score
    ring length 0. *)
 let masking_size_limit = 65536
 
-let run_trial ~d ~n ~f seed =
+let run_trial ~d ~n ~f rng =
   let p = W.params ~d ~n in
-  let rng = Util.Rng.create seed in
   let codes = Util.Rng.sample_distinct rng ~k:f ~bound:(p.W.size * p.W.d) in
   let faults = List.map (W.edge_of_code p) codes in
   match Edge_fault.hc_avoiding_stream ~d ~n ~faults with
@@ -59,7 +59,7 @@ let point ~domains ~trials ~seed ~d ~n f =
   let t0 = Unix.gettimeofday () in
   let outcomes =
     map_trials ~domains ~trials (fun trial ->
-        run_trial ~d ~n ~f (trial_seed ~seed ~f ~trial))
+        run_trial ~d ~n ~f (trial_rng ~seed ~f ~trial))
   in
   let wall_s = Unix.gettimeofday () -. t0 in
   let count o0 =

@@ -9,34 +9,61 @@ type t = {
   graph : Csr.t Lazy.t;
 }
 
-let build (bstar : Bstar.t) =
+(* Module-level recursion: a capturing [let rec] inside the loops below
+   would heap-allocate one closure per necklace (the compiler cannot
+   statically allocate closures with free variables), which dominated
+   the pipeline's minor allocation; static functions cost nothing. *)
+let rec assign_necklace (idx_of_node : int array) stride d i x y =
+  idx_of_node.(y) <- i;
+  let y' = (y mod stride * d) + (y / stride) in
+  if y' <> x then assign_necklace idx_of_node stride d i x y'
+
+let rec exit_scan p (idx_of_node : int array) idx w a =
+  if a >= p.W.d then -1
+  else
+    let x = W.cons p a w in
+    if idx_of_node.(x) = idx then x else exit_scan p idx_of_node idx w (a + 1)
+
+let rec entry_scan p (idx_of_node : int array) idx w b =
+  if b >= p.W.d then -1
+  else
+    let x = W.snoc p w b in
+    if idx_of_node.(x) = idx then x else entry_scan p idx_of_node idx w (b + 1)
+
+let build ?ws (bstar : Bstar.t) =
   let p = bstar.Bstar.p in
   let size = p.W.size in
   let in_bstar = bstar.Bstar.in_bstar in
   (* One ascending pass: the first live node of each necklace is its
      minimal rotation, i.e. the representative, so the index is built
-     without computing canonical forms or listing all of B(d,n). *)
-  let idx_of_node = Array.make size (-1) in
-  let reps_buf = ref (Array.make 64 0) in
+     without computing canonical forms or listing all of B(d,n).  The
+     workspace rep buffer is already sized for every necklace of
+     B(d,n), so it never grows; [reps] itself stays an exact-size copy
+     either way — consumers use its length as the necklace count. *)
+  let idx_of_node, growable =
+    match ws with
+    | None -> (Array.make size (-1), true)
+    | Some w ->
+        Workspace.check w p;
+        Array.fill w.Workspace.idx_of_node 0 size (-1);
+        (w.Workspace.idx_of_node, false)
+  in
+  let reps_buf =
+    ref (match ws with None -> Array.make 64 0 | Some w -> w.Workspace.reps_buf)
+  in
   let count = ref 0 in
   let d = p.W.d in
   let stride = size / d in
   for x = 0 to size - 1 do
     if in_bstar.(x) && idx_of_node.(x) < 0 then begin
-      if !count = Array.length !reps_buf then begin
+      if growable && !count = Array.length !reps_buf then begin
         let b = Array.make (2 * !count) 0 in
         Array.blit !reps_buf 0 b 0 !count;
         reps_buf := b
       end;
       !reps_buf.(!count) <- x;
       (* Inlined necklace walk (rotate left until back at x). *)
-      let i = !count in
-      let rec assign y =
-        idx_of_node.(y) <- i;
-        let y' = (y mod stride * d) + (y / stride) in
-        if y' <> x then assign y'
-      in
-      assign x;
+      assign_necklace idx_of_node stride d !count x x;
       incr count
     end
   done;
@@ -105,25 +132,17 @@ let index_of_rep t rep =
 
 let rep_of_index t i = t.reps.(i)
 
+(* Int-returning (−1 = absent) forms of the suffix/prefix lookups: the
+   modify hot loop runs them per w-edge, so no options (and, via the
+   static scans above, no closures) there. *)
+let exit_node t idx w = exit_scan t.bstar.Bstar.p t.idx_of_node idx w 0
+let entry_node t idx w = entry_scan t.bstar.Bstar.p t.idx_of_node idx w 0
+
 let node_with_suffix t idx w =
-  let p = t.bstar.Bstar.p in
-  let rec go a =
-    if a >= p.W.d then None
-    else
-      let x = W.cons p a w in
-      if t.idx_of_node.(x) = idx then Some x else go (a + 1)
-  in
-  go 0
+  match exit_node t idx w with x when x < 0 -> None | x -> Some x
 
 let node_with_prefix t idx w =
-  let p = t.bstar.Bstar.p in
-  let rec go b =
-    if b >= p.W.d then None
-    else
-      let x = W.snoc p w b in
-      if t.idx_of_node.(x) = idx then Some x else go (b + 1)
-  in
-  go 0
+  match entry_node t idx w with x when x < 0 -> None | x -> Some x
 
 let labels_between t i j =
   (* Arithmetic: a w-edge [X]→[Y] needs the exit node αw on [X] and an

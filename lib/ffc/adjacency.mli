@@ -20,7 +20,11 @@ type t = {
       (** N\u{2217} on necklace indices, unlabeled; built on first force *)
 }
 
-val build : Bstar.t -> t
+val build : ?ws:Workspace.t -> Bstar.t -> t
+(** With [?ws] the necklace index is built into workspace arrays
+    ([idx_of_node] aliases the workspace; [reps] is still an exact-size
+    fresh copy, since its length {e is} the necklace count
+    everywhere). *)
 
 val edges : t -> (int * int * int) list
 (** The labeled edge list [(src idx, dst idx, label w)], both
@@ -39,6 +43,13 @@ val node_with_suffix : t -> int -> int -> int option
 val node_with_prefix : t -> int -> int -> int option
 (** [node_with_prefix t idx w] is the unique node wβ (prefix w) on the
     necklace, if any — the potential entry point for w-edges. *)
+
+val exit_node : t -> int -> int -> int
+(** {!node_with_suffix} without the option: −1 when absent (the
+    allocation-free form the modify stage runs per w-edge). *)
+
+val entry_node : t -> int -> int -> int
+(** {!node_with_prefix} without the option: −1 when absent. *)
 
 val labels_between : t -> int -> int -> int list
 (** All labels w of edges from one necklace index to another, sorted. *)

@@ -15,49 +15,73 @@ type t = {
 let succs p = fun x f -> W.iter_succs p x f
 let preds p = fun x f -> W.iter_preds p x f
 
-let finish p faults necklace_faulty members root_hint =
-  if Array.length members = 0 then None
-  else begin
-    let in_bstar = Array.make p.W.size false in
-    (* One pass: mark membership and track the smallest member, which —
-       being minimal on its necklace — is itself a representative. *)
-    let best = ref max_int in
-    for i = 0 to Array.length members - 1 do
-      let v = members.(i) in
-      in_bstar.(v) <- true;
-      if v < !best then best := v
-    done;
-    let root =
-      match root_hint with
-      | Some h when h >= 0 && h < p.W.size && in_bstar.(Nk.canonical p h) ->
-          Nk.canonical p h
-      | _ -> !best
-    in
-    Some
-      {
-        p;
-        graph = lazy (Debruijn.Graph.b p);
-        faults;
-        necklace_faulty;
-        in_bstar;
-        size = Array.length members;
-        root;
-      }
-  end
-
-let compute ?root_hint ?domains p ~faults =
-  let necklace_faulty = Nk.mark_faulty_necklaces p faults in
-  (* Successor-only sweep: the removed set is a union of necklaces, so
-     every weak component is strongly connected (see the header above) —
-     directed reachability from a seed already covers its whole weak
-     component, at half the edge work of the symmetric closure. *)
-  let members =
-    It.largest_weak_component ?domains ~n:p.W.size ~succs:(succs p)
-      ~preds:It.no_preds
-      ~keep:(fun v -> not necklace_faulty.(v))
-      ()
+(* [members.(start .. start+len−1)] is the chosen component, [len > 0];
+   [in_bstar] must be all-false on entry (fresh, or refilled by the
+   workspace path). *)
+let finish p faults necklace_faulty in_bstar members start len root_hint =
+  (* One pass: mark membership and track the smallest member, which —
+     being minimal on its necklace — is itself a representative. *)
+  let best = ref max_int in
+  for i = start to start + len - 1 do
+    let v = members.(i) in
+    in_bstar.(v) <- true;
+    if v < !best then best := v
+  done;
+  let root =
+    match root_hint with
+    | Some h when h >= 0 && h < p.W.size && in_bstar.(Nk.canonical p h) ->
+        Nk.canonical p h
+    | _ -> !best
   in
-  finish p faults necklace_faulty members root_hint
+  Some
+    {
+      p;
+      graph = lazy (Debruijn.Graph.b p);
+      faults;
+      necklace_faulty;
+      in_bstar;
+      size = len;
+      root;
+    }
+
+(* Successor-only sweeps below: the removed set is a union of
+   necklaces, so every weak component is strongly connected (see the
+   header above) — directed reachability from a seed already covers its
+   whole weak component, at half the edge work of the symmetric
+   closure. *)
+
+let compute ?root_hint ?domains ?ws p ~faults =
+  match ws with
+  | None ->
+      let necklace_faulty = Nk.mark_faulty_necklaces p faults in
+      let members =
+        It.largest_weak_component ?domains ~n:p.W.size ~succs:(succs p)
+          ~preds:It.no_preds
+          ~keep:(fun v -> not necklace_faulty.(v))
+          ()
+      in
+      let len = Array.length members in
+      if len = 0 then None
+      else
+        finish p faults necklace_faulty
+          (Array.make p.W.size false)
+          members 0 len root_hint
+  | Some w ->
+      Workspace.check w p;
+      let necklace_faulty = w.Workspace.necklace_faulty in
+      Nk.mark_faulty_necklaces_into p faults necklace_faulty;
+      let order, start, len =
+        It.largest_weak_component_span ?domains ~ws:w.Workspace.it
+          ~n:p.W.size ~succs:(succs p) ~preds:It.no_preds
+          ~keep:(fun v -> not necklace_faulty.(v))
+          ()
+      in
+      if len = 0 then None
+      else begin
+        let in_bstar = w.Workspace.in_bstar in
+        Array.fill in_bstar 0 p.W.size false;
+        finish p faults necklace_faulty in_bstar order start len root_hint
+      end
 
 let component_members p ~faults node =
   let necklace_faulty = Nk.mark_faulty_necklaces p faults in
@@ -76,7 +100,12 @@ let component_of p ~faults node =
         ~keep:(fun v -> not necklace_faulty.(v))
         node
     in
-    finish p faults necklace_faulty members (Some node)
+    let len = Array.length members in
+    if len = 0 then None
+    else
+      finish p faults necklace_faulty
+        (Array.make p.W.size false)
+        members 0 len (Some node)
 
 let nodes t =
   let acc = ref [] in
@@ -99,8 +128,15 @@ let necklace_count t =
   done;
   !count
 
-let eccentricity_of_root ?domains t =
-  It.eccentricity ?domains ~n:t.p.W.size ~succs:(succs t.p)
+let eccentricity_of_root ?domains ?ws t =
+  let itws =
+    match ws with
+    | None -> None
+    | Some w ->
+        Workspace.check w t.p;
+        Some w.Workspace.it
+  in
+  It.eccentricity ?domains ?ws:itws ~n:t.p.W.size ~succs:(succs t.p)
     ~keep:(fun v -> t.in_bstar.(v))
     t.root
 

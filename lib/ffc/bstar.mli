@@ -27,6 +27,7 @@ type t = {
 val compute :
   ?root_hint:int ->
   ?domains:int ->
+  ?ws:Workspace.t ->
   Debruijn.Word.params ->
   faults:int list ->
   t option
@@ -36,7 +37,10 @@ val compute :
     component (the thesis's tables use R = 0…01); otherwise the smallest
     necklace representative in the component.  Ties between equal-size
     components break toward the one containing the smallest node.
-    [?domains] parallelizes the component BFS (bit-identical result). *)
+    [?domains] parallelizes the component BFS (bit-identical result).
+    With [?ws] the sweep is allocation-free and the result's
+    [necklace_faulty]/[in_bstar] alias workspace arrays (valid until
+    the workspace's next use; contents bit-identical to fresh). *)
 
 val component_of : Debruijn.Word.params -> faults:int list -> int -> t option
 (** The component containing the given node, with that node's necklace
@@ -57,9 +61,10 @@ val nodes : t -> int list
 val necklace_count : t -> int
 (** Number of live necklaces inside B\u{2217}. *)
 
-val eccentricity_of_root : ?domains:int -> t -> int
+val eccentricity_of_root : ?domains:int -> ?ws:Workspace.t -> t -> int
 (** max distance from the root within B\u{2217} — the broadcast round count
-    of Step 1.1. *)
+    of Step 1.1.  (With [?ws] this clobbers the workspace's traversal
+    state, including any [Spanning.tree.dist] aliasing it.) *)
 
 val diameter : t -> int
 (** The thesis's K: the diameter of B\u{2217} (O(|B\u{2217}|·edges); meant for

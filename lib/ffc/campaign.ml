@@ -1,0 +1,149 @@
+module W = Debruijn.Word
+
+type point = {
+  f : int;
+  trials : int;
+  embedded : int;
+  verified : int;
+  bound_applicable : int;
+  bound_ok : int;
+  mean_bstar_size : float;
+  mean_ring_length : float;
+  mean_ecc : float;
+  min_ring_length : int;
+  wall_s : float;
+  minor_words_per_trial : float;
+  major_words_per_trial : float;
+}
+
+type outcome = { osize : int; oring : int; oecc : int; over : bool }
+
+let nothing = { osize = 0; oring = 0; oecc = 0; over = false }
+
+(* Per-trial generators are substreams of (campaign seed, f, trial)
+   alone — the same Rng.split scheme as Dhc.Campaign — so the fault
+   samples, and hence every statistic except the wall/GC figures, are
+   bit-identical at any ?domains and with or without workspace reuse. *)
+let trial_rng ~seed ~f ~trial = Util.Rng.split seed ((1_000_003 * f) + trial)
+
+let length_bound p f =
+  if f >= 0 && f <= p.W.d - 2 then p.W.size - (p.W.n * f)
+  else if p.W.d = 2 && f = 1 then p.W.size - (p.W.n + 1)
+  else -1
+
+let run_trial ~p ~ws ~seed ~f trial =
+  let rng = trial_rng ~seed ~f ~trial in
+  let faults = Util.Rng.sample_distinct rng ~k:f ~bound:p.W.size in
+  (* R = 0…01, the thesis's distinguished node for Tables 2.1/2.2; when
+     its necklace is faulty the embedding re-roots at the smallest live
+     representative. *)
+  match Embed.embed ~root_hint:1 ?ws p ~faults with
+  | None -> nothing
+  | Some e ->
+      {
+        osize = e.Embed.bstar.Bstar.size;
+        oring = Embed.length e;
+        oecc = e.Embed.modified.Spanning.tree.Spanning.ecc;
+        over = Embed.verify ?ws e;
+      }
+
+let point ~domains ~trials ~seed ~(wss : Workspace.t array) ~p f =
+  let t0 = Unix.gettimeofday () in
+  let out = Array.make trials nothing in
+  let nworkers = if domains <= 1 then 1 else min domains trials in
+  let minor = Array.make trials 0. in
+  let major = Array.make trials 0. in
+  (* Strided trial assignment, one workspace per worker: worker w runs
+     trials w, w+nworkers, …  Outcomes land at their trial index, so
+     aggregation order — and every derived statistic — is independent
+     of scheduling.  GC counters are read per trial, in the trial's own
+     domain (Gc.counters is domain-local). *)
+  let worker w =
+    let ws = if Array.length wss = 0 then None else Some wss.(w) in
+    let i = ref w in
+    while !i < trials do
+      let m0, _, j0 = Gc.counters () in
+      out.(!i) <- run_trial ~p ~ws ~seed ~f !i;
+      let m1, _, j1 = Gc.counters () in
+      minor.(!i) <- m1 -. m0;
+      major.(!i) <- j1 -. j0;
+      i := !i + nworkers
+    done
+  in
+  if nworkers = 1 then worker 0
+  else begin
+    let spawned =
+      List.init (nworkers - 1) (fun w -> Domain.spawn (fun () -> worker (w + 1)))
+    in
+    worker 0;
+    List.iter Domain.join spawned
+  end;
+  let wall_s = Unix.gettimeofday () -. t0 in
+  let embedded = ref 0 and verified = ref 0 in
+  let sb = ref 0 and sr = ref 0 and se = ref 0 in
+  let minr = ref max_int in
+  Array.iter
+    (fun o ->
+      if o.osize > 0 then incr embedded;
+      if o.over then incr verified;
+      sb := !sb + o.osize;
+      sr := !sr + o.oring;
+      se := !se + o.oecc;
+      if o.oring < !minr then minr := o.oring)
+    out;
+  let bound = length_bound p f in
+  let bound_ok =
+    if bound < 0 then 0
+    else
+      Array.fold_left (fun acc o -> if o.oring >= bound then acc + 1 else acc) 0 out
+  in
+  let tf = float_of_int trials in
+  (* Steady-state allocation: the minimum across the point's trials.
+     The OCaml runtime occasionally books a large nondeterministic
+     allocation burst into one trial's window (a GC-internal artifact,
+     not pipeline allocation — it appears and vanishes across identical
+     reruns); the min is stable run to run and is exactly the "what
+     does one more trial cost" figure the arena is accountable to. *)
+  let steady a = Array.fold_left min a.(0) a in
+  {
+    f;
+    trials;
+    embedded = !embedded;
+    verified = !verified;
+    bound_applicable = (if bound < 0 then 0 else trials);
+    bound_ok;
+    mean_bstar_size = float_of_int !sb /. tf;
+    mean_ring_length = float_of_int !sr /. tf;
+    mean_ecc = float_of_int !se /. tf;
+    min_ring_length = !minr;
+    wall_s;
+    minor_words_per_trial = steady minor;
+    major_words_per_trial = steady major;
+  }
+
+let default_fault_counts = [ 1; 5; 10; 30; 50 ]
+
+let run ?(domains = 1) ?(trials = 20) ?(seed = 0x5eed) ?fs ?(reuse = true) ~d
+    ~n () =
+  if trials < 1 then invalid_arg "Ffc.Campaign.run: trials < 1";
+  if domains < 1 then invalid_arg "Ffc.Campaign.run: domains < 1";
+  let p = W.params ~d ~n in
+  let fs =
+    match fs with
+    | Some l ->
+        List.iter
+          (fun f ->
+            if f < 0 || f > p.W.size then
+              invalid_arg "Ffc.Campaign.run: fault count out of range")
+          l;
+        l
+    | None -> List.filter (fun f -> f <= p.W.size) default_fault_counts
+  in
+  let wss =
+    if reuse then
+      Array.init
+        (if domains <= 1 then 1 else min domains trials)
+        (fun _ -> Workspace.create p)
+    else [||]
+  in
+  List.map (fun f -> point ~domains ~trials ~seed ~wss ~p f) fs

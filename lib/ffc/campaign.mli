@@ -1,0 +1,61 @@
+(** Randomized node-fault campaigns: the Table 2.1/2.2 experiments at
+    arbitrary scale.
+
+    For each fault count f the campaign samples f distinct nodes of
+    B(d,n) uniformly, runs the full FFC pipeline (rooted at the
+    thesis's R = 0…01 when alive), and records |B*|, the ring length,
+    ecc(R), a full arithmetic verification, and the Proposition 2.2/2.3
+    length-bound checks — len ≥ dⁿ − nf when f ≤ d−2, and
+    len ≥ 2ⁿ − (n+1) for d = 2, f = 1.
+
+    Trials reuse one {!Workspace.t} per domain (workspaces are created
+    once per [run]), so a steady-state trial allocates almost nothing
+    beyond its result ring; [~reuse:false] runs the identical trials
+    through the fresh-allocation path, as the benchmarked baseline.
+    Statistics are bit-identical across [?domains] and [?reuse] — only
+    the wall/GC figures differ. *)
+
+type point = {
+  f : int;  (** number of random node faults injected *)
+  trials : int;
+  embedded : int;  (** trials with a nonempty B* (an embedding exists) *)
+  verified : int;  (** trials whose ring passed [Embed.verify] *)
+  bound_applicable : int;
+      (** [trials] when a Proposition 2.2/2.3 bound covers this (d, f);
+          0 otherwise *)
+  bound_ok : int;  (** trials whose ring met the applicable bound *)
+  mean_bstar_size : float;  (** over all trials; 0 counts for failures *)
+  mean_ring_length : float;
+  mean_ecc : float;  (** mean ecc(R) within B*, from the spanning BFS *)
+  min_ring_length : int;
+  wall_s : float;
+  minor_words_per_trial : float;
+      (** steady-state minor-heap words per trial — the minimum across
+          the point's trials, which sheds the runtime's occasional
+          GC-internal allocation bursts; the workspace path's headline
+          figure *)
+  major_words_per_trial : float;
+      (** same minimum; includes the trial's result ring *)
+}
+
+val length_bound : Debruijn.Word.params -> int -> int
+(** The applicable Proposition 2.2/2.3 lower bound on ring length, or
+    −1 when neither proposition covers (d, f). *)
+
+val run :
+  ?domains:int ->
+  ?trials:int ->
+  ?seed:int ->
+  ?fs:int list ->
+  ?reuse:bool ->
+  d:int ->
+  n:int ->
+  unit ->
+  point list
+(** One point per fault count in [fs] (default [[1; 5; 10; 30; 50]]
+    filtered to ≤ dⁿ — the thesis's Table 2.1/2.2 rows).  [?domains]
+    runs trials strided across that many domains, one workspace each;
+    per-trial generators come from [Util.Rng.split] on [(seed, f,
+    trial)], so every field except [wall_s] and the GC counters is
+    independent of [domains] and [reuse].  Defaults: 20 trials, seed
+    0x5eed, workspace reuse on. *)

@@ -7,12 +7,19 @@ type t = {
   cycle : int array;
 }
 
-let successor_map (m : Spanning.modified) =
+let successor_map ?ws (m : Spanning.modified) =
   let bstar = m.Spanning.tree.Spanning.adj.Adjacency.bstar in
   let p = bstar.Bstar.p in
   let in_bstar = bstar.Bstar.in_bstar in
   let override = m.Spanning.succ_override in
-  let succ = Array.make p.W.size (-1) in
+  let succ =
+    match ws with
+    | None -> Array.make p.W.size (-1)
+    | Some w ->
+        Workspace.check w p;
+        Array.fill w.Workspace.successor 0 p.W.size (-1);
+        w.Workspace.successor
+  in
   (* One flat pass: exit nodes of D-edges jump to the recorded entry
      node, everyone else follows its necklace (rotate left, inlined:
      W.rotl without the per-call range check). *)
@@ -26,24 +33,37 @@ let successor_map (m : Spanning.modified) =
   done;
   succ
 
-let of_bstar ?domains bstar =
-  let adj = Adjacency.build bstar in
-  let tree = Spanning.build ?domains adj in
-  let modified = Spanning.modify tree in
-  let successor = successor_map modified in
+let of_bstar ?domains ?ws bstar =
+  let adj = Adjacency.build ?ws bstar in
+  let tree = Spanning.build ?domains ?ws adj in
+  let modified = Spanning.modify ?ws tree in
+  let successor = successor_map ?ws modified in
   let cycle =
-    match
-      Graphlib.Cycle.of_successor_array_n ~start:bstar.Bstar.root successor
-    with
-    | Some c -> c
-    | None -> failwith "Ffc.Embed: successor map did not close into a cycle"
+    (* The ring is the trial's one fresh result either way — everything
+       feeding it lives in the workspace when [?ws] is given. *)
+    match ws with
+    | None -> (
+        match
+          Graphlib.Cycle.of_successor_array_n ~start:bstar.Bstar.root successor
+        with
+        | Some c -> c
+        | None -> failwith "Ffc.Embed: successor map did not close into a cycle"
+        )
+    | Some w -> (
+        match
+          Graphlib.Cycle.of_successor_array_into ~seen:w.Workspace.cycle_seen
+            ~buf:w.Workspace.cycle_buf ~start:bstar.Bstar.root successor
+        with
+        | Some len -> Array.sub w.Workspace.cycle_buf 0 len
+        | None -> failwith "Ffc.Embed: successor map did not close into a cycle"
+        )
   in
   { bstar; modified; successor; cycle }
 
-let embed ?root_hint ?domains p ~faults =
-  Option.map (of_bstar ?domains) (Bstar.compute ?root_hint ?domains p ~faults)
+let embed ?root_hint ?domains ?ws p ~faults =
+  Option.map (of_bstar ?domains ?ws) (Bstar.compute ?root_hint ?domains ?ws p ~faults)
 
-let verify t =
+let verify ?ws t =
   let b = t.bstar in
   let p = b.Bstar.p in
   let k = Array.length t.cycle in
@@ -53,7 +73,14 @@ let verify t =
      avoids faulty necklaces, and every consecutive pair (wrap
      included) is a De Bruijn edge — x → y iff prefix y = suffix x.
      No Digraph is forced even at B(2,22). *)
-  let seen = Graphlib.Bitset.create p.W.size in
+  let seen =
+    match ws with
+    | None -> Graphlib.Bitset.create p.W.size
+    | Some w ->
+        Workspace.check w p;
+        Graphlib.Bitset.clear w.Workspace.cycle_seen;
+        w.Workspace.cycle_seen
+  in
   let ok = ref true in
   for i = 0 to k - 1 do
     let x = t.cycle.(i) in

@@ -17,25 +17,33 @@ type t = {
   cycle : int array;  (** H, starting at the root R *)
 }
 
-val successor_map : Spanning.modified -> int array
+val successor_map : ?ws:Workspace.t -> Spanning.modified -> int array
 
-val of_bstar : ?domains:int -> Bstar.t -> t
+val of_bstar : ?domains:int -> ?ws:Workspace.t -> Bstar.t -> t
 (** Run steps 1–3 on an already-computed B\u{2217}.  [?domains]
     parallelizes the BFS levels (bit-identical result). *)
 
 val embed :
   ?root_hint:int ->
   ?domains:int ->
+  ?ws:Workspace.t ->
   Debruijn.Word.params ->
   faults:int list ->
   t option
 (** Full pipeline: compute B\u{2217}, build N\u{2217}, T, D, and H.  [None] when
     no live necklace remains.  Entirely implicit/flat — B(2,22) (4M
-    nodes) embeds in seconds without materializing any graph. *)
+    nodes) embeds in seconds without materializing any graph.
 
-val verify : t -> bool
+    With [?ws] every intermediate lives in the workspace arena and the
+    trial allocates almost nothing beyond [cycle] (which is always a
+    fresh array); all fields except [cycle] alias workspace storage and
+    are invalidated by the workspace's next use.  Contents are
+    bit-identical to the fresh path. *)
+
+val verify : ?ws:Workspace.t -> t -> bool
 (** H is a Hamiltonian cycle of B\u{2217} avoiding all faulty necklaces
-    (checked arithmetically; does not force [bstar.graph]). *)
+    (checked arithmetically; does not force [bstar.graph]).  [?ws]
+    borrows the workspace's ring-walk bitset instead of allocating. *)
 
 val length : t -> int
 

@@ -6,48 +6,78 @@ type tree = {
   adj : Adjacency.t;
   root_idx : int;
   dist : int array;
+  ecc : int;
   node_parent : int array;
   parent : int array;
   label : int array;
   chosen : int array;
 }
 
-let build ?domains (adj : Adjacency.t) =
+(* Module-level so the per-node parent search allocates no closure — a
+   capturing [let rec] in the scan loop would cost ~9 minor words per
+   live node. *)
+let rec find_parent (in_bstar : bool array) (dist : int array) stride d pre dv a
+    =
+  if a = d then -1
+  else
+    let u = (a * stride) + pre in
+    if in_bstar.(u) && dist.(u) = dv - 1 then u
+    else find_parent in_bstar dist stride d pre dv (a + 1)
+
+let build ?domains ?ws (adj : Adjacency.t) =
   let bstar = adj.Adjacency.bstar in
   let p = bstar.Bstar.p in
   let size = p.W.size in
   let in_bstar v = bstar.Bstar.in_bstar.(v) in
   let root = bstar.Bstar.root in
+  (match ws with Some w -> Workspace.check w p | None -> ());
+  let itws = match ws with None -> None | Some w -> Some w.Workspace.it in
   let bfs =
-    It.bfs ?domains ~n:size
+    It.bfs ?domains ?ws:itws ~n:size
       ~succs:(fun x f -> W.iter_succs p x f)
       ~keep:in_bstar root
   in
   let dist = bfs.It.dist in
+  (* BFS discovers by nondecreasing distance, so the root's
+     eccentricity in B* — ecc(R), Table 2.1/2.2's column — is the
+     distance of the last discovery; recording it here saves the
+     campaign a whole extra traversal. *)
+  let ecc = if bfs.It.count = 0 then 0 else dist.(bfs.It.order.(bfs.It.count - 1)) in
   (* T′ parent: minimal predecessor one BFS level up, inside B*.  Only
      reached nodes are scanned (via discovery order); predecessors are
      a·stride + v/d for a = 0..d−1 — ascending in a, so the first live
      hit at the previous level is already the minimal one. *)
-  let node_parent = Array.make size (-1) in
+  let node_parent =
+    match ws with
+    | None -> Array.make size (-1)
+    | Some w ->
+        Array.fill w.Workspace.node_parent 0 size (-1);
+        w.Workspace.node_parent
+  in
   let stride = size / p.W.d in
+  let in_bstar_arr = bstar.Bstar.in_bstar in
   for i = 1 to bfs.It.count - 1 do
     let v = bfs.It.order.(i) in
-    let dv = dist.(v) in
-    let pre = v / p.W.d in
-    let rec find a =
-      if a = p.W.d then -1
-      else
-        let u = (a * stride) + pre in
-        if bstar.Bstar.in_bstar.(u) && dist.(u) = dv - 1 then u
-        else find (a + 1)
-    in
-    node_parent.(v) <- find 0
+    node_parent.(v) <-
+      find_parent in_bstar_arr dist stride p.W.d (v / p.W.d) dist.(v) 0
   done;
   let m = Array.length adj.Adjacency.reps in
   let root_idx = adj.Adjacency.idx_of_node.(root) in
-  let parent = Array.make m (-1) in
-  let label = Array.make m (-1) in
-  let chosen = Array.make m (-1) in
+  (* Necklace-level arrays: workspace capacity is the fault-free
+     necklace count ≥ m; only the first m entries are (re)set and
+     read. *)
+  let necklace_array =
+    match ws with
+    | None -> fun _ -> Array.make m (-1)
+    | Some w ->
+        fun pick ->
+          let a = pick w in
+          Array.fill a 0 m (-1);
+          a
+  in
+  let parent = necklace_array (fun w -> w.Workspace.parent) in
+  let label = necklace_array (fun w -> w.Workspace.label) in
+  let chosen = necklace_array (fun w -> w.Workspace.chosen) in
   (* Earliest receipt, ties toward the minimal node — a lexicographic
      (dist, node) minimum per necklace.  One ascending node scan: on
      equal distance the first (smallest) node sticks. *)
@@ -70,7 +100,7 @@ let build ?domains (adj : Adjacency.t) =
   done;
   (* The root's chosen node is R itself (distance 0). *)
   chosen.(root_idx) <- root;
-  { adj; root_idx; dist; node_parent; parent; label; chosen }
+  { adj; root_idx; dist; ecc; node_parent; parent; label; chosen }
 
 let tree_edges t =
   let m = Array.length t.adj.Adjacency.reps in
@@ -114,48 +144,86 @@ let label_buckets t =
   done;
   (bucket_par, bucket_children)
 
-let modify t =
+let modify ?ws t =
   let adj = t.adj in
   let p = adj.Adjacency.bstar.Bstar.p in
   let wsize = p.W.size / p.W.d in
   let m = Array.length adj.Adjacency.reps in
-  let bucket_par, bucket_children = label_buckets t in
+  (* Same bucketing as {!label_buckets}, but as intrusive lists in flat
+     arrays ([bucket_head]/[bucket_next]) so the workspace path
+     allocates nothing; the fresh path uses identical code on fresh
+     arrays.  Walking a chain yields children in descending index —
+     the same order the cons-list version produced — and the sort below
+     canonicalizes anyway. *)
+  let bucket_par, bucket_head, bucket_next, scratch, succ_override =
+    match ws with
+    | None ->
+        ( Array.make wsize (-1),
+          Array.make wsize (-1),
+          Array.make m (-1),
+          Array.make (m + 1) 0,
+          Array.make p.W.size (-1) )
+    | Some w ->
+        Workspace.check w p;
+        Array.fill w.Workspace.bucket_par 0 wsize (-1);
+        Array.fill w.Workspace.bucket_head 0 wsize (-1);
+        (* bucket_next needs no reset: only chains rooted in
+           bucket_head are walked, and every link on them is written
+           this call. *)
+        Array.fill w.Workspace.succ_override 0 p.W.size (-1);
+        ( w.Workspace.bucket_par,
+          w.Workspace.bucket_head,
+          w.Workspace.bucket_next,
+          w.Workspace.nscratch,
+          w.Workspace.succ_override )
+  in
+  for i = 0 to m - 1 do
+    if i <> t.root_idx then begin
+      let w = t.label.(i) in
+      let par = t.parent.(i) in
+      if bucket_par.(w) < 0 then bucket_par.(w) <- par
+      else assert (bucket_par.(w) = par);
+      bucket_next.(i) <- bucket_head.(w);
+      bucket_head.(w) <- i
+    end
+  done;
   (* The D-edges, flattened to node level: the w-edge [X]→[Y] leaves [X]
      at its unique exit node αw and enters [Y] at its unique entry node
-     wβ, so one int per node replaces the (idx, w)-keyed Hashtbl. *)
-  let succ_override = Array.make p.W.size (-1) in
-  let scratch = Array.make (m + 1) 0 in
+     wβ, so one int per node replaces the (idx, w)-keyed Hashtbl.
+     (Cursor refs hoisted out of the loop — one allocation, not one per
+     bucket.) *)
+  let k = ref 0 in
+  let c = ref (-1) in
   for w = 0 to wsize - 1 do
     let par = bucket_par.(w) in
     if par >= 0 then begin
-      let k = ref 1 in
+      k := 1;
       scratch.(0) <- par;
-      List.iter
-        (fun c ->
-          scratch.(!k) <- c;
-          incr k)
-        bucket_children.(w);
+      c := bucket_head.(w);
+      while !c >= 0 do
+        scratch.(!k) <- !c;
+        incr k;
+        c := bucket_next.(!c)
+      done;
       let k = !k in
       (* Insertion sort over necklace indices: representatives ascend
          with index, so index order IS increasing-representative order;
          a T_w is tiny (two members is typical). *)
       for i = 1 to k - 1 do
         let x = scratch.(i) in
-        let j = ref (i - 1) in
-        while !j >= 0 && scratch.(!j) > x do
-          scratch.(!j + 1) <- scratch.(!j);
-          decr j
+        c := i - 1;
+        while !c >= 0 && scratch.(!c) > x do
+          scratch.(!c + 1) <- scratch.(!c);
+          decr c
         done;
-        scratch.(!j + 1) <- x
+        scratch.(!c + 1) <- x
       done;
       for i = 0 to k - 1 do
         let idx = scratch.(i) and next = scratch.((i + 1) mod k) in
-        match
-          ( Adjacency.node_with_suffix adj idx w,
-            Adjacency.node_with_prefix adj next w )
-        with
-        | Some exit, Some entry -> succ_override.(exit) <- entry
-        | _ -> assert false
+        let exit = Adjacency.exit_node adj idx w in
+        let entry = Adjacency.entry_node adj next w in
+        assert (exit >= 0 && entry >= 0);
+        succ_override.(exit) <- entry
       done
     end
   done;

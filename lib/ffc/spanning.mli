@@ -20,13 +20,21 @@ type tree = {
   adj : Adjacency.t;
   root_idx : int;  (** the necklace of R *)
   dist : int array;  (** node-level BFS distance from R inside B\u{2217} (−1 outside) *)
+  ecc : int;
+      (** eccentricity of R in B\u{2217} (max of [dist]) — a free by-product
+          of the spanning BFS, so campaigns get ecc(R) without another
+          traversal *)
   node_parent : int array;  (** node-level T′ parent (−1 for R / outside) *)
   parent : int array;  (** necklace-level parent index (−1 for root) *)
   label : int array;  (** w label of the parent edge (−1 for root) *)
   chosen : int array;  (** per necklace: the earliest-reached node Y *)
 }
 
-val build : ?domains:int -> Adjacency.t -> tree
+val build : ?domains:int -> ?ws:Workspace.t -> Adjacency.t -> tree
+(** With [?ws], [dist]/[node_parent]/[parent]/[label]/[chosen] alias
+    workspace arrays (valid until its next use; in particular [dist]
+    lives in the shared traversal scratch and is clobbered by any later
+    BFS on the same workspace). *)
 
 val check_height_one : tree -> bool
 (** Every label class T_w has a single common parent — guaranteed by
@@ -45,10 +53,10 @@ type modified = {
           at most one node per suffix w, so the node {e is} the key. *)
 }
 
-val modify : tree -> modified
+val modify : ?ws:Workspace.t -> tree -> modified
 (** Step 2: each T_w (parent and children) becomes the directed cycle
     that steps through its members in increasing representative order
-    and wraps. *)
+    and wraps.  With [?ws], [succ_override] aliases the workspace. *)
 
 val groups : modified -> (int * int list) list
 (** Label w → members of T_w sorted by representative, for w ascending.

@@ -1,0 +1,81 @@
+module W = Debruijn.Word
+module Bs = Graphlib.Bitset
+module It = Graphlib.Itopo
+
+type t = {
+  p : W.params;
+  max_necklaces : int;
+  (* node-level scratch (dⁿ entries) *)
+  necklace_faulty : bool array;
+  in_bstar : bool array;
+  idx_of_node : int array;
+  node_parent : int array;
+  succ_override : int array;
+  successor : int array;
+  cycle_buf : int array;
+  cycle_seen : Bs.t;
+  it : It.ws;
+  (* necklace-level scratch (max_necklaces entries unless noted) *)
+  reps_buf : int array;
+  parent : int array;
+  label : int array;
+  chosen : int array;
+  nscratch : int array;  (* max_necklaces + 1 *)
+  bucket_next : int array;
+  (* (n−1)-suffix-level scratch (dⁿ⁻¹ entries) *)
+  bucket_par : int array;
+  bucket_head : int array;
+}
+
+(* Necklace count of the fault-free B(d,n) — an upper bound on the live
+   necklace count of any B*.  Same ascending first-hit sweep as
+   Adjacency.build: the first unseen node of each necklace is its
+   minimal rotation. *)
+let count_necklaces p =
+  let size = p.W.size in
+  let seen = Bs.create size in
+  let d = p.W.d in
+  let stride = size / d in
+  let count = ref 0 in
+  for x = 0 to size - 1 do
+    if not (Bs.mem seen x) then begin
+      incr count;
+      let rec mark y =
+        Bs.add seen y;
+        let y' = (y mod stride * d) + (y / stride) in
+        if y' <> x then mark y'
+      in
+      mark x
+    end
+  done;
+  !count
+
+let create p =
+  let size = p.W.size in
+  let wsize = size / p.W.d in
+  let m = count_necklaces p in
+  {
+    p;
+    max_necklaces = m;
+    necklace_faulty = Array.make size false;
+    in_bstar = Array.make size false;
+    idx_of_node = Array.make size (-1);
+    node_parent = Array.make size (-1);
+    succ_override = Array.make size (-1);
+    successor = Array.make size (-1);
+    cycle_buf = Array.make size 0;
+    cycle_seen = Bs.create size;
+    it = It.ws_create size;
+    reps_buf = Array.make m 0;
+    parent = Array.make m (-1);
+    label = Array.make m (-1);
+    chosen = Array.make m (-1);
+    nscratch = Array.make (m + 1) 0;
+    bucket_next = Array.make m (-1);
+    bucket_par = Array.make wsize (-1);
+    bucket_head = Array.make wsize (-1);
+  }
+
+let check t p =
+  if t.p.W.d <> p.W.d || t.p.W.n <> p.W.n then
+    invalid_arg "Ffc.Workspace: workspace built for a different (d, n)"

@@ -99,18 +99,20 @@ let of_successor_map_n ~n ~start succ =
   in
   go start
 
-let of_successor_array_n ~start (succ : int array) =
+let of_successor_array_into ~seen ~(buf : int array) ~start (succ : int array) =
   let n = Array.length succ in
   if start < 0 || start >= n then
-    invalid_arg "Cycle.of_successor_array_n: start out of range";
-  (* Same as [of_successor_map_n] with the successor map given flat —
-     the per-step closure call disappears, which matters when the step
-     runs dⁿ times. *)
-  let seen = Bitset.create n in
-  let buf = Array.make n 0 in
+    invalid_arg "Cycle.of_successor_array_into: start out of range";
+  if Bitset.length seen < n || Array.length buf < n then
+    invalid_arg "Cycle.of_successor_array_into: scratch too small";
+  (* Same walk as [of_successor_map_n] with the successor map given
+     flat — the per-step closure call disappears, which matters when
+     the step runs dⁿ times.  Caller-provided scratch makes the walk
+     allocation-free: the cycle's nodes land in [buf.(0 .. len−1)]. *)
+  Bitset.clear seen;
   let len = ref 0 in
   let rec go v =
-    if v = start && !len > 0 then Some (Array.sub buf 0 !len)
+    if v = start && !len > 0 then Some !len
     else if v < 0 || v >= n || Bitset.mem seen v then None
     else begin
       Bitset.add seen v;
@@ -120,3 +122,13 @@ let of_successor_array_n ~start (succ : int array) =
     end
   in
   go start
+
+let of_successor_array_n ~start (succ : int array) =
+  let n = Array.length succ in
+  if start < 0 || start >= n then
+    invalid_arg "Cycle.of_successor_array_n: start out of range";
+  let seen = Bitset.create n in
+  let buf = Array.make n 0 in
+  Option.map
+    (fun len -> Array.sub buf 0 len)
+    (of_successor_array_into ~seen ~buf ~start succ)

@@ -56,3 +56,10 @@ val of_successor_array_n : start:int -> int array -> int array option
 (** {!of_successor_map_n} with the successor map as a flat array
     ([n = Array.length succ]); negative entries fail the walk, so −1
     works as "no successor". *)
+
+val of_successor_array_into :
+  seen:Bitset.t -> buf:int array -> start:int -> int array -> int option
+(** Allocation-free {!of_successor_array_n} into caller scratch: [seen]
+    is cleared, the walk's nodes land in [buf.(0 .. len−1)], and the
+    result is [Some len] iff the walk closes into a simple cycle.  Both
+    scratch structures must span at least [Array.length succ]. *)

@@ -2,6 +2,20 @@ type iter = int -> (int -> unit) -> unit
 
 type bfs = { dist : int array; order : int array; count : int }
 
+(* Reusable traversal scratch: one visited bitset plus full-size
+   distance/order arrays, sized for a fixed node count [n].  Every
+   traversal that accepts [?ws] resets exactly the state it uses
+   (bitset clear is O(n/8); the dist fill is O(n)), so reuse across
+   traversals is bit-identical to fresh allocation. *)
+type ws = { wn : int; wvisited : Bitset.t; wdist : int array; worder : int array }
+
+let ws_create n =
+  if n < 0 then invalid_arg "Itopo.ws_create: negative size";
+  { wn = n; wvisited = Bitset.create n; wdist = Array.make n (-1); worder = Array.make n 0 }
+
+let ws_check ws n =
+  if ws.wn <> n then invalid_arg "Itopo: workspace sized for a different n"
+
 let keep_all = fun _ -> true
 
 (* Physically-recognized empty predecessor iterator: when a caller knows
@@ -26,13 +40,30 @@ let par_threshold = 2048
 (* The visited bitset doubles as the keep mask: nodes failing [keep]
    are pre-marked once, so the per-candidate test in the hot loops is a
    single bit probe instead of a bit probe plus a closure call. *)
-let masked_visited ~n ~keep =
-  let visited = Bitset.create n in
+let masked_visited ?ws ~n ~keep () =
+  let visited =
+    match ws with
+    | None -> Bitset.create n
+    | Some w ->
+        ws_check w n;
+        Bitset.clear w.wvisited;
+        w.wvisited
+  in
   if keep != keep_all then
     for v = 0 to n - 1 do
       if not (keep v) then Bitset.add visited v
     done;
   visited
+
+let order_array ?ws ~n () =
+  match ws with None -> Array.make n 0 | Some w -> w.worder
+
+let dist_array ?ws ~n () =
+  match ws with
+  | None -> Array.make n (-1)
+  | Some w ->
+      Array.fill w.wdist 0 n (-1);
+      w.wdist
 
 (* Expand one BFS level [order.(lo..hi-1)] in parallel.  Workers only
    READ the visited bits, stashing candidate discoveries per chunk;
@@ -73,12 +104,12 @@ let expand_par ~domains ~succs ~visited ~commit ~(order : int array) lo hi =
     (Array.iter (fun v -> if not (Bitset.mem visited v) then commit v))
     results
 
-let bfs ?(domains = 1) ~n ~succs ?(keep = keep_all) src =
+let bfs ?(domains = 1) ?ws ~n ~succs ?(keep = keep_all) src =
   if src < 0 || src >= n then invalid_arg "Itopo.bfs: source out of range";
-  let dist = Array.make n (-1) in
-  let order = Array.make n 0 in
+  let dist = dist_array ?ws ~n () in
+  let order = order_array ?ws ~n () in
   let count = ref 0 in
-  let visited = masked_visited ~n ~keep in
+  let visited = masked_visited ?ws ~n ~keep () in
   if not (Bitset.mem visited src) then begin
     Bitset.add visited src;
     dist.(src) <- 0;
@@ -86,22 +117,25 @@ let bfs ?(domains = 1) ~n ~succs ?(keep = keep_all) src =
     count := 1;
     let level_start = ref 0 in
     let d = ref 0 in
+    (* Hoisted out of the level loop: allocating these closures per
+       level (let alone per node, as a lambda in the inner loop would)
+       accounted for megawords of minor garbage per traversal. *)
+    let commit v =
+      Bitset.add visited v;
+      dist.(v) <- !d;
+      order.(!count) <- v;
+      incr count
+    in
+    let consider v = if not (Bitset.mem visited v) then commit v in
     while !level_start < !count do
       let lo = !level_start and hi = !count in
       level_start := hi;
       incr d;
-      let commit v =
-        Bitset.add visited v;
-        dist.(v) <- !d;
-        order.(!count) <- v;
-        incr count
-      in
       if domains > 1 && hi - lo >= par_threshold then
         expand_par ~domains ~succs ~visited ~commit ~order lo hi
       else
         for i = lo to hi - 1 do
-          succs order.(i) (fun v ->
-              if not (Bitset.mem visited v) then commit v)
+          succs order.(i) consider
         done
     done
   end;
@@ -110,8 +144,8 @@ let bfs ?(domains = 1) ~n ~succs ?(keep = keep_all) src =
 let bfs_dist ?domains ~n ~succs ?keep src =
   (bfs ?domains ~n ~succs ?keep src).dist
 
-let eccentricity ?domains ~n ~succs ?keep src =
-  let r = bfs ?domains ~n ~succs ?keep src in
+let eccentricity ?domains ?ws ~n ~succs ?keep src =
+  let r = bfs ?domains ?ws ~n ~succs ?keep src in
   (* BFS discovers nodes by nondecreasing distance, so the last
      discovery is the farthest. *)
   if r.count = 0 then 0 else r.dist.(r.order.(r.count - 1))
@@ -126,19 +160,20 @@ let flood ~domains ~succs ~visited ~(order : int array) ~count src =
   order.(!count) <- src;
   incr count;
   let level_start = ref (!count - 1) in
+  let commit v =
+    Bitset.add visited v;
+    order.(!count) <- v;
+    incr count
+  in
+  let consider v = if not (Bitset.mem visited v) then commit v in
   while !level_start < !count do
     let lo = !level_start and hi = !count in
     level_start := hi;
-    let commit v =
-      Bitset.add visited v;
-      order.(!count) <- v;
-      incr count
-    in
     if domains > 1 && hi - lo >= par_threshold then
       expand_par ~domains ~succs ~visited ~commit ~order lo hi
     else
       for i = lo to hi - 1 do
-        succs order.(i) (fun v -> if not (Bitset.mem visited v) then commit v)
+        succs order.(i) consider
       done
   done
 
@@ -148,7 +183,7 @@ let component_members ~n ~succs ~preds ?(keep = keep_all) src =
   if not (keep src) then [||]
   else begin
     let both = symmetric ~succs ~preds in
-    let visited = masked_visited ~n ~keep in
+    let visited = masked_visited ~n ~keep () in
     (* Growable order so a small component on a huge graph costs
        O(component) words beyond the bitset. *)
     let buf = ref (Array.make 64 0) in
@@ -157,29 +192,31 @@ let component_members ~n ~succs ~preds ?(keep = keep_all) src =
     !buf.(0) <- src;
     len := 1;
     let head = ref 0 in
+    let consider v =
+      if not (Bitset.mem visited v) then begin
+        Bitset.add visited v;
+        if !len = Array.length !buf then begin
+          let b = Array.make (2 * !len) 0 in
+          Array.blit !buf 0 b 0 !len;
+          buf := b
+        end;
+        !buf.(!len) <- v;
+        incr len
+      end
+    in
     while !head < !len do
       let u = !buf.(!head) in
       incr head;
-      both u (fun v ->
-          if not (Bitset.mem visited v) then begin
-            Bitset.add visited v;
-            if !len = Array.length !buf then begin
-              let b = Array.make (2 * !len) 0 in
-              Array.blit !buf 0 b 0 !len;
-              buf := b
-            end;
-            !buf.(!len) <- v;
-            incr len
-          end)
+      both u consider
     done;
     Array.sub !buf 0 !len
   end
 
-let largest_weak_component ?(domains = 1) ~n ~succs ~preds ?(keep = keep_all) ()
-    =
-  let both = symmetric ~succs ~preds in
-  let visited = masked_visited ~n ~keep in
-  let order = Array.make n 0 in
+(* Shared sweep: floods every component into [order] and returns the
+   span (start, size) of the largest one.  Each component occupies a
+   contiguous segment of [order], already in BFS discovery order from
+   its smallest member (seeds ascend). *)
+let lwc_sweep ~domains ~n ~both ~visited ~order =
   let count = ref 0 in
   let best_start = ref 0 and best_size = ref 0 in
   for seed = 0 to n - 1 do
@@ -196,13 +233,27 @@ let largest_weak_component ?(domains = 1) ~n ~succs ~preds ?(keep = keep_all) ()
       end
     end
   done;
-  (* Each component occupies a contiguous segment of [order], already
-     in BFS discovery order from its smallest member (seeds ascend). *)
-  Array.sub order !best_start !best_size
+  (!best_start, !best_size)
+
+let largest_weak_component ?(domains = 1) ~n ~succs ~preds ?(keep = keep_all) ()
+    =
+  let both = symmetric ~succs ~preds in
+  let visited = masked_visited ~n ~keep () in
+  let order = Array.make n 0 in
+  let start, size = lwc_sweep ~domains ~n ~both ~visited ~order in
+  Array.sub order start size
+
+let largest_weak_component_span ?(domains = 1) ~ws ~n ~succs ~preds
+    ?(keep = keep_all) () =
+  let both = symmetric ~succs ~preds in
+  let visited = masked_visited ~ws ~n ~keep () in
+  let order = ws.worder in
+  let start, size = lwc_sweep ~domains ~n ~both ~visited ~order in
+  (order, start, size)
 
 let weak_labels ~n ~succs ~preds ?(keep = keep_all) () =
   let both = symmetric ~succs ~preds in
-  let visited = masked_visited ~n ~keep in
+  let visited = masked_visited ~n ~keep () in
   let order = Array.make n 0 in
   let count = ref 0 in
   let label = Array.make n (-1) in

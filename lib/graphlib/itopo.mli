@@ -38,18 +38,44 @@ type bfs = {
   count : int;  (** number of reached nodes *)
 }
 
+type ws
+(** Reusable traversal scratch (visited bitset + full-size dist/order
+    arrays) for a fixed node count.  Passing [?ws] to a traversal makes
+    it allocation-free: the returned {!bfs} record {e aliases} the
+    workspace arrays, so its contents are only valid until the next
+    traversal that uses the same workspace.  Results are bit-identical
+    to the fresh-allocation path — each traversal resets exactly the
+    workspace state it reads. *)
+
+val ws_create : int -> ws
+(** [ws_create n] — workspace for traversals over node ids
+    [0 .. n−1].  Allocates 2n+O(n/bits) words once. *)
+
 val bfs :
-  ?domains:int -> n:int -> succs:iter -> ?keep:(int -> bool) -> int -> bfs
+  ?domains:int ->
+  ?ws:ws ->
+  n:int ->
+  succs:iter ->
+  ?keep:(int -> bool) ->
+  int ->
+  bfs
 (** [bfs ~n ~succs src] — BFS from [src] over node ids [0 .. n−1].
     [?keep] restricts to an induced subgraph; a source failing [keep]
-    reaches nothing ([count = 0]). *)
+    reaches nothing ([count = 0]).  With [?ws] the result's [dist] and
+    [order] point into the workspace (valid until its next use). *)
 
 val bfs_dist :
   ?domains:int -> n:int -> succs:iter -> ?keep:(int -> bool) -> int -> int array
 (** Just the distance array of {!bfs}. *)
 
 val eccentricity :
-  ?domains:int -> n:int -> succs:iter -> ?keep:(int -> bool) -> int -> int
+  ?domains:int ->
+  ?ws:ws ->
+  n:int ->
+  succs:iter ->
+  ?keep:(int -> bool) ->
+  int ->
+  int
 (** Maximum finite BFS distance from the node (directed); [0] if the
     source reaches nothing. *)
 
@@ -73,6 +99,21 @@ val largest_weak_component :
     the component containing the smallest node (both as in
     {!Traversal.largest_weak_component}).  Empty iff no node passes
     [keep]. *)
+
+val largest_weak_component_span :
+  ?domains:int ->
+  ws:ws ->
+  n:int ->
+  succs:iter ->
+  preds:iter ->
+  ?keep:(int -> bool) ->
+  unit ->
+  int array * int * int
+(** Allocation-free {!largest_weak_component}: returns
+    [(order, start, size)] where [order.(start .. start+size−1)] is the
+    largest component in BFS discovery order.  [order] is the
+    workspace's order array — the span is valid until the workspace's
+    next use.  Same contents and tie-breaks as the copying variant. *)
 
 val weak_labels :
   n:int -> succs:iter -> preds:iter -> ?keep:(int -> bool) -> unit -> int array

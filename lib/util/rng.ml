@@ -2,13 +2,26 @@ type t = { mutable state : int64 }
 
 let create seed = { state = Int64.of_int seed }
 
-(* splitmix64, Steele et al. *)
-let next t =
-  t.state <- Int64.add t.state 0x9E3779B97F4A7C15L;
-  let z = t.state in
+let gamma = 0x9E3779B97F4A7C15L
+
+(* splitmix64 finalizer, Steele et al. *)
+let mix z =
   let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
   let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
   Int64.logxor z (Int64.shift_right_logical z 31)
+
+let next t =
+  t.state <- Int64.add t.state gamma;
+  mix t.state
+
+let split seed index =
+  if index < 0 then invalid_arg "Rng.split: negative index";
+  (* The index-th substream: seed the child with the mixed (index+1)-th
+     gamma hop of a master stream starting at [seed].  The finalizer
+     scatters consecutive indices across the state space, so adjacent
+     substreams are uncorrelated in a way [create (seed + index)]'s
+     overlapping streams are not. *)
+  { state = mix (Int64.add (Int64.of_int seed) (Int64.mul gamma (Int64.of_int (index + 1)))) }
 
 let int t bound =
   if bound < 1 then invalid_arg "Rng.int: bound < 1";

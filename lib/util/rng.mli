@@ -10,6 +10,14 @@ type t
 val create : int -> t
 (** Seeded generator; equal seeds give equal streams. *)
 
+val split : int -> int -> t
+(** [split seed index] — the [index]-th substream of [seed]
+    ([index ≥ 0]): a fresh generator deterministic in [(seed, index)]
+    whose stream is decorrelated from every other index (states are
+    splitmix64-finalized gamma hops, not consecutive integers).  Both
+    campaign engines derive their per-trial generators this way so a
+    trial's outcome is independent of trial scheduling order. *)
+
 val next : t -> int64
 (** Raw 64-bit step. *)
 

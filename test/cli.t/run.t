@@ -64,14 +64,28 @@ A seeded edge-fault campaign is fully reproducible, also across domains:
   #   f  success  construction  disjoint  masked  mean-ring-length
       0    5/5               5         0       0              36.0
       1    5/5               5         0       0              36.0
-      2    4/5               4         0       1              34.6
-      3    1/5               0         1       4              28.6
+      2    5/5               4         1       0              36.0
+      3    2/5               0         2       3              29.8
 
   $ debruijn-rings dhc -d 6 -n 2 --campaign --trials 5 --fmax 3 --domains 2 | tail -n 4
       0    5/5               5         0       0              36.0
       1    5/5               5         0       0              36.0
-      2    4/5               4         0       1              34.6
-      3    1/5               0         1       4              28.6
+      2    5/5               4         1       0              36.0
+      3    2/5               0         2       3              29.8
+
+A node-fault campaign (Chapter 2, Tables 2.1/2.2 shape): arena-pooled
+trials, Proposition 2.2/2.3 bound checks where applicable, and the same
+bit-identity across domains:
+
+  $ debruijn-rings ffc -d 3 -n 3 --campaign --trials 5 --fcounts 1,2
+  # node-fault campaign on B(3,3): 5 trials per point, one workspace per domain
+  #   f  embedded  verified     bound  mean-|B*|  mean-ring  mean-ecc  min-ring
+      1     5/5            5       5/5       24.0       24.0      3.40        24
+      2     5/5            5         -       21.6       21.6      4.00        20
+
+  $ debruijn-rings ffc -d 3 -n 3 --campaign --trials 5 --fcounts 1,2 --domains 2 | tail -n 2
+      1     5/5            5       5/5       24.0       24.0      3.40        24
+      2     5/5            5         -       21.6       21.6      4.00        20
 
 Disjoint rings (psi(4) = 3):
 

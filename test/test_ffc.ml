@@ -665,6 +665,104 @@ let test_embed_domains_identical () =
   check_bool "cycles identical" true (seq.E.cycle = par.E.cycle)
 
 (* ------------------------------------------------------------------ *)
+(* workspace arena *)
+
+(* Compare a workspace run against the fresh-allocation pipeline on
+   every observable: the ws embed's fields alias arena storage, so all
+   comparisons happen before the workspace's next use. *)
+let check_ws_matches_fresh ?domains p ws faults =
+  match (E.embed ?domains p ~faults, E.embed ?domains ~ws p ~faults) with
+  | None, None -> ()
+  | Some fresh, Some wse ->
+      check_int "root" fresh.E.bstar.B.root wse.E.bstar.B.root;
+      check_int "size" fresh.E.bstar.B.size wse.E.bstar.B.size;
+      check_bool "in_bstar" true (fresh.E.bstar.B.in_bstar = wse.E.bstar.B.in_bstar);
+      check_bool "successor" true (fresh.E.successor = wse.E.successor);
+      check_bool "cycle" true (fresh.E.cycle = wse.E.cycle);
+      check_int "ecc" fresh.E.modified.Sp.tree.Sp.ecc wse.E.modified.Sp.tree.Sp.ecc;
+      check_bool "ws verify" true (E.verify ~ws wse)
+  | Some _, None -> Alcotest.fail "ws embed lost the ring"
+  | None, Some _ -> Alcotest.fail "ws embed invented a ring"
+
+let test_ws_back_to_back () =
+  (* One arena, consecutive embeds with different fault sets (including
+     none and a B*-shrinking batch): stale state from one trial must not
+     leak into the next. *)
+  let p = W.params ~d:3 ~n:4 in
+  let ws = Ffc.Workspace.create p in
+  List.iter
+    (check_ws_matches_fresh p ws)
+    [
+      [ W.of_string p "0201" ];
+      [];
+      [ W.of_string p "0201"; W.of_string p "1122"; W.of_string p "0001" ];
+      List.init 20 (fun i -> (7 * i) mod p.W.size);
+      [];
+    ]
+
+let test_ws_wrong_params () =
+  let ws = Ffc.Workspace.create (W.params ~d:3 ~n:4) in
+  Alcotest.check_raises "d/n mismatch"
+    (Invalid_argument "Ffc.Workspace: workspace built for a different (d, n)")
+    (fun () -> ignore (E.embed ~ws (W.params ~d:2 ~n:6) ~faults:[]))
+
+let test_ws_domains_identical () =
+  (* B(2,13): big enough that Itopo's parallel BFS expansion fires, so
+     the arena and the domain path are exercised together. *)
+  let p = W.params ~d:2 ~n:13 in
+  let ws = Ffc.Workspace.create p in
+  check_ws_matches_fresh ~domains:2 p ws [ 1; 500; 8000 ];
+  check_ws_matches_fresh ~domains:2 p ws [ 2; 3 ]
+
+(* ------------------------------------------------------------------ *)
+(* campaign *)
+
+let strip_measurements (pt : Ffc.Campaign.point) =
+  { pt with Ffc.Campaign.wall_s = 0.; minor_words_per_trial = 0.; major_words_per_trial = 0. }
+
+let test_campaign_identity () =
+  (* The bit-identity contract: statistics depend only on (seed, f,
+     trial) — not on domain count, and not on whether trials reuse the
+     arena or allocate fresh. *)
+  let run ?domains ?reuse () =
+    List.map strip_measurements
+      (Ffc.Campaign.run ?domains ?reuse ~trials:6 ~seed:0xabc ~fs:[ 1; 3; 7 ]
+         ~d:3 ~n:3 ())
+  in
+  let seq = run () in
+  check_bool "domains:2 identical" true (run ~domains:2 () = seq);
+  check_bool "domains:4 identical" true (run ~domains:4 () = seq);
+  check_bool "reuse:false identical" true (run ~reuse:false () = seq)
+
+let test_campaign_bounds () =
+  (* In the guaranteed regimes every trial must meet the bound, and the
+     campaign must mark exactly those regimes applicable. *)
+  let pts = Ffc.Campaign.run ~trials:10 ~fs:[ 1; 2; 3 ] ~d:4 ~n:4 () in
+  List.iter
+    (fun (pt : Ffc.Campaign.point) ->
+      if pt.Ffc.Campaign.f <= 2 then begin
+        check_int "bound applies (f <= d-2)" pt.Ffc.Campaign.trials
+          pt.Ffc.Campaign.bound_applicable;
+        check_int "bound holds" pt.Ffc.Campaign.trials pt.Ffc.Campaign.bound_ok;
+        check_int "all embedded" pt.Ffc.Campaign.trials pt.Ffc.Campaign.embedded
+      end
+      else check_int "no bound at f = d-1" 0 pt.Ffc.Campaign.bound_applicable;
+      check_int "all verified" pt.Ffc.Campaign.embedded pt.Ffc.Campaign.verified)
+    pts
+
+let test_campaign_binary_single_fault () =
+  (* Proposition 2.3: d = 2, f = 1 is covered even though d − 2 < 1. *)
+  let p = W.params ~d:2 ~n:8 in
+  check_int "2^8 - 9" (p.W.size - 9) (Ffc.Campaign.length_bound p 1);
+  check_int "no bound at f = 2" (-1) (Ffc.Campaign.length_bound p 2);
+  let pts = Ffc.Campaign.run ~trials:10 ~fs:[ 1 ] ~d:2 ~n:8 () in
+  List.iter
+    (fun (pt : Ffc.Campaign.point) ->
+      check_int "applicable" pt.Ffc.Campaign.trials pt.Ffc.Campaign.bound_applicable;
+      check_int "holds" pt.Ffc.Campaign.trials pt.Ffc.Campaign.bound_ok)
+    pts
+
+(* ------------------------------------------------------------------ *)
 (* properties *)
 
 let qsuite =
@@ -719,6 +817,35 @@ let qsuite =
         match E.embed p ~faults with
         | None -> false
         | Some e -> E.length e >= E.length_lower_bound p f);
+    (* One workspace per (d, n), cached across the whole qcheck run —
+       every case after the first per instance is a genuine arena
+       *reuse*, so stale-state leaks are what this property hunts. *)
+    (let cache = Hashtbl.create 8 in
+     Test.make ~name:"workspace pipeline = fresh pipeline" ~count:150
+       (make scenario) (fun (d, n, f, seed) ->
+         let p = W.params ~d ~n in
+         let ws =
+           match Hashtbl.find_opt cache (d, n) with
+           | Some ws -> ws
+           | None ->
+               let ws = Ffc.Workspace.create p in
+               Hashtbl.add cache (d, n) ws;
+               ws
+         in
+         let rng = Util.Rng.create seed in
+         let f = min f (p.W.size - 1) in
+         let faults = Util.Rng.sample_distinct rng ~k:f ~bound:p.W.size in
+         match (E.embed p ~faults, E.embed ~ws p ~faults) with
+         | None, None -> true
+         | Some fresh, Some wse ->
+             fresh.E.bstar.B.root = wse.E.bstar.B.root
+             && fresh.E.bstar.B.size = wse.E.bstar.B.size
+             && fresh.E.bstar.B.in_bstar = wse.E.bstar.B.in_bstar
+             && fresh.E.successor = wse.E.successor
+             && fresh.E.cycle = wse.E.cycle
+             && fresh.E.modified.Sp.tree.Sp.ecc = wse.E.modified.Sp.tree.Sp.ecc
+             && E.verify ~ws wse
+         | _ -> false));
   ]
 
 let () =
@@ -763,6 +890,20 @@ let () =
           Alcotest.test_case "domains:2 bit-identical" `Quick test_embed_domains_identical;
           Alcotest.test_case "B(2,20) implicit acceptance (NETSIM_BIG=1)" `Slow
             test_implicit_b220;
+        ] );
+      ( "workspace",
+        [
+          Alcotest.test_case "back-to-back reuse" `Quick test_ws_back_to_back;
+          Alcotest.test_case "wrong params rejected" `Quick test_ws_wrong_params;
+          Alcotest.test_case "ws + domains:2 bit-identical" `Quick
+            test_ws_domains_identical;
+        ] );
+      ( "campaign",
+        [
+          Alcotest.test_case "bit-identical across domains/reuse" `Quick
+            test_campaign_identity;
+          Alcotest.test_case "Prop 2.2 bounds hold" `Quick test_campaign_bounds;
+          Alcotest.test_case "Prop 2.3 d=2 f=1" `Quick test_campaign_binary_single_fault;
         ] );
       ( "routing",
         [

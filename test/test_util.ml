@@ -1,0 +1,82 @@
+(* Tests for Util.Rng: splitmix64 substreams and sampling helpers. *)
+
+module Rng = Util.Rng
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let stream rng k = List.init k (fun _ -> Rng.next rng)
+
+let test_split_deterministic () =
+  (* Equal (seed, index) gives the identical substream. *)
+  let a = stream (Rng.split 0x5eed 7) 16 in
+  let b = stream (Rng.split 0x5eed 7) 16 in
+  check_bool "same substream" true (a = b)
+
+let test_split_distinct_indices () =
+  (* Distinct indices of one seed — and the same index of different
+     seeds — give distinct substreams.  Compare stream prefixes, not
+     states (the state is private). *)
+  let prefixes =
+    List.init 64 (fun i -> stream (Rng.split 0x5eed i) 4)
+    @ [ stream (Rng.split 0xbeef 0) 4 ]
+  in
+  let tbl = Hashtbl.create 128 in
+  List.iter (fun s -> Hashtbl.replace tbl s ()) prefixes;
+  check_int "all prefixes distinct" (List.length prefixes) (Hashtbl.length tbl)
+
+let test_split_decorrelated_from_create () =
+  (* split must not degenerate to create (seed + index): that would make
+     adjacent substreams shifted copies of one master stream. *)
+  let a = stream (Rng.split 1 0) 8 in
+  let b = stream (Rng.create 2) 8 in
+  check_bool "split 1 0 <> create 2" true (a <> b)
+
+let test_split_negative_index () =
+  Alcotest.check_raises "negative index"
+    (Invalid_argument "Rng.split: negative index") (fun () ->
+      ignore (Rng.split 0 (-1)))
+
+let test_int_range () =
+  let rng = Rng.split 42 0 in
+  let seen = Array.make 10 false in
+  for _ = 1 to 1000 do
+    let x = Rng.int rng 10 in
+    check_bool "in range" true (x >= 0 && x < 10);
+    seen.(x) <- true
+  done;
+  check_bool "all residues hit" true (Array.for_all Fun.id seen)
+
+let test_sample_distinct () =
+  let rng = Rng.split 42 1 in
+  for k = 0 to 20 do
+    let xs = Rng.sample_distinct rng ~k ~bound:20 in
+    check_int "k samples" k (List.length xs);
+    check_bool "sorted distinct in range" true
+      (List.sort_uniq compare xs = xs && List.for_all (fun x -> x >= 0 && x < 20) xs)
+  done
+
+let test_shuffle_permutes () =
+  let rng = Rng.split 42 2 in
+  let arr = Array.init 50 Fun.id in
+  Rng.shuffle rng arr;
+  let sorted = Array.copy arr in
+  Array.sort compare sorted;
+  check_bool "a permutation" true (sorted = Array.init 50 Fun.id);
+  check_bool "actually moved" true (arr <> Array.init 50 Fun.id)
+
+let () =
+  Alcotest.run "util"
+    [
+      ( "rng",
+        [
+          Alcotest.test_case "split deterministic" `Quick test_split_deterministic;
+          Alcotest.test_case "split distinct" `Quick test_split_distinct_indices;
+          Alcotest.test_case "split decorrelated" `Quick
+            test_split_decorrelated_from_create;
+          Alcotest.test_case "split negative index" `Quick test_split_negative_index;
+          Alcotest.test_case "int range" `Quick test_int_range;
+          Alcotest.test_case "sample_distinct" `Quick test_sample_distinct;
+          Alcotest.test_case "shuffle" `Quick test_shuffle_permutes;
+        ] );
+    ]
