@@ -29,7 +29,7 @@ let parent_rule_ablation () =
           let preds =
             List.filter (fun u -> in_bstar u && dist.(u) = dist.(v) - 1) (DG.preds g v)
           in
-          rule v (List.sort compare preds)
+          rule v (List.sort Int.compare preds)
         in
         let adj = A.build b in
         (* chosen node per necklace and its parent label, as in Step 1.2 *)
@@ -38,7 +38,7 @@ let parent_rule_ablation () =
         Array.iteri
           (fun i rep ->
             if i <> adj.A.idx_of_node.(b.B.root) then begin
-              let members = List.sort compare (Debruijn.Necklace.nodes p rep) in
+              let members = List.sort Int.compare (Debruijn.Necklace.nodes p rep) in
               let y =
                 List.fold_left
                   (fun best v ->

@@ -190,9 +190,9 @@ let campaigns ~smoke () =
       Printf.printf " campaign: B(%d,%d) (%d nodes), %d trials/point, MAX=%d\n" d n size
         trials (Dhc.Psi.max_tolerance d);
       let points, gt = Jrec.time_gc (fun () -> Ca.run ~domains ~trials ~d ~n ()) in
-      (* Campaign points carry no per-point GC data; one summary row per
-         campaign keeps the allocation counters uniform across sections.
-         Gc.counters is per-domain, so the figures depend on the domain
+      (* Whole-campaign allocation summary, next to the per-point
+         steady-state counters the points now carry themselves.
+         Gc.counters is per-domain, so this figure depends on the domain
          count — the engine name keeps the gate off this row. *)
       record
         ([
@@ -222,6 +222,8 @@ let campaigns ~smoke () =
               ("masked_fallbacks", jint pt.Ca.masked_fallbacks);
               ("mean_ring_length", jnum pt.Ca.mean_ring_length);
               ("wall_s", jnum pt.Ca.wall_s);
+              ("minor_words_per_trial", jnum pt.Ca.minor_words_per_trial);
+              ("major_words_per_trial", jnum pt.Ca.major_words_per_trial);
             ])
         points)
     (campaign_specs ~smoke)

@@ -65,7 +65,7 @@ let question_2 () =
         match found with
         | Some cs ->
             assert (Graphlib.Cycle.pairwise_edge_disjoint cs);
-            assert (List.for_all (Graphlib.Cycle.is_hamiltonian g) cs);
+            assert (List.for_all (fun c -> Graphlib.Cycle.is_hamiltonian g c) cs);
             "YES (constructed & verified)"
         | None when not exhausted -> "NO (exhaustive)"
         | None -> "unknown (budget)"
@@ -181,7 +181,7 @@ let pancyclicity () =
           (List.init p.W.size (fun i -> i + 1))
       in
       Printf.printf "  B(%d,%d): cycle of every length t in 1..%d: %s\n" d n p.W.size
-        (if missing = [] then "yes"
+        (if List.is_empty missing then "yes"
          else
            "MISSING "
            ^ String.concat "," (List.map string_of_int missing)))
@@ -221,7 +221,7 @@ let worst_case_certificates () =
       Printf.printf "%10s %4d %8d %8d | %s\n"
         (Printf.sprintf "B(%d,%d)" d n)
         f bound (Ffc.Embed.length ffc)
-        (if verdicts = [] then "(bound = all live nodes)" else String.concat " " verdicts))
+        (if List.is_empty verdicts then "(bound = all live nodes)" else String.concat " " verdicts))
     [ (3, 2, 1); (4, 2, 1); (4, 2, 2); (3, 3, 1); (5, 2, 3) ];
   print_endline
     "(note: the adversarial cycles avoid the FAULTY NODES only - the certificate";

@@ -53,7 +53,7 @@ let flood g =
       (fun ~round v informed inbox ->
         if round = 0 then
           (informed, if v = 0 then List.map (fun w -> (w, ())) (DG.succs g v) else [])
-        else if informed || inbox = [] then (informed, [])
+        else if informed || List.is_empty inbox then (informed, [])
         else (true, List.map (fun w -> (w, ())) (DG.succs g v)));
     wants_step = (fun _ -> false);
   }

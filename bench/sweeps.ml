@@ -118,7 +118,7 @@ let prop_3_5 () =
       let bf = Butterfly.Graph.create ~d ~n in
       let hcs = Butterfly.Embed.disjoint_hamiltonian_cycles bf in
       let disjoint_ok =
-        List.for_all (Graphlib.Cycle.is_hamiltonian bf.Butterfly.Graph.graph) hcs
+        List.for_all (fun c -> Graphlib.Cycle.is_hamiltonian bf.Butterfly.Graph.graph c) hcs
         && Graphlib.Cycle.pairwise_edge_disjoint hcs
       in
       let f = Dhc.Psi.max_tolerance d in

@@ -119,7 +119,7 @@ let table_3_1 () =
           let hcs = Dhc.Compose.disjoint_hamiltonian_cycles ~d ~n:2 in
           let cycles = List.map (Debruijn.Sequence.cycle_of_sequence p) hcs in
           let ok =
-            List.for_all (Graphlib.Cycle.is_hamiltonian (Debruijn.Graph.b p)) cycles
+            List.for_all (fun c -> Graphlib.Cycle.is_hamiltonian (Debruijn.Graph.b p) c) cycles
             && Graphlib.Cycle.pairwise_edge_disjoint cycles
           in
           Printf.sprintf "%d %s" (List.length hcs) (if ok then "(verified)" else "(INVALID)")

@@ -130,7 +130,7 @@ let netsim_b47 () =
         step =
           (fun ~round v informed inbox ->
             if round = 0 then (informed, if v = 0 then sends v else [])
-            else if informed || inbox = [] then (informed, [])
+            else if informed || List.is_empty inbox then (informed, [])
             else (true, sends v));
         wants_step = (fun _ -> false);
       }
@@ -257,7 +257,8 @@ let run () =
         in
         (name, est) :: acc)
       results []
-    |> List.sort compare
+    |> List.sort (fun (n1, t1) (n2, t2) ->
+           match String.compare n1 n2 with 0 -> Float.compare t1 t2 | c -> c)
   in
   Printf.printf "%-44s %16s %14s\n" "benchmark" "time/run" "runs/sec";
   List.iter

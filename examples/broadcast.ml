@@ -16,7 +16,7 @@
 module W = Core.Word
 module S = Netsim.Simulator
 
-type part = { origin : int; index : int }
+type part = { origin : int; index : int } [@@warning "-69"] (* [index] is read only through the polymorphic Hashtbl hash of [part] *)
 
 type state = {
   seen : (part, unit) Hashtbl.t;

@@ -49,4 +49,4 @@ let edge_to_de_bruijn t (a, b) =
   (de_bruijn_class t a, de_bruijn_class t b)
 
 let to_string t v =
-  Printf.sprintf "(%d,%s)" (level t v) (W.to_string t.p (column t v))
+  Fmt.str "(%d,%s)" (level t v) (W.to_string t.p (column t v))

@@ -36,7 +36,10 @@ let degree_census g =
     let d = Graphlib.Digraph.out_degree g v in
     Hashtbl.replace tbl d (1 + Option.value ~default:0 (Hashtbl.find_opt tbl d))
   done;
-  List.sort compare (Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl [])
+  List.sort
+    (fun (d1, c1) (d2, c2) ->
+      match Int.compare d1 d2 with 0 -> Int.compare c1 c2 | c -> c)
+    (Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl [])
 
 let edge_as_higher_node p (x, y) =
   if not (List.mem y (Word.successors p x)) then invalid_arg "Graph.edge_as_higher_node: not an edge";

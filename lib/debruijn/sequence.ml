@@ -33,7 +33,7 @@ let sequence_of_cycle p cyc = Array.map (Word.first_digit p) cyc
 let edge_windows p c =
   let k = Array.length c in
   let q = Word.params ~d:p.Word.d ~n:(p.Word.n + 1) in
-  List.sort compare (List.init k (fun i -> window q c i))
+  List.sort Int.compare (List.init k (fun i -> window q c i))
 
 let edge_disjoint p a b =
   let wa = edge_windows p a in

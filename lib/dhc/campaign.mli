@@ -22,6 +22,10 @@ type point = {
       (** over all trials; dⁿ on success, the masked ring length on
           fallback, 0 on total failure *)
   wall_s : float;
+  minor_words_per_trial : float;
+      (** steady-state minor-heap words allocated by one trial (minimum
+          across the point's trials, read in the trial's own domain) *)
+  major_words_per_trial : float;  (** likewise for the major heap *)
 }
 
 val run :
@@ -36,5 +40,6 @@ val run :
 (** Points for f = 0, 1, …, fmax (default 2·MAX(ψ(d)−1, φ(d)) + 2,
     clamped to the edge count dⁿ·d).  [?domains] parallelizes the
     trials of each point; per-trial seeds are derived from [seed], [f]
-    and the trial index, so every field except [wall_s] is independent
-    of [domains].  Defaults: 20 trials, seed 0x5eed. *)
+    and the trial index, so every field except [wall_s] and the
+    measured allocation counters is independent of [domains].
+    Defaults: 20 trials, seed 0x5eed. *)

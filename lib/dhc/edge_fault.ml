@@ -144,7 +144,7 @@ let best_hc_avoiding ~d ~n ~faults =
 let via_node_masking ~d ~n ~faults =
   let p = W.params ~d ~n in
   validate_faults p faults;
-  let masked = List.sort_uniq compare (List.concat_map (fun (u, v) -> [ u; v ]) faults) in
+  let masked = List.sort_uniq Int.compare (List.concat_map (fun (u, v) -> [ u; v ]) faults) in
   Option.map (fun e -> e.Ffc.Embed.cycle) (Ffc.Embed.embed p ~faults:masked)
 
 let worst_case_edge_faults ~d ~n f =

@@ -85,7 +85,7 @@ let selected_shifts field choice =
         | S2 _ when (p - 1) / 2 mod 2 = 0 -> 0 :: !shifts
         | _ -> !shifts
       in
-      List.sort compare with_zero
+      List.sort Int.compare with_zero
 
 let disjoint_shift_pairs ~d ~n =
   let t = Shift_cycles.make ~d ~n in

@@ -1,4 +1,3 @@
-module G = Galois.Gf
 module W = Debruijn.Word
 
 type t = {
@@ -136,7 +135,10 @@ let first_return t ~max_steps =
   done;
   if !v = t.start then Some !steps else None
 
-let is_cycle t = first_return t ~max_steps:(t.length + 1) = Some t.length
+let is_cycle t =
+  match first_return t ~max_steps:(t.length + 1) with
+  | Some steps -> steps = t.length
+  | None -> false
 
 let is_hamiltonian t = t.length = t.p.W.size && is_cycle t
 

@@ -161,7 +161,7 @@ let labels_between t i j =
           if b <> alpha && t.idx_of_node.(W.cons p b w) = j then hit := true
         done;
         if !hit then acc := w :: !acc);
-    List.sort compare !acc
+    List.sort Int.compare !acc
   end
 
 let is_connected t =

@@ -132,8 +132,13 @@ type announce = { a_digit : int; child_rep : int; parent_rep : int }
 (* fragment: label w → membership entries for a T_w this necklace is in *)
 type fragment = (int * entry list) list
 
+(* Declaration-order (digit, rep) lexicographic — the order polymorphic
+   [compare] used to give, so merged fragments stay bit-identical. *)
+let entry_compare a b =
+  match Int.compare a.digit b.digit with 0 -> Int.compare a.rep b.rep | c -> c
+
 let merge_entries es fs =
-  List.sort_uniq compare (es @ fs)
+  List.sort_uniq entry_compare (es @ fs)
 
 let merge_fragment (frag : fragment) w entries : fragment =
   let existing = Option.value ~default:[] (List.assoc_opt w frag) in
@@ -212,7 +217,7 @@ let membership_phase ?domains (bstar : Bstar.t) (chosen : candidate option array
           | Some _ ->
               let frag = ref frag in
               let sends = ref [] in
-              if round = 0 && frags.(v) <> [] then
+              if round = 0 && not (List.is_empty frags.(v)) then
                 sends := [ (W.rotl p v, { mfrag = frags.(v); mhops = 1 }) ];
               List.iter
                 (fun (_, m) ->
@@ -235,7 +240,7 @@ let successor_of (p : W.params) v (frag : fragment) =
   | None -> W.rotl p v
   | Some entries ->
       let my_rep = Nk.canonical p v in
-      let sorted = List.sort (fun a b -> compare a.rep b.rep) entries in
+      let sorted = List.sort (fun a b -> Int.compare a.rep b.rep) entries in
       let arr = Array.of_list sorted in
       let k = Array.length arr in
       let rec find i = if arr.(i).rep = my_rep then i else find (i + 1) in

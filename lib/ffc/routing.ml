@@ -30,7 +30,7 @@ let interior_necklaces p path =
   | [] | [ _ ] | [ _; _ ] -> []
   | _ :: rest ->
       let interior = List.filteri (fun i _ -> i < List.length rest - 1) rest in
-      List.sort_uniq compare (List.map (Nk.canonical p) interior)
+      List.sort_uniq Int.compare (List.map (Nk.canonical p) interior)
 
 (* Remove cycles from a walk, keeping it a simple path with the same
    endpoints (every removed node was on the walk, so liveness is

@@ -38,9 +38,14 @@ type state = {
 
 let better a b = if a.cdist <> b.cdist then a.cdist < b.cdist else a.cnode < b.cnode
 
+(* Declaration-order (digit, rep) lexicographic — the order polymorphic
+   [compare] used to give, so merged fragments stay bit-identical. *)
+let entry_compare a b =
+  match Int.compare a.digit b.digit with 0 -> Int.compare a.rep b.rep | c -> c
+
 let merge_fragment frag w entries =
   let existing = Option.value ~default:[] (List.assoc_opt w frag) in
-  (w, List.sort_uniq compare (entries @ existing)) :: List.remove_assoc w frag
+  (w, List.sort_uniq entry_compare (entries @ existing)) :: List.remove_assoc w frag
 
 let merge_fragments a b = List.fold_left (fun acc (w, es) -> merge_fragment acc w es) a b
 
@@ -54,7 +59,7 @@ let successor_of (p : W.params) v frag =
   | None -> W.rotl p v
   | Some entries ->
       let my_rep = Nk.canonical p v in
-      let arr = Array.of_list (List.sort (fun a b -> compare a.rep b.rep) entries) in
+      let arr = Array.of_list (List.sort (fun a b -> Int.compare a.rep b.rep) entries) in
       let k = Array.length arr in
       let rec find i = if arr.(i).rep = my_rep then i else find (i + 1) in
       W.snoc p w arr.((find 0 + 1) mod k).digit
@@ -158,8 +163,13 @@ let run ?domains (bstar : Bstar.t) =
                         parent_rep = Nk.canonical p best.cparent;
                       })
              | _ -> ());
-          if round = member_start && !st.frag <> [] && !st.best <> None then
-            send (W.rotl p v) (Member { mfrag = !st.frag; mhops = 1 });
+          (* Pattern-match, not polymorphic [<> []]/[<> None]: [frag]
+             carries records and [best] an option, the exact structural
+             shapes lint rule R2 bans comparing polymorphically. *)
+          (if round = member_start then
+             match (!st.frag, !st.best) with
+             | (_ :: _ as mfrag), Some _ -> send (W.rotl p v) (Member { mfrag; mhops = 1 })
+             | _ -> ());
           if round >= total then st := { !st with finished = true };
           (!st, !sends));
       wants_step = (fun st -> not st.finished);
@@ -171,7 +181,7 @@ let run ?domains (bstar : Bstar.t) =
   in
   let successor = Array.make p.W.size (-1) in
   Array.iteri
-    (fun v st -> if st.best <> None then successor.(v) <- successor_of p v st.frag)
+    (fun v st -> if Option.is_some st.best then successor.(v) <- successor_of p v st.frag)
     r.S.states;
   let cycle =
     match Graphlib.Cycle.of_successor_map ~start:root (fun v -> successor.(v)) with

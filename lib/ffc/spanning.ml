@@ -1,5 +1,4 @@
 module W = Debruijn.Word
-module Nk = Debruijn.Necklace
 module It = Graphlib.Itopo
 
 type tree = {
@@ -243,7 +242,7 @@ let groups m =
       acc :=
         ( w,
           List.sort
-            (fun a b -> compare (rep a : int) (rep b))
+            (fun a b -> Int.compare (rep a) (rep b))
             (par :: bucket_children.(w)) )
         :: !acc
   done;

@@ -1,8 +1,8 @@
 type t = int array
 
-let zero : t = [||]
-let one : t = [| 1 |]
-let x : t = [| 0; 1 |]
+let zero : t = [||] [@@lint.domain_safe "constant polynomial, never written"]
+let one : t = [| 1 |] [@@lint.domain_safe "constant polynomial, never written"]
+let x : t = [| 0; 1 |] [@@lint.domain_safe "constant polynomial, never written"]
 
 let normalize _f (p : t) : t =
   let n = Array.length p in
@@ -157,8 +157,8 @@ let to_string _f p =
           let t =
             match i with
             | 0 -> string_of_int c
-            | 1 -> if c = 1 then "x" else Printf.sprintf "%d·x" c
-            | _ -> if c = 1 then Printf.sprintf "x^%d" i else Printf.sprintf "%d·x^%d" c i
+            | 1 -> if c = 1 then "x" else Fmt.str "%d·x" c
+            | _ -> if c = 1 then Fmt.str "x^%d" i else Fmt.str "%d·x^%d" c i
           in
           terms := t :: !terms)
       p;

@@ -1,8 +1,8 @@
 type t = int array
 
-let zero : t = [||]
-let one : t = [| 1 |]
-let x : t = [| 0; 1 |]
+let zero : t = [||] [@@lint.domain_safe "constant polynomial, never written"]
+let one : t = [| 1 |] [@@lint.domain_safe "constant polynomial, never written"]
+let x : t = [| 0; 1 |] [@@lint.domain_safe "constant polynomial, never written"]
 
 let normalize p (f : t) : t =
   let n = Array.length f in
@@ -143,8 +143,8 @@ let to_string f =
           let t =
             match i with
             | 0 -> string_of_int c
-            | 1 -> if c = 1 then "x" else Printf.sprintf "%dx" c
-            | _ -> if c = 1 then Printf.sprintf "x^%d" i else Printf.sprintf "%dx^%d" c i
+            | 1 -> if c = 1 then "x" else Fmt.str "%dx" c
+            | _ -> if c = 1 then Fmt.str "x^%d" i else Fmt.str "%dx^%d" c i
           in
           terms := t :: !terms)
       f;

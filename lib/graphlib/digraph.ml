@@ -6,7 +6,7 @@ type t = {
 
 module Builder = struct
   type graph = t
-  type t = { mutable adj : int list array; mutable edges : int }
+  type t = { adj : int list array; mutable edges : int }
 
   let create n =
     if n < 0 then invalid_arg "Digraph.Builder.create: negative size";

@@ -17,7 +17,7 @@ let is_eulerian g = Digraph.is_balanced g && edges_in_one_component g
 let hierholzer adj start =
   let path = ref [] in
   let stack = ref [ start ] in
-  while !stack <> [] do
+  while not (List.is_empty !stack) do
     match !stack with
     | [] -> ()
     | v :: rest -> (
@@ -37,7 +37,7 @@ let euler_circuit g =
   else begin
     let adj = Array.init (Digraph.n_nodes g) (Digraph.succs g) in
     let start =
-      let rec find v = if adj.(v) <> [] then v else find (v + 1) in
+      let rec find v = if not (List.is_empty adj.(v)) then v else find (v + 1) in
       find 0
     in
     Some (hierholzer adj start)
@@ -48,7 +48,7 @@ let circuit_partition g =
   let adj = Array.init (Digraph.n_nodes g) (Digraph.succs g) in
   let circuits = ref [] in
   for v = 0 to Digraph.n_nodes g - 1 do
-    while adj.(v) <> [] do
+    while not (List.is_empty adj.(v)) do
       circuits := hierholzer adj v :: !circuits
     done
   done;

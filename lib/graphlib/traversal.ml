@@ -157,7 +157,7 @@ let strongly_connected_components g =
     incr next;
     stack := v :: !stack;
     on_stack.(v) <- true;
-    while !call_stack <> [] do
+    while not (List.is_empty !call_stack) do
       match !call_stack with
       | [] -> ()
       | (u, remaining) :: rest -> (

@@ -85,7 +85,7 @@ let rec go n faults =
             let a, b = split k in
             max (List.length a) (List.length b)
           in
-          compare (balance i) (balance j))
+          Int.compare (balance i) (balance j))
         (List.init n Fun.id)
     in
     List.find_map (fun i -> attempt n i (split i)) dims
@@ -117,7 +117,7 @@ and attempt n i (f0, f1) =
 
 let embed ~n ~faults =
   let size = 1 lsl n in
-  let faults = List.sort_uniq compare faults in
+  let faults = List.sort_uniq Int.compare faults in
   List.iter
     (fun v -> if v < 0 || v >= size then invalid_arg "Ring.embed: fault out of range")
     faults;

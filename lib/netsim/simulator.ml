@@ -100,7 +100,8 @@ let vec_sort v =
    dominate small rounds. *)
 let par_threshold = 1024
 
-let now_ns () = Unix.gettimeofday () *. 1e9
+let now_ns () =
+  (Unix.gettimeofday () [@lint.allow "R1 per-round wall-clock trace metrics: reported, never branched on"]) *. 1e9
 
 let run ?max_rounds ?(domains = 1) ~topology ~faulty proto =
   let n = Graphlib.Digraph.n_nodes topology in

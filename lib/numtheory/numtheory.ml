@@ -60,7 +60,7 @@ let divisors n =
           ds)
       [ 1 ] fs
   in
-  List.sort compare ds
+  List.sort Int.compare ds
 
 let num_distinct_prime_factors n = List.length (factorize n)
 

@@ -37,7 +37,7 @@ let sample_distinct t ~k ~bound =
     let r = int t (j + 1) in
     if Hashtbl.mem chosen r then Hashtbl.replace chosen j () else Hashtbl.replace chosen r ()
   done;
-  List.sort compare (Hashtbl.fold (fun x () acc -> x :: acc) chosen [])
+  List.sort Int.compare (Hashtbl.fold (fun x () acc -> x :: acc) chosen [])
 
 let shuffle t arr =
   for i = Array.length arr - 1 downto 1 do

@@ -18,6 +18,12 @@ Rows whose engine mentions "domains" are skipped outright (the domain
 count is machine-dependent).  A baseline row with no counterpart in the
 fresh run fails the gate (coverage loss); extra fresh rows only warn.
 
+Both files are also schema-linted: every row must carry the uniform
+measurement triple — wall_s plus a minor- and a major-heap allocation
+figure (minor_words/major_words or their _per_trial variants) — so no
+section can silently drop out of the regression window.  Sections whose
+name ends in "-speedup" are derived ratios of other rows and are exempt.
+
 Usage: bench_gate.py BASELINE.json FRESH.json
 """
 
@@ -60,9 +66,31 @@ def skip(row):
     return "domains" in str(row.get("engine", ""))
 
 
-def load(path):
+SCHEMA = [
+    ("wall_s", ("wall_s",)),
+    ("minor words", ("minor_words", "minor_words_per_trial")),
+    ("major words", ("major_words", "major_words_per_trial")),
+]
+
+
+def schema_lint(path, rows, failures):
+    """Every row reports the uniform wall/minor/major triple (derived
+    "-speedup" sections excepted).  Runs on all rows, including the
+    engine="... domains" ones the comparison skips."""
+    for i, row in enumerate(rows):
+        section = str(row.get("section", ""))
+        if section.endswith("-speedup"):
+            continue
+        for label, accepted in SCHEMA:
+            if not any(k in row for k in accepted):
+                failures.append(
+                    f"{path}: row {i} (section {section!r}) lacks a {label} field")
+
+
+def load(path, failures):
     with open(path) as fh:
         rows = json.load(fh)
+    schema_lint(path, rows, failures)
     table = {}
     for row in rows:
         if skip(row):
@@ -104,9 +132,9 @@ def main():
     if len(sys.argv) != 3:
         sys.exit(__doc__)
     base_path, fresh_path = sys.argv[1], sys.argv[2]
-    base = load(base_path)
-    fresh = load(fresh_path)
     failures = []
+    base = load(base_path, failures)
+    fresh = load(fresh_path, failures)
     for key, row in base.items():
         if key not in fresh:
             failures.append(f"baseline row missing from fresh run: {dict(key)}")
@@ -118,7 +146,7 @@ def main():
     compared = sum(1 for k in base if k in fresh)
     print(f"bench gate: {compared} rows compared against {base_path}")
     if failures:
-        print(f"FAILED ({len(failures)} regressions):")
+        print(f"FAILED ({len(failures)} problems):")
         for f in failures:
             print(f"  {f}")
         sys.exit(1)

@@ -1,0 +1,5 @@
+(* Fixture: [@@lint.domain_safe] without a reason does not suppress and
+   is itself reported. *)
+let cache = Hashtbl.create 16 [@@lint.domain_safe]
+
+let par f = Domain.join (Domain.spawn f)

@@ -1,0 +1,2 @@
+(* Fixture: trips R1 only — ambient PRNG. *)
+let roll () = Random.int 6

@@ -1,0 +1,2 @@
+(* Fixture: trips R2 only — polymorphic (=) with a structured operand. *)
+let is_singleton xs = xs = [ 1 ]

@@ -1,0 +1,7 @@
+(* Fixture: trips R3 only — mutable toplevel state in a file that uses
+   Domain (the single-file fallback of the reachability analysis). *)
+let cache : (int, int) Hashtbl.t = Hashtbl.create 16
+
+let lookup k = Hashtbl.find_opt cache k
+
+let par f = Domain.join (Domain.spawn f)

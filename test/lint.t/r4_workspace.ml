@@ -1,0 +1,3 @@
+(* Fixture: trips R4 only — Workspace internals accessed outside the
+   FFC pipeline files. *)
+let peek w = Ffc.Workspace.scratch w

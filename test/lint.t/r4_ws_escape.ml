@@ -1,0 +1,2 @@
+(* Fixture: trips R4 only — the ?ws arena handle packaged into a tuple. *)
+let pack ?ws () = (ws, 0)

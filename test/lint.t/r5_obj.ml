@@ -1,0 +1,2 @@
+(* Fixture: trips R5 only — unsafe cast. *)
+let cast (x : int) : nativeint = Obj.magic x

@@ -1,0 +1,70 @@
+The rule registry:
+
+  $ debruijn-lint --list-rules
+  R1  no Stdlib.Random / Unix.gettimeofday outside Util.Rng and bench/jrec.ml
+  R2  no polymorphic =/compare/Hashtbl.hash on structured values
+  R3  no mutable toplevel state in Domain-reachable code (annotate with [@@lint.domain_safe])
+  R4  arena confinement: Workspace internals stay in the pipeline; ?ws never escapes into data
+  R5  no Obj.magic/%identity; no Printf in lib/
+
+Each fixture trips exactly one rule, with the right id and location:
+
+  $ debruijn-lint r1_random.ml
+  r1_random.ml:2:14: [R1] Random.int: ambient PRNG breaks seeded reproducibility; use Util.Rng
+  debruijn-lint: 1 file(s), 1 finding(s)
+  [1]
+  $ debruijn-lint r2_polyeq.ml
+  r2_polyeq.ml:2:25: [R2] polymorphic (=) on a structured value; pattern-match or use a typed equality
+  debruijn-lint: 1 file(s), 1 finding(s)
+  [1]
+  $ debruijn-lint r3_toplevel_state.ml
+  r3_toplevel_state.ml:3:0: [R3] toplevel binding holds a mutable Hashtbl.create, shared under Domain.spawn; hoist it into the runtime state or annotate [@@lint.domain_safe "why"]
+  debruijn-lint: 1 file(s), 1 finding(s)
+  [1]
+  $ debruijn-lint r4_ws_escape.ml
+  r4_ws_escape.ml:2:18: [R4] the ?ws arena handle escapes into a data structure; pass it as an argument or project the documented fields instead
+  debruijn-lint: 1 file(s), 1 finding(s)
+  [1]
+  $ debruijn-lint r4_workspace.ml
+  r4_workspace.ml:3:13: [R4] Workspace.scratch: arena internals are private to the FFC pipeline; consume results through the documented record fields
+  debruijn-lint: 1 file(s), 1 finding(s)
+  [1]
+  $ debruijn-lint r5_obj.ml
+  r5_obj.ml:2:33: [R5] Obj.magic: Obj breaks type safety
+  debruijn-lint: 1 file(s), 1 finding(s)
+  [1]
+
+Every suppression form silences its finding:
+
+  $ debruijn-lint suppressed.ml
+  debruijn-lint: 1 file(s), 0 finding(s)
+
+A [@@lint.domain_safe] without a reason suppresses nothing and is
+itself reported:
+
+  $ debruijn-lint bad_domain_safe.ml
+  bad_domain_safe.ml:3:0: [R3] toplevel binding holds a mutable Hashtbl.create, shared under Domain.spawn; hoist it into the runtime state or annotate [@@lint.domain_safe "why"]
+  bad_domain_safe.ml:3:30: [R3] [@lint.domain_safe] requires a non-empty reason string
+  debruijn-lint: 1 file(s), 2 finding(s)
+  [1]
+
+Machine-readable output:
+
+  $ debruijn-lint --json r5_obj.ml
+  [
+    {"rule": "R5", "file": "r5_obj.ml", "line": 2, "col": 33, "message": "Obj.magic: Obj breaks type safety"}
+  ]
+  [1]
+
+Usage errors:
+
+  $ debruijn-lint
+  usage: debruijn-lint [--json] [--list-rules] PATH...
+  [2]
+  $ debruijn-lint --frobnicate lib
+  debruijn-lint: unknown option --frobnicate
+  usage: debruijn-lint [--json] [--list-rules] PATH...
+  [2]
+  $ debruijn-lint no/such/path
+  debruijn-lint: no such path no/such/path
+  [2]

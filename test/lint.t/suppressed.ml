@@ -1,0 +1,16 @@
+(* Fixture: every violation above, silenced by its suppression form —
+   expression-level [@lint.allow], module-wide [@@@lint.allow], and
+   binding-level [@@lint.domain_safe].  Expected findings: none. *)
+
+[@@@lint.allow "R2,R4 fixture: module-wide allowance"]
+
+let roll () = (Random.int 6 [@lint.allow "R1 fixture: expression allowance"])
+
+let is_singleton xs = xs = [ 1 ]
+
+let pack ?ws () = (ws, 0)
+
+let cache : (int, int) Hashtbl.t = Hashtbl.create 16
+[@@lint.domain_safe "fixture: populated before any spawn"]
+
+let par f = Domain.join (Domain.spawn f)

@@ -247,5 +247,5 @@ let () =
           Alcotest.test_case "Prop 3.6 disjoint HCs" `Quick test_prop_3_6_disjoint;
           Alcotest.test_case "Prop 3.5 fault tolerance" `Quick test_prop_3_5_fault_tolerance;
         ] );
-      ("properties", List.map (QCheck_alcotest.to_alcotest ~long:false) qsuite);
+      ("properties", List.map (fun t -> QCheck_alcotest.to_alcotest ~long:false t) qsuite);
     ]

@@ -433,5 +433,5 @@ let () =
           Alcotest.test_case "rotate/equal" `Quick test_sequence_rotate_equal;
           Alcotest.test_case "add scalar" `Quick test_add_scalar;
         ] );
-      ("properties", List.map (QCheck_alcotest.to_alcotest ~long:false) qsuite);
+      ("properties", List.map (fun t -> QCheck_alcotest.to_alcotest ~long:false t) qsuite);
     ]

@@ -811,5 +811,5 @@ let () =
           Alcotest.test_case "new edge counts" `Quick test_mdb_new_edge_counts;
           Alcotest.test_case "errors" `Quick test_mdb_errors;
         ] );
-      ("properties", List.map (QCheck_alcotest.to_alcotest ~long:false) qsuite);
+      ("properties", List.map (fun t -> QCheck_alcotest.to_alcotest ~long:false t) qsuite);
     ]

@@ -7,7 +7,6 @@ module A = Ffc.Adjacency
 module Sp = Ffc.Spanning
 module E = Ffc.Embed
 module Dist = Ffc.Distributed
-module C = Graphlib.Cycle
 
 let check_int = Alcotest.(check int)
 let check_bool = Alcotest.(check bool)
@@ -925,5 +924,5 @@ let () =
           Alcotest.test_case "B(2,17) matches centralized (NETSIM_BIG=1)" `Slow
             test_distributed_b217;
         ] );
-      ("properties", List.map (QCheck_alcotest.to_alcotest ~long:false) qsuite);
+      ("properties", List.map (fun t -> QCheck_alcotest.to_alcotest ~long:false t) qsuite);
     ]

@@ -292,5 +292,5 @@ let () =
           Alcotest.test_case "Example 3.1 polynomial" `Quick test_gfpoly_example_3_1;
           Alcotest.test_case "irreducible counts over GF(4)" `Quick test_gfpoly_irreducible_counts;
         ] );
-      ("properties", List.map (QCheck_alcotest.to_alcotest ~long:false) qsuite);
+      ("properties", List.map (fun t -> QCheck_alcotest.to_alcotest ~long:false t) qsuite);
     ]

@@ -591,7 +591,7 @@ let () =
           Alcotest.test_case "no_preds sweep" `Quick test_itopo_no_preds;
           Alcotest.test_case "parallel levels bit-identical" `Quick test_itopo_parallel_levels;
         ] );
-      ("properties", List.map (QCheck_alcotest.to_alcotest ~long:false) qsuite);
+      ("properties", List.map (fun t -> QCheck_alcotest.to_alcotest ~long:false t) qsuite);
       ( "compact vs reference",
-        List.map (QCheck_alcotest.to_alcotest ~long:false) qsuite_compact );
+        List.map (fun t -> QCheck_alcotest.to_alcotest ~long:false t) qsuite_compact );
     ]

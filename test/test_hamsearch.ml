@@ -102,7 +102,7 @@ let test_tillson () =
       check_int "4 cycles" 4 (List.length cs);
       check_bool "disjoint" true (C.pairwise_edge_disjoint cs);
       check_bool "all hamiltonian" true
-        (List.for_all (C.is_hamiltonian (complete_digraph 5)) cs)
+        (List.for_all (fun c -> C.is_hamiltonian (complete_digraph 5) c) cs)
   | None, _ -> Alcotest.fail "K*_5 decomposes (Tillson)"
 
 let test_disjoint_impossible () =
@@ -138,7 +138,7 @@ let test_open_q2_witnesses () =
       match H.disjoint_hamiltonian_cycles ~budget ~k:2 g with
       | Some cs, _ ->
           check_bool "verified" true
-            (C.pairwise_edge_disjoint cs && List.for_all (C.is_hamiltonian g) cs)
+            (C.pairwise_edge_disjoint cs && List.for_all (fun c -> C.is_hamiltonian g c) cs)
       | None, _ -> Alcotest.fail "expected 2 disjoint HCs")
     [ (3, 2, 1_000_000); (3, 3, 5_000_000) ]
 
@@ -211,5 +211,5 @@ let () =
           Alcotest.test_case "matches the construction" `Quick test_disjoint_matches_construction;
           Alcotest.test_case "open question 2 witnesses" `Quick test_open_q2_witnesses;
         ] );
-      ("properties", List.map (QCheck_alcotest.to_alcotest ~long:false) qsuite);
+      ("properties", List.map (fun t -> QCheck_alcotest.to_alcotest ~long:false t) qsuite);
     ]

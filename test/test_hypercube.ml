@@ -152,5 +152,5 @@ let () =
           Alcotest.test_case "adjacent fault pairs" `Quick test_adjacent_faults;
           Alcotest.test_case "verify rejects" `Quick test_verify_rejects;
         ] );
-      ("properties", List.map (QCheck_alcotest.to_alcotest ~long:false) qsuite);
+      ("properties", List.map (fun t -> QCheck_alcotest.to_alcotest ~long:false t) qsuite);
     ]

@@ -196,5 +196,5 @@ let () =
           Alcotest.test_case "K(3,2) full decomposition" `Quick test_k32_decomposition;
           Alcotest.test_case "K(2,2) single HC" `Quick test_k22_single_hc_only;
         ] );
-      ("properties", List.map (QCheck_alcotest.to_alcotest ~long:false) qsuite);
+      ("properties", List.map (fun t -> QCheck_alcotest.to_alcotest ~long:false t) qsuite);
     ]

@@ -198,5 +198,5 @@ let () =
           Alcotest.test_case "binary weight = binomial" `Quick test_binary_weight_is_binomial;
           Alcotest.test_case "MacMahon agreement" `Quick test_mac_mahon_agreement;
         ] );
-      ("properties", List.map (QCheck_alcotest.to_alcotest ~long:false) qsuite);
+      ("properties", List.map (fun t -> QCheck_alcotest.to_alcotest ~long:false t) qsuite);
     ]

@@ -244,5 +244,5 @@ let () =
           Alcotest.test_case "pascal" `Quick test_binomial_pascal;
           Alcotest.test_case "multinomial" `Quick test_multinomial;
         ] );
-      ("properties", List.map (QCheck_alcotest.to_alcotest ~long:false) qsuite);
+      ("properties", List.map (fun t -> QCheck_alcotest.to_alcotest ~long:false t) qsuite);
     ]

@@ -1,0 +1,301 @@
+(* debruijn-lint: the invariant-enforcing static-analysis pass.
+
+   Usage: debruijn-lint [--json] [--list-rules] PATH...
+
+   Walks every .ml under the given paths (files or directories) with
+   the rules of Lint_rules (R1-R5) and reports findings as
+
+     file:line:col: [Rn] message
+
+   (or a JSON array with --json).  Exit status: 0 clean, 1 findings,
+   2 usage / parse errors.  Suppressions: [@lint.allow "Rn reason"] on
+   an expression, [@@lint.allow ...] on a binding or structure item,
+   [@@@lint.allow ...] for the rest of a module, and
+   [@@lint.domain_safe "why"] for R3 (reason mandatory).
+
+   `dune build @lint` runs this over lib/, bench/ and bin/. *)
+
+open Ppxlib
+
+(* ---- file collection ----------------------------------------------- *)
+
+let rec collect_ml acc path =
+  if Sys.is_directory path then
+    Array.fold_left
+      (fun acc entry ->
+        if entry = "_build" || entry = ".git" then acc
+        else collect_ml acc (Filename.concat path entry))
+      acc
+      (Sys.readdir path)
+  else if Filename.check_suffix path ".ml" then path :: acc
+  else acc
+
+let parse_impl path =
+  let ic = open_in_bin path in
+  let lexbuf = Lexing.from_channel ic in
+  Lexing.set_filename lexbuf path;
+  let result =
+    try Ok (Parse.implementation lexbuf)
+    with exn -> Error (Printexc.to_string exn)
+  in
+  close_in ic;
+  result
+
+(* ---- pass 1: Domain.-use detection --------------------------------- *)
+
+let uses_domain (str : structure) =
+  let found = ref false in
+  let scan =
+    object
+      inherit Ast_traverse.iter as super
+
+      method! longident lid =
+        (match Lint_rules.flat lid with
+        | "Domain" :: _ :: _ -> found := true
+        | _ -> ());
+        super#longident lid
+    end
+  in
+  scan#structure str;
+  !found
+
+let mutable_labels (str : structure) =
+  let tbl = Hashtbl.create 8 in
+  let scan =
+    object
+      inherit Ast_traverse.iter as super
+
+      method! label_declaration ld =
+        if ld.pld_mutable = Mutable then Hashtbl.replace tbl ld.pld_name.txt ();
+        super#label_declaration ld
+    end
+  in
+  scan#structure str;
+  tbl
+
+(* ---- suppression-aware walker -------------------------------------- *)
+
+let payload_string (a : attribute) =
+  match a.attr_payload with
+  | PStr
+      [
+        {
+          pstr_desc =
+            Pstr_eval ({ pexp_desc = Pexp_constant (Pconst_string (s, _, _)); _ }, _);
+          _;
+        };
+      ] ->
+      Some s
+  | _ -> None
+
+class walker (rules : Lint_rules.rule list) (ctx : Lint_rules.file_ctx)
+  (add : Lint_rules.finding -> unit) =
+  object (self)
+    inherit Ast_traverse.iter as super
+
+    val mutable stack : string list list = []
+
+    method private suppressed id = List.exists (fun ids -> List.mem id ids) stack
+
+    method private emit : Lint_rules.emit =
+      fun ~id ~loc msg ->
+        if not (self#suppressed id) then
+          add
+            {
+              Lint_rules.rule_id = id;
+              file = ctx.Lint_rules.path;
+              line = loc.loc_start.pos_lnum;
+              col = loc.loc_start.pos_cnum - loc.loc_start.pos_bol;
+              msg;
+            }
+
+    (* Rule ids suppressed by one attribute, or [] if it is not a lint
+       attribute.  A [@lint.domain_safe] without a reason is itself a
+       finding (the reason is the documentation R3 trades safety for). *)
+    method private attr_ids (a : attribute) =
+      match a.attr_name.txt with
+      | "lint.allow" -> (
+          match payload_string a with
+          | Some s when String.trim s <> "" ->
+              String.split_on_char ','
+                (List.hd (String.split_on_char ' ' (String.trim s)))
+          | _ ->
+              self#emit ~id:"R0" ~loc:a.attr_loc
+                "[@lint.allow] needs a payload: \"R1\" or \"R1,R2 reason...\"";
+              [])
+      | "lint.domain_safe" -> (
+          match payload_string a with
+          | Some s when String.trim s <> "" -> [ "R3" ]
+          | _ ->
+              self#emit ~id:"R3" ~loc:a.attr_loc
+                "[@lint.domain_safe] requires a non-empty reason string";
+              [])
+      | _ -> []
+
+    method private collect attrs = List.concat_map (fun a -> self#attr_ids a) attrs
+
+    method private with_suppressions ids (f : unit -> unit) =
+      stack <- ids :: stack;
+      f ();
+      stack <- List.tl stack
+
+    method! expression e =
+      self#with_suppressions (self#collect e.pexp_attributes) (fun () ->
+          List.iter (fun (r : Lint_rules.rule) -> r.on_expr self#emit ctx e) rules;
+          super#expression e)
+
+    method! structure_item it =
+      let inner_attrs =
+        match it.pstr_desc with
+        | Pstr_value (_, vbs) -> List.concat_map (fun vb -> vb.pvb_attributes) vbs
+        | Pstr_module mb -> mb.pmb_attributes
+        | Pstr_primitive vd -> vd.pval_attributes
+        | _ -> []
+      in
+      self#with_suppressions (self#collect inner_attrs) (fun () ->
+          List.iter (fun (r : Lint_rules.rule) -> r.on_str_item self#emit ctx it) rules;
+          super#structure_item it)
+
+    (* Floating [@@@lint.allow "..."] applies to the rest of the
+       enclosing structure. *)
+    method! structure items =
+      let depth = List.length stack in
+      List.iter
+        (fun (it : structure_item) ->
+          match it.pstr_desc with
+          | Pstr_attribute a -> stack <- self#attr_ids a :: stack
+          | _ -> self#structure_item it)
+        items;
+      let rec unwind l = if List.length l > depth then unwind (List.tl l) else l in
+      stack <- unwind stack
+  end
+
+(* ---- reporting ------------------------------------------------------ *)
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 -> Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let print_human (f : Lint_rules.finding) =
+  Printf.printf "%s:%d:%d: [%s] %s\n" f.file f.line f.col f.rule_id f.msg
+
+let print_json findings =
+  print_string "[";
+  List.iteri
+    (fun i (f : Lint_rules.finding) ->
+      if i > 0 then print_string ",";
+      Printf.printf "\n  {\"rule\": \"%s\", \"file\": \"%s\", \"line\": %d, \"col\": %d, \"message\": \"%s\"}"
+        f.rule_id (json_escape f.file) f.line f.col (json_escape f.msg))
+    findings;
+  print_string (if findings = [] then "]\n" else "\n]\n")
+
+(* ---- driver --------------------------------------------------------- *)
+
+let usage = "usage: debruijn-lint [--json] [--list-rules] PATH..."
+
+let () =
+  let json = ref false in
+  let list_rules = ref false in
+  let paths = ref [] in
+  Array.iteri
+    (fun i arg ->
+      if i > 0 then
+        match arg with
+        | "--json" -> json := true
+        | "--list-rules" -> list_rules := true
+        | "--help" | "-h" ->
+            print_endline usage;
+            exit 0
+        | _ when String.length arg > 0 && arg.[0] = '-' ->
+            prerr_endline ("debruijn-lint: unknown option " ^ arg);
+            prerr_endline usage;
+            exit 2
+        | path -> paths := path :: !paths)
+    Sys.argv;
+  if !list_rules then begin
+    List.iter
+      (fun (r : Lint_rules.rule) -> Printf.printf "%s  %s\n" r.Lint_rules.id r.Lint_rules.summary)
+      Lint_rules.all;
+    exit 0
+  end;
+  let roots = List.rev !paths in
+  if roots = [] then begin
+    prerr_endline usage;
+    exit 2
+  end;
+  List.iter
+    (fun r ->
+      if not (Sys.file_exists r) then begin
+        prerr_endline ("debruijn-lint: no such path " ^ r);
+        exit 2
+      end)
+    roots;
+  let files = List.sort String.compare (List.fold_left collect_ml [] roots) in
+  (* parse everything once *)
+  let parsed =
+    List.filter_map
+      (fun path ->
+        match parse_impl path with
+        | Ok str -> Some (Lint_project.normalize path, str)
+        | Error msg ->
+            Printf.eprintf "debruijn-lint: cannot parse %s: %s\n" path msg;
+            exit 2)
+      files
+  in
+  (* pass 1: build the unit graph and mark Domain users *)
+  let project = Lint_project.scan roots in
+  let file_domain = Hashtbl.create 64 in
+  List.iter
+    (fun (path, str) ->
+      let d = uses_domain str in
+      Hashtbl.replace file_domain path d;
+      if d then Lint_project.mark_domain_user project path)
+    parsed;
+  (* pass 2: run the rules *)
+  let findings = ref [] in
+  List.iter
+    (fun (path, str) ->
+      let ctx =
+        {
+          Lint_rules.path;
+          in_lib = String.length path >= 4 && String.sub path 0 4 = "lib/";
+          domain_scope =
+            Lint_project.in_domain_scope project path
+            || Hashtbl.find file_domain path;
+          mutable_labels = mutable_labels str;
+        }
+      in
+      let w = new walker Lint_rules.all ctx (fun f -> findings := f :: !findings) in
+      w#structure str)
+    parsed;
+  let findings =
+    List.sort
+      (fun (a : Lint_rules.finding) (b : Lint_rules.finding) ->
+        match String.compare a.file b.file with
+        | 0 -> (
+            match Int.compare a.line b.line with
+            | 0 -> (
+                match Int.compare a.col b.col with
+                | 0 -> String.compare a.rule_id b.rule_id
+                | c -> c)
+            | c -> c)
+        | c -> c)
+      !findings
+  in
+  if !json then print_json findings
+  else begin
+    List.iter print_human findings;
+    Printf.printf "debruijn-lint: %d file(s), %d finding(s)\n" (List.length parsed)
+      (List.length findings)
+  end;
+  exit (if findings = [] then 0 else 1)

@@ -1,0 +1,324 @@
+(* The rule registry: each project invariant is a [rule] with hooks the
+   AST walker calls at every expression / structure item.  Rules are
+   purely syntactic (no type information), so each one errs on the side
+   of flagging and offers an escape hatch:
+
+   - any finding can be silenced with [@lint.allow "Rn reason"] (on the
+     expression), [@@lint.allow "Rn reason"] (on the enclosing binding /
+     item) or [@@@lint.allow "Rn reason"] (rest of the module), where
+     the first token of the payload is a comma-separated rule-id list;
+   - R3 additionally accepts the dedicated [@@lint.domain_safe "why"],
+     whose reason string is mandatory.
+
+   See DESIGN.md "Enforced invariants" for each rule's rationale. *)
+
+open Ppxlib
+
+type finding = {
+  rule_id : string;
+  file : string;
+  line : int;
+  col : int;
+  msg : string;
+}
+
+type file_ctx = {
+  path : string;  (* normalized, relative to the lint root *)
+  in_lib : bool;
+  domain_scope : bool;  (* file is in R3's reachability scope *)
+  mutable_labels : (string, unit) Hashtbl.t;
+      (* record labels declared [mutable] anywhere in this file *)
+}
+
+type emit = id:string -> loc:Location.t -> string -> unit
+
+type rule = {
+  id : string;
+  summary : string;
+  on_expr : emit -> file_ctx -> expression -> unit;
+  on_str_item : emit -> file_ctx -> structure_item -> unit;
+}
+
+let no_expr (_ : emit) (_ : file_ctx) (_ : expression) = ()
+let no_str_item (_ : emit) (_ : file_ctx) (_ : structure_item) = ()
+
+(* Longident components, [Lapply]-safe: [Stdlib.Random.int] ->
+   ["Stdlib"; "Random"; "int"]. *)
+let rec flat = function
+  | Lident s -> [ s ]
+  | Ldot (l, s) -> flat l @ [ s ]
+  | Lapply (l, _) -> flat l
+
+let last_exn comps = List.nth comps (List.length comps - 1)
+let dotted comps = String.concat "." comps
+
+(* ------------------------------------------------------------------ *)
+(* R1 — determinism: no ambient randomness or wall clock.  Seeded
+   campaigns (Util.Rng substreams) are the only randomness source and
+   bench/jrec.ml the only timing wrapper, so every reported statistic
+   is reproducible (PR 1's bit-identical [?domains] contract). *)
+
+let r1_allowed_files = [ "lib/util/rng.ml"; "bench/jrec.ml" ]
+
+let r1_banned comps =
+  if List.mem "Random" comps then
+    Some (Printf.sprintf "%s: ambient PRNG breaks seeded reproducibility; use Util.Rng" (dotted comps))
+  else
+    match comps with
+    | [ "Unix"; ("gettimeofday" | "time") ] ->
+        Some
+          (Printf.sprintf
+             "%s: wall clock outside bench/jrec.ml makes runs non-reproducible" (dotted comps))
+    | _ -> None
+
+let r1 =
+  {
+    id = "R1";
+    summary = "no Stdlib.Random / Unix.gettimeofday outside Util.Rng and bench/jrec.ml";
+    on_expr =
+      (fun emit ctx e ->
+        if not (List.mem ctx.path r1_allowed_files) then
+          match e.pexp_desc with
+          | Pexp_ident { txt; loc } -> (
+              match r1_banned (flat txt) with
+              | Some msg -> emit ~id:"R1" ~loc msg
+              | None -> ())
+          | _ -> ());
+    on_str_item =
+      (fun emit ctx it ->
+        if not (List.mem ctx.path r1_allowed_files) then
+          let check_mod (m : module_expr) =
+            match m.pmod_desc with
+            | Pmod_ident { txt; loc } when List.mem "Random" (flat txt) ->
+                emit ~id:"R1" ~loc
+                  (Printf.sprintf "aliasing/opening %s smuggles the ambient PRNG in" (dotted (flat txt)))
+            | _ -> ()
+          in
+          match it.pstr_desc with
+          | Pstr_module mb -> check_mod mb.pmb_expr
+          | Pstr_open od -> check_mod od.popen_expr
+          | _ -> ());
+  }
+
+(* ------------------------------------------------------------------ *)
+(* R2 — no polymorphic compare / hash on structured values.  PR 1's
+   inbox-sort bug: polymorphic [compare] over [(src, payload)] pairs
+   raised on closure payloads and ordered records by declaration
+   accident.  Syntactic approximation: ban the bare [compare] /
+   [Hashtbl.hash] identifiers everywhere, and [=] / [<>] whenever one
+   operand is syntactically structured (list, option, tuple, record,
+   array, string/float constant, constructor with arguments). *)
+
+(* The frozen seed oracles keep their documented polymorphic-compare
+   semantics verbatim. *)
+let r2_allowed_files =
+  [ "lib/netsim/reference.ml"; "lib/ffc/reference.ml"; "lib/dhc/reference.ml" ]
+
+let rec structured e =
+  match e.pexp_desc with
+  | Pexp_constraint (e, _) -> structured e
+  | Pexp_construct ({ txt = Lident ("::" | "[]" | "None" | "Some"); _ }, _) -> true
+  | Pexp_construct (_, Some _) -> true
+  | Pexp_tuple _ | Pexp_record _ | Pexp_array _ | Pexp_lazy _ -> true
+  | Pexp_constant (Pconst_string _ | Pconst_float _) -> true
+  | Pexp_variant (_, Some _) -> true
+  | _ -> false
+
+let r2 =
+  {
+    id = "R2";
+    summary = "no polymorphic =/compare/Hashtbl.hash on structured values";
+    on_expr =
+      (fun emit ctx e ->
+        if not (List.mem ctx.path r2_allowed_files) then
+          match e.pexp_desc with
+          | Pexp_apply
+              ( { pexp_desc = Pexp_ident { txt = Lident (("=" | "<>") as op); loc }; _ },
+                [ (_, a); (_, b) ] )
+            when structured a || structured b ->
+              emit ~id:"R2" ~loc
+                (Printf.sprintf
+                   "polymorphic (%s) on a structured value; pattern-match or use a typed \
+                    equality" op)
+          | Pexp_ident { txt; loc } -> (
+              match flat txt with
+              | [ "compare" ] | [ "Stdlib"; "compare" ] ->
+                  emit ~id:"R2" ~loc
+                    "bare polymorphic compare; use a typed comparator (Int.compare, ...)"
+              | [ "Hashtbl"; "hash" ] | [ "Stdlib"; "Hashtbl"; "hash" ] ->
+                  emit ~id:"R2" ~loc "polymorphic Hashtbl.hash; use a typed hash function"
+              | _ -> ())
+          | _ -> ());
+    on_str_item = no_str_item;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* R3 — no mutable toplevel state in code reachable from the
+   [Domain.]-using units (Graphlib.Itopo, Ffc.Campaign, Dhc.Campaign,
+   Netsim.Simulator, and the bench executable): shared toplevel cells
+   race under [Domain.spawn], and toplevel [lazy] forcing raises
+   across domains.  Annotate genuinely safe state with
+   [@@lint.domain_safe "why"]. *)
+
+let mutable_modules =
+  [ "Hashtbl"; "Queue"; "Stack"; "Buffer"; "Bytes"; "Array"; "Weak"; "Dynarray" ]
+
+let mutable_makers =
+  [ "create"; "make"; "init"; "of_list"; "of_seq"; "make_matrix"; "copy"; "append"; "concat"; "sub" ]
+
+let rec r3_init_shape ctx e =
+  match e.pexp_desc with
+  | Pexp_constraint (e, _) | Pexp_coerce (e, _, _) | Pexp_open (_, e) -> r3_init_shape ctx e
+  | Pexp_lazy _ -> Some "a toplevel lazy (concurrent Lazy.force raises across domains)"
+  | Pexp_array _ -> Some "a toplevel array literal"
+  | Pexp_record (fields, _)
+    when List.exists
+           (fun (({ txt; _ } : longident_loc), _) ->
+             Hashtbl.mem ctx.mutable_labels (last_exn (flat txt)))
+           fields ->
+      Some "a record with mutable fields"
+  | Pexp_apply ({ pexp_desc = Pexp_ident { txt; _ }; _ }, _) -> (
+      match flat txt with
+      | [ "ref" ] | [ "Stdlib"; "ref" ] -> Some "a ref cell"
+      | ([ m; f ] | [ "Stdlib"; m; f ])
+        when List.mem m mutable_modules && List.mem f mutable_makers ->
+          Some (Printf.sprintf "a mutable %s.%s" m f)
+      | _ -> None)
+  | _ -> None
+
+let r3 =
+  {
+    id = "R3";
+    summary = "no mutable toplevel state in Domain-reachable code (annotate with [@@lint.domain_safe])";
+    on_expr = no_expr;
+    on_str_item =
+      (fun emit ctx it ->
+        if ctx.domain_scope then
+          match it.pstr_desc with
+          | Pstr_value (_, vbs) ->
+              List.iter
+                (fun vb ->
+                  match r3_init_shape ctx vb.pvb_expr with
+                  | Some what ->
+                      emit ~id:"R3" ~loc:vb.pvb_loc
+                        (Printf.sprintf
+                           "toplevel binding holds %s, shared under Domain.spawn; hoist it \
+                            into the runtime state or annotate [@@lint.domain_safe \
+                            \"why\"]" what)
+                  | None -> ())
+                vbs
+          | _ -> ());
+  }
+
+(* ------------------------------------------------------------------ *)
+(* R4 — arena confinement (DESIGN.md §5): [Ffc.Workspace] internals are
+   private to the pipeline stages, and a function taking [?ws] may
+   thread the arena along or project its fields, but must not package
+   the handle itself into returned/stored data (that silently extends
+   arena lifetime past the aliasing contract). *)
+
+let r4_arena_file path =
+  String.length path >= 8 && String.sub path 0 8 = "lib/ffc/" || path = "lib/graphlib/itopo.ml"
+
+let r4_public_workspace_values = [ "create"; "check" ]
+
+let r4_workspace_access comps =
+  match List.rev comps with
+  | value :: "Workspace" :: _ when not (List.mem value r4_public_workspace_values) -> Some value
+  | _ -> None
+
+let rec is_ws_ident e =
+  match e.pexp_desc with
+  | Pexp_constraint (e, _) -> is_ws_ident e
+  | Pexp_ident { txt = Lident "ws"; _ } -> true
+  | _ -> false
+
+let has_optional_ws_param params =
+  List.exists
+    (fun p ->
+      match p.pparam_desc with
+      | Pparam_val (Optional "ws", _, _) -> true
+      | _ -> false)
+    params
+
+(* Packaging shapes: the arena handle appearing as a component of a
+   tuple / record / constructor argument / array literal. *)
+let r4_packaging e =
+  match e.pexp_desc with
+  | Pexp_tuple parts | Pexp_array parts -> List.exists is_ws_ident parts
+  | Pexp_record (fields, _) -> List.exists (fun (_, v) -> is_ws_ident v) fields
+  | Pexp_construct (_, Some arg) | Pexp_variant (_, Some arg) -> (
+      is_ws_ident arg
+      || match arg.pexp_desc with Pexp_tuple parts -> List.exists is_ws_ident parts | _ -> false)
+  | _ -> false
+
+let r4 =
+  {
+    id = "R4";
+    summary = "arena confinement: Workspace internals stay in the pipeline; ?ws never escapes into data";
+    on_expr =
+      (fun emit ctx e ->
+        if not (r4_arena_file ctx.path) then
+          match e.pexp_desc with
+          | Pexp_ident { txt; loc } | Pexp_field (_, { txt; loc }) -> (
+              match r4_workspace_access (flat txt) with
+              | Some value ->
+                  emit ~id:"R4" ~loc
+                    (Printf.sprintf
+                       "Workspace.%s: arena internals are private to the FFC pipeline; \
+                        consume results through the documented record fields" value)
+              | None -> ())
+          | Pexp_function (params, _, Pfunction_body body) when has_optional_ws_param params ->
+              let scan =
+                object
+                  inherit Ast_traverse.iter as super
+
+                  method! expression inner =
+                    (if r4_packaging inner then
+                       let silenced =
+                         List.exists
+                           (fun (a : attribute) ->
+                             a.attr_name.txt = "lint.allow" || a.attr_name.txt = "lint.domain_safe")
+                           inner.pexp_attributes
+                       in
+                       if not silenced then
+                         emit ~id:"R4" ~loc:inner.pexp_loc
+                           "the ?ws arena handle escapes into a data structure; pass it as \
+                            an argument or project the documented fields instead");
+                    super#expression inner
+                end
+              in
+              scan#expression body
+          | _ -> ());
+    on_str_item = no_str_item;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* R5 — no unsafe casts anywhere; no Printf in libraries (Fmt/Logs
+   only, so output is composable and silenceable). *)
+
+let r5 =
+  {
+    id = "R5";
+    summary = "no Obj.magic/%identity; no Printf in lib/";
+    on_expr =
+      (fun emit ctx e ->
+        match e.pexp_desc with
+        | Pexp_ident { txt; loc } -> (
+            match flat txt with
+            | "Obj" :: _ :: _ | "Stdlib" :: "Obj" :: _ ->
+                emit ~id:"R5" ~loc (Printf.sprintf "%s: Obj breaks type safety" (dotted (flat txt)))
+            | ("Printf" :: _ :: _ | "Stdlib" :: "Printf" :: _) when ctx.in_lib ->
+                emit ~id:"R5" ~loc
+                  (Printf.sprintf "%s in a library; use Fmt (or Logs) instead" (dotted (flat txt)))
+            | _ -> ())
+        | _ -> ());
+    on_str_item =
+      (fun emit _ctx it ->
+        match it.pstr_desc with
+        | Pstr_primitive vd when List.exists (fun p -> p = "%identity") vd.pval_prim ->
+            emit ~id:"R5" ~loc:vd.pval_loc "external %identity is an unchecked cast"
+        | _ -> ());
+  }
+
+let all = [ r1; r2; r3; r4; r5 ]

@@ -1,0 +1,94 @@
+(* A minimal s-expression reader, just enough for dune files: atoms,
+   double-quoted strings, nested lists, and [;] line comments.  No
+   attempt at dune's %{...} forms beyond treating them as atoms. *)
+
+type t = Atom of string | List of t list
+
+exception Error of string
+
+let parse_string src =
+  let n = String.length src in
+  let pos = ref 0 in
+  let peek () = if !pos < n then Some src.[!pos] else None in
+  let advance () = incr pos in
+  let rec skip_blanks () =
+    match peek () with
+    | Some (' ' | '\t' | '\n' | '\r') ->
+        advance ();
+        skip_blanks ()
+    | Some ';' ->
+        while !pos < n && src.[!pos] <> '\n' do
+          advance ()
+        done;
+        skip_blanks ()
+    | _ -> ()
+  in
+  let read_atom () =
+    let start = !pos in
+    let stop = ref false in
+    while not !stop do
+      match peek () with
+      | Some (' ' | '\t' | '\n' | '\r' | '(' | ')' | ';' | '"') | None -> stop := true
+      | Some _ -> advance ()
+    done;
+    Atom (String.sub src start (!pos - start))
+  in
+  let read_quoted () =
+    advance ();
+    let buf = Buffer.create 16 in
+    let stop = ref false in
+    while not !stop do
+      match peek () with
+      | None -> raise (Error "unterminated string")
+      | Some '"' ->
+          advance ();
+          stop := true
+      | Some '\\' ->
+          advance ();
+          (match peek () with
+          | Some c ->
+              Buffer.add_char buf c;
+              advance ()
+          | None -> raise (Error "unterminated escape"))
+      | Some c ->
+          Buffer.add_char buf c;
+          advance ()
+    done;
+    Atom (Buffer.contents buf)
+  in
+  let rec read_one () =
+    skip_blanks ();
+    match peek () with
+    | None -> raise (Error "unexpected end of input")
+    | Some '(' ->
+        advance ();
+        let items = ref [] in
+        let stop = ref false in
+        while not !stop do
+          skip_blanks ();
+          match peek () with
+          | Some ')' ->
+              advance ();
+              stop := true
+          | None -> raise (Error "unbalanced parenthesis")
+          | Some _ -> items := read_one () :: !items
+        done;
+        List (List.rev !items)
+    | Some ')' -> raise (Error "unexpected )")
+    | Some '"' -> read_quoted ()
+    | Some _ -> read_atom ()
+  in
+  let items = ref [] in
+  skip_blanks ();
+  while !pos < n do
+    items := read_one () :: !items;
+    skip_blanks ()
+  done;
+  List.rev !items
+
+let parse_file path =
+  let ic = open_in_bin path in
+  let len = in_channel_length ic in
+  let src = really_input_string ic len in
+  close_in ic;
+  parse_string src
