@@ -31,6 +31,7 @@ let point_fields (pt : Ca.point) =
     ("trials", jint pt.Ca.trials);
     ("embedded", jint pt.Ca.embedded);
     ("verified", jint pt.Ca.verified);
+    ("errors", jint pt.Ca.errors);
     ("bound_applicable", jint pt.Ca.bound_applicable);
     ("bound_ok", jint pt.Ca.bound_ok);
     ("mean_bstar_size", jnum pt.Ca.mean_bstar_size);

@@ -6,11 +6,11 @@
      dune exec bench/main.exe              run everything
      dune exec bench/main.exe -- tables    only the tables
      (sections: tables figures sweeps ablations open-problems timing scale dhc
-      ffc-campaign)
+      ffc-campaign live)
 
-   Flags (consumed by the scale, dhc and ffc-campaign sections):
+   Flags (consumed by the scale, dhc, ffc-campaign and live sections):
      --json    also write the measurements to BENCH_scale.json /
-               BENCH_dhc.json / BENCH_ffc_campaign.json
+               BENCH_dhc.json / BENCH_ffc_campaign.json / BENCH_live.json
      --smoke   smallest instances only (CI smoke run) *)
 
 let () =
@@ -22,7 +22,8 @@ let () =
       ("ablations", Ablations.run); ("open-problems", Open_problems.run);
       ("timing", Timing.run); ("scale", Scale.run ~json ~smoke);
       ("dhc", Dhc_bench.run ~json ~smoke);
-      ("ffc-campaign", Ffc_campaign.run ~json ~smoke) ]
+      ("ffc-campaign", Ffc_campaign.run ~json ~smoke);
+      ("live", Live_bench.run ~json ~smoke) ]
   in
   let requested =
     match List.filter (fun a -> not (String.starts_with ~prefix:"--" a)) args with

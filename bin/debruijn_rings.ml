@@ -31,9 +31,26 @@ let ffc_cmd =
   let faults =
     Arg.(value & pos_all string [] & info [] ~docv:"FAULT" ~doc:"Faulty nodes as digit strings, e.g. 020 112.")
   in
-  let run d n fault_strs distributed domains trace campaign trials seed fcounts =
+  let run d n fault_strs distributed domains trace campaign churn events trials seed fcounts =
     let p = Core.Word.params ~d ~n in
-    if campaign then begin
+    if churn then begin
+      Printf.printf
+        "# churn campaign on B(%d,%d): %d trials x %d events per target, one live engine per domain\n"
+        d n trials events;
+      Printf.printf
+        "# target  faults  repairs  patched  recomp  unchg  errors  mean-ring  min-ring  live-f\n";
+      List.iter
+        (fun (cp : Core.Ffc_campaign.churn_point) ->
+          Printf.printf "%8d  %6d  %7d  %7d  %6d  %5d  %6d  %9.1f  %8d  %6.1f\n"
+            cp.Core.Ffc_campaign.target_f cp.Core.Ffc_campaign.cfaults
+            cp.Core.Ffc_campaign.crepairs cp.Core.Ffc_campaign.patched
+            cp.Core.Ffc_campaign.recomputed cp.Core.Ffc_campaign.cunchanged
+            cp.Core.Ffc_campaign.cerrors cp.Core.Ffc_campaign.mean_ring_length
+            cp.Core.Ffc_campaign.min_ring_length
+            cp.Core.Ffc_campaign.mean_live_faults)
+        (Core.Ffc_campaign.churn ~domains ~trials ~seed ?targets:fcounts ~events ~d ~n ())
+    end
+    else if campaign then begin
       Printf.printf
         "# node-fault campaign on B(%d,%d): %d trials per point, one workspace per domain\n"
         d n trials;
@@ -102,19 +119,25 @@ let ffc_cmd =
   let campaign =
     Arg.(value & flag & info [ "campaign" ] ~doc:"Run a seeded randomized node-fault campaign instead of embedding a given fault set.")
   in
+  let churn =
+    Arg.(value & flag & info [ "churn" ] ~doc:"Run a seeded fault/repair churn campaign through the incremental live engine.")
+  in
+  let events =
+    Arg.(value & opt int 100 & info [ "events" ] ~docv:"E" ~doc:"Events per trial (with --churn).")
+  in
   let trials =
-    Arg.(value & opt int 20 & info [ "trials" ] ~docv:"T" ~doc:"Trials per fault count (with --campaign).")
+    Arg.(value & opt int 20 & info [ "trials" ] ~docv:"T" ~doc:"Trials per fault count (with --campaign or --churn).")
   in
   let seed =
     Arg.(value & opt int 0x5eed & info [ "seed" ] ~docv:"S" ~doc:"Campaign seed; trial outcomes depend only on (seed, f, trial).")
   in
   let fcounts =
-    Arg.(value & opt (some (list int)) None & info [ "fcounts" ] ~docv:"F,..." ~doc:"Comma-separated fault counts to sweep (with --campaign); default 1,5,10,30,50 clipped to the node count.")
+    Arg.(value & opt (some (list int)) None & info [ "fcounts" ] ~docv:"F,..." ~doc:"Comma-separated fault counts to sweep with --campaign (equilibrium targets with --churn); default 1,5,10,30,50 clipped to the node count.")
   in
   Cmd.v
     (Cmd.info "ffc" ~doc:"Fault-free ring under node failures (Chapter 2).")
     Term.(const run $ d_arg $ n_arg $ faults $ distributed $ domains $ trace
-          $ campaign $ trials $ seed $ fcounts)
+          $ campaign $ churn $ events $ trials $ seed $ fcounts)
 
 let parse_edge d n s =
   match String.split_on_char '-' s with

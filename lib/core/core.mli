@@ -30,6 +30,8 @@ module Bstar = Ffc.Bstar
 module Embed = Ffc.Embed
 module Ffc_workspace = Ffc.Workspace
 module Ffc_campaign = Ffc.Campaign
+module Ffc_live = Ffc.Live
+module Pipeline_error = Ffc.Pipeline_error
 module Distributed = Ffc.Distributed
 module Selftimed = Ffc.Selftimed
 module Routing = Ffc.Routing

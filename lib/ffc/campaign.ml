@@ -5,6 +5,7 @@ type point = {
   trials : int;
   embedded : int;
   verified : int;
+  errors : int;
   bound_applicable : int;
   bound_ok : int;
   mean_bstar_size : float;
@@ -16,9 +17,9 @@ type point = {
   major_words_per_trial : float;
 }
 
-type outcome = { osize : int; oring : int; oecc : int; over : bool }
+type outcome = { osize : int; oring : int; oecc : int; over : bool; oerr : bool }
 
-let nothing = { osize = 0; oring = 0; oecc = 0; over = false }
+let nothing = { osize = 0; oring = 0; oecc = 0; over = false; oerr = false }
 
 (* Per-trial generators are substreams of (campaign seed, f, trial)
    alone — the same Rng.split scheme as Dhc.Campaign — so the fault
@@ -27,9 +28,9 @@ let nothing = { osize = 0; oring = 0; oecc = 0; over = false }
 let trial_rng ~seed ~f ~trial = Util.Rng.split seed ((1_000_003 * f) + trial)
 
 let length_bound p f =
-  if f >= 0 && f <= p.W.d - 2 then p.W.size - (p.W.n * f)
-  else if p.W.d = 2 && f = 1 then p.W.size - (p.W.n + 1)
-  else -1
+  if f >= 0 && f <= p.W.d - 2 then Some (p.W.size - (p.W.n * f))
+  else if p.W.d = 2 && f = 1 then Some (p.W.size - (p.W.n + 1))
+  else None
 
 let run_trial ~p ~ws ~seed ~f trial =
   let rng = trial_rng ~seed ~f ~trial in
@@ -45,7 +46,12 @@ let run_trial ~p ~ws ~seed ~f trial =
         oring = Embed.length e;
         oecc = e.Embed.modified.Spanning.tree.Spanning.ecc;
         over = Embed.verify ?ws e;
+        oerr = false;
       }
+  | exception Pipeline_error.Error _ ->
+      (* A pipeline-stage invariant fired (see Pipeline_error): the
+         trial is recorded as failed instead of aborting the sweep. *)
+      { nothing with oerr = true }
 
 let point ~domains ~trials ~seed ~(wss : Workspace.t array) ~p f =
   let t0 = (Unix.gettimeofday () [@lint.allow "R1 wall_s is a reported statistic, never branched on"]) in
@@ -79,13 +85,14 @@ let point ~domains ~trials ~seed ~(wss : Workspace.t array) ~p f =
     List.iter Domain.join spawned
   end;
   let wall_s = (Unix.gettimeofday () [@lint.allow "R1 wall_s is a reported statistic, never branched on"]) -. t0 in
-  let embedded = ref 0 and verified = ref 0 in
+  let embedded = ref 0 and verified = ref 0 and errors = ref 0 in
   let sb = ref 0 and sr = ref 0 and se = ref 0 in
   let minr = ref max_int in
   Array.iter
     (fun o ->
       if o.osize > 0 then incr embedded;
       if o.over then incr verified;
+      if o.oerr then incr errors;
       sb := !sb + o.osize;
       sr := !sr + o.oring;
       se := !se + o.oecc;
@@ -93,9 +100,10 @@ let point ~domains ~trials ~seed ~(wss : Workspace.t array) ~p f =
     out;
   let bound = length_bound p f in
   let bound_ok =
-    if bound < 0 then 0
-    else
-      Array.fold_left (fun acc o -> if o.oring >= bound then acc + 1 else acc) 0 out
+    match bound with
+    | None -> 0
+    | Some b ->
+        Array.fold_left (fun acc o -> if o.oring >= b then acc + 1 else acc) 0 out
   in
   let tf = float_of_int trials in
   (* Steady-state allocation: the minimum across the point's trials.
@@ -110,7 +118,8 @@ let point ~domains ~trials ~seed ~(wss : Workspace.t array) ~p f =
     trials;
     embedded = !embedded;
     verified = !verified;
-    bound_applicable = (if bound < 0 then 0 else trials);
+    errors = !errors;
+    bound_applicable = (if Option.is_none bound then 0 else trials);
     bound_ok;
     mean_bstar_size = float_of_int !sb /. tf;
     mean_ring_length = float_of_int !sr /. tf;
@@ -122,6 +131,218 @@ let point ~domains ~trials ~seed ~(wss : Workspace.t array) ~p f =
   }
 
 let default_fault_counts = [ 1; 5; 10; 30; 50 ]
+
+(* ------------------------------------------------------------------ *)
+(* churn mode: Live under a fault/repair birth-death process            *)
+
+type churn_point = {
+  target_f : int;
+  ctrials : int;
+  events : int;
+  cfaults : int;
+  crepairs : int;
+  patched : int;
+  recomputed : int;
+  cunchanged : int;
+  cerrors : int;
+  mean_ring_length : float;
+  min_ring_length : int;
+  mean_live_faults : float;
+  cwall_s : float;
+  median_event_s : float;
+  max_event_s : float;
+  minor_words_per_event : float;
+  major_words_per_event : float;
+}
+
+type churn_out = {
+  zring : int;
+  zfend : int;
+  zfev : int;
+  zrev : int;
+  zpat : int;
+  zrec : int;
+  zunc : int;
+  zerr : bool;
+}
+
+let churn_nothing =
+  { zring = 0; zfend = 0; zfev = 0; zrev = 0; zpat = 0; zrec = 0; zunc = 0;
+    zerr = true }
+
+(* One trial: [events] steps of a birth-death chain around [target]
+   outstanding faults (fault with probability target/(target + f),
+   repair of a uniform outstanding fault otherwise), driven through one
+   [Live.t].  The event stream is a pure function of (seed, target,
+   trial), so every outcome statistic is domain- and reuse-independent;
+   only the per-event wall clocks in [ev_wall] are not. *)
+let churn_trial ~p ~ws ~seed ~target ~events ~ev_wall trial =
+  let rng = trial_rng ~seed ~f:target ~trial in
+  let live = Live.create ~root_hint:1 ?ws p ~faults:[] in
+  let active = ref (Array.make 16 0) in
+  let f = ref 0 in
+  let base = trial * events in
+  match
+    for e = 0 to events - 1 do
+      let do_fault =
+        !f < p.W.size && (!f = 0 || Util.Rng.int rng (target + !f) < target)
+      in
+      let ev =
+        if do_fault then begin
+          let v = ref (Util.Rng.int rng p.W.size) in
+          while Live.is_faulty live !v do
+            v := Util.Rng.int rng p.W.size
+          done;
+          if !f = Array.length !active then begin
+            let b = Array.make (2 * !f) 0 in
+            Array.blit !active 0 b 0 !f;
+            active := b
+          end;
+          !active.(!f) <- !v;
+          incr f;
+          Live.Fault !v
+        end
+        else begin
+          let i = Util.Rng.int rng !f in
+          let v = !active.(i) in
+          decr f;
+          !active.(i) <- !active.(!f);
+          Live.Repair v
+        end
+      in
+      let t0 = (Unix.gettimeofday () [@lint.allow "R1 per-event latency is a reported statistic, never branched on"]) in
+      (match Live.apply live ev with
+      | Ok _ -> ()
+      | Error _ ->
+          (* unreachable: the chain only faults healthy nodes and only
+             repairs outstanding ones — recorded, not crashed on *)
+          Pipeline_error.raise_error ~stage:"Campaign"
+            "churn event rejected by Live");
+      ev_wall.(base + e) <- (Unix.gettimeofday () [@lint.allow "R1 per-event latency is a reported statistic, never branched on"]) -. t0
+    done
+  with
+  | () ->
+      let s = Live.stats live in
+      {
+        zring = Live.ring_length live;
+        zfend = Live.fault_count live;
+        zfev = s.Live.fault_events;
+        zrev = s.Live.repair_events;
+        zpat = s.Live.patched;
+        zrec = s.Live.recomputed;
+        zunc = s.Live.unchanged;
+        zerr = false;
+      }
+  | exception Pipeline_error.Error _ -> churn_nothing
+
+let churn_point ~domains ~trials ~seed ~events ~(wss : Workspace.t array) ~p
+    target =
+  let t0 = (Unix.gettimeofday () [@lint.allow "R1 wall_s is a reported statistic, never branched on"]) in
+  let out = Array.make trials churn_nothing in
+  let nworkers = if domains <= 1 then 1 else min domains trials in
+  let ev_wall = Array.make (trials * events) 0. in
+  let minor = Array.make trials 0. in
+  let major = Array.make trials 0. in
+  let worker w =
+    let ws = if Array.length wss = 0 then None else Some wss.(w) in
+    let i = ref w in
+    while !i < trials do
+      let m0, _, j0 = Gc.counters () in
+      out.(!i) <- churn_trial ~p ~ws ~seed ~target ~events ~ev_wall !i;
+      let m1, _, j1 = Gc.counters () in
+      minor.(!i) <- (m1 -. m0) /. float_of_int events;
+      major.(!i) <- (j1 -. j0) /. float_of_int events;
+      i := !i + nworkers
+    done
+  in
+  if nworkers = 1 then worker 0
+  else begin
+    let spawned =
+      List.init (nworkers - 1) (fun w -> Domain.spawn (fun () -> worker (w + 1)))
+    in
+    worker 0;
+    List.iter Domain.join spawned
+  end;
+  let cwall_s = (Unix.gettimeofday () [@lint.allow "R1 wall_s is a reported statistic, never branched on"]) -. t0 in
+  let cfaults = ref 0 and crepairs = ref 0 and cerrors = ref 0 in
+  let pat = ref 0 and rec_ = ref 0 and unc = ref 0 in
+  let sring = ref 0 and sfend = ref 0 in
+  let minr = ref max_int in
+  Array.iter
+    (fun o ->
+      cfaults := !cfaults + o.zfev;
+      crepairs := !crepairs + o.zrev;
+      pat := !pat + o.zpat;
+      rec_ := !rec_ + o.zrec;
+      unc := !unc + o.zunc;
+      if o.zerr then incr cerrors;
+      sring := !sring + o.zring;
+      sfend := !sfend + o.zfend;
+      if o.zring < !minr then minr := o.zring)
+    out;
+  (* latency spread over the successful trials' events only (an aborted
+     trial leaves untouched zero slots behind) *)
+  let ok_trials = trials - !cerrors in
+  let lat = Array.make (max 1 (ok_trials * events)) 0. in
+  let li = ref 0 in
+  Array.iteri
+    (fun i o ->
+      if not o.zerr then begin
+        Array.blit ev_wall (i * events) lat (!li * events) events;
+        incr li
+      end)
+    out;
+  Array.sort Float.compare lat;
+  let nlat = ok_trials * events in
+  let median_event_s = if nlat = 0 then 0. else lat.(nlat / 2) in
+  let max_event_s = if nlat = 0 then 0. else lat.(nlat - 1) in
+  let steady a = Array.fold_left min a.(0) a in
+  let tf = float_of_int trials in
+  {
+    target_f = target;
+    ctrials = trials;
+    events;
+    cfaults = !cfaults;
+    crepairs = !crepairs;
+    patched = !pat;
+    recomputed = !rec_;
+    cunchanged = !unc;
+    cerrors = !cerrors;
+    mean_ring_length = float_of_int !sring /. tf;
+    min_ring_length = !minr;
+    mean_live_faults = float_of_int !sfend /. tf;
+    cwall_s;
+    median_event_s;
+    max_event_s;
+    minor_words_per_event = steady minor;
+    major_words_per_event = steady major;
+  }
+
+let churn ?(domains = 1) ?(trials = 10) ?(seed = 0x5eed) ?targets
+    ?(events = 100) ?(reuse = true) ~d ~n () =
+  if trials < 1 then invalid_arg "Ffc.Campaign.churn: trials < 1";
+  if domains < 1 then invalid_arg "Ffc.Campaign.churn: domains < 1";
+  if events < 1 then invalid_arg "Ffc.Campaign.churn: events < 1";
+  let p = W.params ~d ~n in
+  let targets =
+    match targets with
+    | Some l ->
+        List.iter
+          (fun t ->
+            if t < 1 || t > p.W.size then
+              invalid_arg "Ffc.Campaign.churn: target out of range")
+          l;
+        l
+    | None -> List.filter (fun t -> t <= p.W.size) default_fault_counts
+  in
+  let wss =
+    if reuse then
+      Array.init
+        (if domains <= 1 then 1 else min domains trials)
+        (fun _ -> Workspace.create p)
+    else [||]
+  in
+  List.map (fun t -> churn_point ~domains ~trials ~seed ~events ~wss ~p t) targets
 
 let run ?(domains = 1) ?(trials = 20) ?(seed = 0x5eed) ?fs ?(reuse = true) ~d
     ~n () =

@@ -20,6 +20,10 @@ type point = {
   trials : int;
   embedded : int;  (** trials with a nonempty B* (an embedding exists) *)
   verified : int;  (** trials whose ring passed [Embed.verify] *)
+  errors : int;
+      (** trials aborted by a typed {!Pipeline_error.Error} — recorded
+          as failed trials, never crashing the sweep (always 0 on the
+          well-formed B* the pipeline itself produces) *)
   bound_applicable : int;
       (** [trials] when a Proposition 2.2/2.3 bound covers this (d, f);
           0 otherwise *)
@@ -38,9 +42,9 @@ type point = {
       (** same minimum; includes the trial's result ring *)
 }
 
-val length_bound : Debruijn.Word.params -> int -> int
+val length_bound : Debruijn.Word.params -> int -> int option
 (** The applicable Proposition 2.2/2.3 lower bound on ring length, or
-    −1 when neither proposition covers (d, f). *)
+    [None] when neither proposition covers (d, f). *)
 
 val run :
   ?domains:int ->
@@ -59,3 +63,59 @@ val run :
     trial)], so every field except [wall_s] and the GC counters is
     independent of [domains] and [reuse].  Defaults: 20 trials, seed
     0x5eed, workspace reuse on. *)
+
+(** {2 Churn campaigns}
+
+    The {!Live} engine under sustained fault/repair churn.  Each trial
+    starts from the fault-free B(d,n) and runs [events] steps of a
+    birth-death chain that hovers around [target] outstanding faults:
+    with f faults outstanding the next event is a fault of a uniform
+    healthy node with probability target/(target + f) and the repair of
+    a uniform outstanding fault otherwise.  Every event flows through
+    {!Live.apply}; the point records how many events the engine patched
+    incrementally versus recomputed, the per-event latency spread and
+    the steady-state per-event allocation. *)
+
+type churn_point = {
+  target_f : int;  (** the chain's equilibrium fault count *)
+  ctrials : int;
+  events : int;  (** events per trial *)
+  cfaults : int;  (** fault events, summed over trials *)
+  crepairs : int;  (** repair events, summed over trials *)
+  patched : int;  (** events repaired incrementally *)
+  recomputed : int;  (** events that fell back to the batch pipeline *)
+  cunchanged : int;  (** events absorbed as pure bookkeeping *)
+  cerrors : int;  (** trials aborted by {!Pipeline_error.Error} *)
+  mean_ring_length : float;  (** final ring length, mean over trials *)
+  min_ring_length : int;
+  mean_live_faults : float;  (** outstanding faults at trial end *)
+  cwall_s : float;
+  median_event_s : float;  (** median {!Live.apply} latency *)
+  max_event_s : float;
+  minor_words_per_event : float;
+      (** steady-state minor-heap words per event (minimum across
+          trials, as {!point.minor_words_per_trial}) *)
+  major_words_per_event : float;
+}
+
+(** Every [churn_point] field except [cwall_s], the [*_event_s]
+    latencies and the GC figures is a pure function of (seed, target,
+    trial count, event count) — bit-identical across [?domains] and
+    [?reuse], which the tests pin. *)
+
+val churn :
+  ?domains:int ->
+  ?trials:int ->
+  ?seed:int ->
+  ?targets:int list ->
+  ?events:int ->
+  ?reuse:bool ->
+  d:int ->
+  n:int ->
+  unit ->
+  churn_point list
+(** One point per equilibrium target (default [[1; 5; 10; 30; 50]]
+    filtered to ≤ dⁿ).  [?domains] strides trials across domains with
+    one {!Live.t} and one workspace each; [~reuse:false] drops the
+    workspaces (the batch fallbacks then allocate their own arenas).
+    Defaults: 10 trials, 100 events, seed 0x5eed. *)

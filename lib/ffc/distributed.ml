@@ -267,10 +267,15 @@ let run ?domains (bstar : Bstar.t) =
   done;
   let cycle =
     match
-      Graphlib.Cycle.of_successor_map ~start:bstar.Bstar.root (fun v -> successor.(v))
+      (* Ranged walk: a −1 successor (an unreached node) reads as
+         non-closure rather than an out-of-bounds index. *)
+      Graphlib.Cycle.of_successor_map_n ~n:p.W.size ~start:bstar.Bstar.root (fun v ->
+          successor.(v))
     with
     | Some c -> c
-    | None -> failwith "Ffc.Distributed: successor map did not close into a cycle"
+    | None ->
+        Pipeline_error.raise_error ~stage:"Distributed"
+          "successor map did not close into a cycle"
   in
   let rs = [ r1.S.rounds; r2.S.rounds; r3.S.rounds; r4.S.rounds; r5.S.rounds ] in
   let stats =

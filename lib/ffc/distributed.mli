@@ -58,7 +58,10 @@ val run : ?domains:int -> Bstar.t -> t
 (** Execute all phases on B(d,n) with the fault set of the given B\u{2217}
     (the B\u{2217} itself is only used for the root choice and for reading
     off the final cycle; every decision inside the phases is made by the
-    simulated nodes from received messages). *)
+    simulated nodes from received messages).
+    @raise Pipeline_error.Error if the assembled successor map does not
+    close into a cycle (a protocol-level invariant violation, not a
+    property of any fault set). *)
 
 val live_necklace_flags : Bstar.t -> bool array * int
 (** Run only the probe phase; returns per-node "my necklace is fault

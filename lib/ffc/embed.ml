@@ -33,31 +33,35 @@ let successor_map ?ws (m : Spanning.modified) =
   done;
   succ
 
+(* One deduplicated closure check for both allocation paths: [None]
+   from the walk means the successor map did not close into a simple
+   cycle covering B* — impossible by Proposition 2.1 on a well-formed
+   B*, so surface it as the typed recoverable error rather than a
+   process-killing [failwith]. *)
+let close_cycle ?ws bstar successor =
+  let walked =
+    match ws with
+    | None -> Graphlib.Cycle.of_successor_array_n ~start:bstar.Bstar.root successor
+    | Some w ->
+        Option.map
+          (fun len -> Array.sub w.Workspace.cycle_buf 0 len)
+          (Graphlib.Cycle.of_successor_array_into ~seen:w.Workspace.cycle_seen
+             ~buf:w.Workspace.cycle_buf ~start:bstar.Bstar.root successor)
+  in
+  match walked with
+  | Some c -> c
+  | None ->
+      Pipeline_error.raise_error ~stage:"Embed"
+        "successor map did not close into a cycle"
+
 let of_bstar ?domains ?ws bstar =
   let adj = Adjacency.build ?ws bstar in
   let tree = Spanning.build ?domains ?ws adj in
   let modified = Spanning.modify ?ws tree in
   let successor = successor_map ?ws modified in
-  let cycle =
-    (* The ring is the trial's one fresh result either way — everything
-       feeding it lives in the workspace when [?ws] is given. *)
-    match ws with
-    | None -> (
-        match
-          Graphlib.Cycle.of_successor_array_n ~start:bstar.Bstar.root successor
-        with
-        | Some c -> c
-        | None -> failwith "Ffc.Embed: successor map did not close into a cycle"
-        )
-    | Some w -> (
-        match
-          Graphlib.Cycle.of_successor_array_into ~seen:w.Workspace.cycle_seen
-            ~buf:w.Workspace.cycle_buf ~start:bstar.Bstar.root successor
-        with
-        | Some len -> Array.sub w.Workspace.cycle_buf 0 len
-        | None -> failwith "Ffc.Embed: successor map did not close into a cycle"
-        )
-  in
+  (* The ring is the trial's one fresh result either way — everything
+     feeding it lives in the workspace when [?ws] is given. *)
+  let cycle = close_cycle ?ws bstar successor in
   { bstar; modified; successor; cycle }
 
 let embed ?root_hint ?domains ?ws p ~faults =

@@ -21,7 +21,11 @@ val successor_map : ?ws:Workspace.t -> Spanning.modified -> int array
 
 val of_bstar : ?domains:int -> ?ws:Workspace.t -> Bstar.t -> t
 (** Run steps 1–3 on an already-computed B\u{2217}.  [?domains]
-    parallelizes the BFS levels (bit-identical result). *)
+    parallelizes the BFS levels (bit-identical result).
+    @raise Pipeline_error.Error if the successor map does not close
+    into a Hamiltonian cycle — impossible (Proposition 2.1) on a B\u{2217}
+    produced by {!Bstar.compute}, and a typed, recoverable condition
+    rather than a crash if a hand-built B\u{2217} is malformed. *)
 
 val embed :
   ?root_hint:int ->

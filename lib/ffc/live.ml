@@ -1,0 +1,808 @@
+module W = Debruijn.Word
+module Nk = Debruijn.Necklace
+
+type event = Fault of int | Repair of int
+
+type outcome = Patched | Recomputed | Unchanged
+
+type error = Out_of_range of int | Already_faulty of int | Not_faulty of int
+
+type stats = {
+  events : int;
+  fault_events : int;
+  repair_events : int;
+  rejected : int;
+  patched : int;
+  recomputed : int;
+  unchanged : int;
+  affected_nodes : int;
+  last_affected : int;
+}
+
+(* Growable int vector — per-event scratch that amortizes to zero
+   allocation once warm. *)
+type vec = { mutable buf : int array; mutable len : int }
+
+let vec_create () = { buf = Array.make 64 0; len = 0 }
+let vec_clear v = v.len <- 0
+
+let vec_push v x =
+  if v.len = Array.length v.buf then begin
+    let b = Array.make (2 * v.len) 0 in
+    Array.blit v.buf 0 b 0 v.len;
+    v.buf <- b
+  end;
+  v.buf.(v.len) <- x;
+  v.len <- v.len + 1
+
+type t = {
+  p : W.params;
+  root_hint : int option;
+  domains : int option;
+  ws : Workspace.t option;
+  (* ---- the current fault set ---- *)
+  faulty : bool array;  (* per node *)
+  nk_faults : (int, int) Hashtbl.t;  (* necklace rep -> faulty nodes on it *)
+  mutable fault_count : int;
+  mutable live_nodes : int;  (* nodes on fault-free necklaces *)
+  (* ---- B* state, all node-level (index-free, so splices never
+     renumber anything) ---- *)
+  in_bstar : bool array;
+  dist : int array;  (* BFS distance from root; -1 outside B* *)
+  successor : int array;  (* ring successor map; -1 outside B* *)
+  mutable root : int;  (* -1 when B* is empty *)
+  mutable bsize : int;
+  mutable ecc : int;
+  (* ---- derived necklace structure, keyed by representative ---- *)
+  chosen : int array;  (* rep -> lex-min (dist, node); -1 if not a live rep *)
+  bucket_head : int array;  (* label w -> first child rep, -1 *)
+  bucket_next : int array;  (* rep -> next child rep in its label bucket *)
+  (* ---- ecc maintenance ---- *)
+  mutable hist : int array;  (* hist.(k) = members at distance k *)
+  (* ---- per-event scratch (epoch-stamped, never cleared wholesale) ---- *)
+  mutable stamp : int;
+  aff_stamp : int array;  (* node -> stamp when invalidated this event *)
+  set_stamp : int array;  (* node -> stamp when (re)settled this event *)
+  nk_stamp : int array;  (* rep -> stamp when its necklace is marked *)
+  w_stamp : int array;  (* label -> stamp when its bucket is dirty *)
+  cand : int array;  (* node -> tentative distance during repair *)
+  queue : vec;
+  affected : vec;
+  changed : vec;
+  marked : vec;
+  dirty : vec;
+  members : vec;
+  mutable bq : vec array;  (* bucket queue indexed by tentative distance *)
+  mutable bq_hi : int;
+  (* ---- counters ---- *)
+  mutable c_events : int;
+  mutable c_faults : int;
+  mutable c_repairs : int;
+  mutable c_rejected : int;
+  mutable c_patched : int;
+  mutable c_recomputed : int;
+  mutable c_unchanged : int;
+  mutable c_affected : int;
+  mutable c_last_affected : int;
+}
+
+let params t = t.p
+let size t = t.bsize
+let root t = t.root
+let ecc t = t.ecc
+let ring_length t = t.bsize
+let is_empty t = t.bsize = 0
+let in_bstar t v = t.in_bstar.(v)
+let dist t v = t.dist.(v)
+let successor t v = t.successor.(v)
+let is_faulty t v = t.faulty.(v)
+let fault_count t = t.fault_count
+
+let stats t =
+  {
+    events = t.c_events;
+    fault_events = t.c_faults;
+    repair_events = t.c_repairs;
+    rejected = t.c_rejected;
+    patched = t.c_patched;
+    recomputed = t.c_recomputed;
+    unchanged = t.c_unchanged;
+    affected_nodes = t.c_affected;
+    last_affected = t.c_last_affected;
+  }
+
+let current_faults t =
+  let acc = ref [] in
+  for v = t.p.W.size - 1 downto 0 do
+    if t.faulty.(v) then acc := v :: !acc
+  done;
+  !acc
+
+(* ------------------------------------------------------------------ *)
+(* ecc via a distance histogram: O(1) amortized updates, exact max.    *)
+
+let ensure_hist t k =
+  let len = Array.length t.hist in
+  if k >= len then begin
+    let b = Array.make (max (2 * len) (k + 1)) 0 in
+    Array.blit t.hist 0 b 0 len;
+    t.hist <- b
+  end
+
+let hist_inc t k =
+  ensure_hist t k;
+  t.hist.(k) <- t.hist.(k) + 1;
+  if k > t.ecc then t.ecc <- k
+
+let hist_dec t k =
+  t.hist.(k) <- t.hist.(k) - 1;
+  if k = t.ecc then
+    while t.ecc > 0 && t.hist.(t.ecc) = 0 do
+      t.ecc <- t.ecc - 1
+    done
+
+(* ------------------------------------------------------------------ *)
+(* bucket queue for the incremental BFS phases                          *)
+
+let bq_push t k v =
+  let len = Array.length t.bq in
+  if k >= len then begin
+    let b = Array.make (max (2 * len) (k + 1)) t.bq.(0) in
+    Array.blit t.bq 0 b 0 len;
+    for i = len to Array.length b - 1 do
+      b.(i) <- vec_create ()
+    done;
+    t.bq <- b
+  end;
+  vec_push t.bq.(k) v;
+  if k > t.bq_hi then t.bq_hi <- k
+
+let bq_reset t =
+  for k = 0 to t.bq_hi do
+    vec_clear t.bq.(k)
+  done;
+  t.bq_hi <- -1
+
+(* ------------------------------------------------------------------ *)
+(* full recompute: initialization and the safety-net fallback          *)
+
+let set_empty t =
+  let sz = t.p.W.size in
+  Array.fill t.in_bstar 0 sz false;
+  Array.fill t.dist 0 sz (-1);
+  Array.fill t.successor 0 sz (-1);
+  Array.fill t.chosen 0 sz (-1);
+  Array.fill t.bucket_head 0 (sz / t.p.W.d) (-1);
+  Array.fill t.hist 0 (Array.length t.hist) 0;
+  t.root <- -1;
+  t.bsize <- 0;
+  t.ecc <- 0
+
+(* Rebuild every Live-owned structure from a finished [Embed.t].  The
+   embed's arrays may alias the shared workspace, so everything is
+   copied out: Live's arrays must survive the workspace's next use. *)
+let load t (e : Embed.t) =
+  let p = t.p in
+  let sz = p.W.size in
+  let d = p.W.d in
+  let stride = sz / d in
+  let b = e.Embed.bstar in
+  Array.blit b.Bstar.in_bstar 0 t.in_bstar 0 sz;
+  let tree = e.Embed.modified.Spanning.tree in
+  Array.blit tree.Spanning.dist 0 t.dist 0 sz;
+  Array.blit e.Embed.successor 0 t.successor 0 sz;
+  t.root <- b.Bstar.root;
+  t.bsize <- b.Bstar.size;
+  t.ecc <- tree.Spanning.ecc;
+  Array.fill t.chosen 0 sz (-1);
+  Array.fill t.bucket_head 0 stride (-1);
+  ensure_hist t t.ecc;
+  Array.fill t.hist 0 (Array.length t.hist) 0;
+  let root_rep = Nk.canonical p t.root in
+  t.stamp <- t.stamp + 1;
+  let stamp = t.stamp in
+  (* One ascending sweep: the first unseen B* node of each necklace is
+     its representative; walking the necklace from it yields the
+     lexicographic (dist, node) minimum — the same [chosen] the batch
+     pipeline's ascending scan produces. *)
+  for v = 0 to sz - 1 do
+    if t.in_bstar.(v) then begin
+      if t.dist.(v) < 0 then
+        (* stale workspace distance on a node the BFS did reach is
+           impossible; normalize anyway for the non-member sweep below *)
+        ()
+      else hist_inc t t.dist.(v);
+      if t.aff_stamp.(v) <> stamp then begin
+        (* v is the representative of an unseen necklace *)
+        let best = ref v in
+        Nk.iter_nodes_from p v (fun y ->
+            t.aff_stamp.(y) <- stamp;
+            if
+              t.dist.(y) < t.dist.(!best)
+              || (t.dist.(y) = t.dist.(!best) && y < !best)
+            then best := y);
+        t.chosen.(v) <- !best;
+        if v <> root_rep then begin
+          let w = !best / d in
+          t.bucket_next.(v) <- t.bucket_head.(w);
+          t.bucket_head.(w) <- v
+        end
+      end
+    end
+    else t.dist.(v) <- -1
+  done
+
+let recompute t =
+  t.c_recomputed <- t.c_recomputed + 1;
+  let faults = current_faults t in
+  match
+    Embed.embed ?root_hint:t.root_hint ?domains:t.domains ?ws:t.ws t.p ~faults
+  with
+  | None -> set_empty t
+  | Some e -> load t e
+
+(* ------------------------------------------------------------------ *)
+(* the derived-structure patch: recompute chosen / labels / D-edges of
+   exactly the necklaces the BFS repair touched                         *)
+
+let mark_necklace t r =
+  if t.nk_stamp.(r) <> t.stamp then begin
+    t.nk_stamp.(r) <- t.stamp;
+    vec_push t.marked r
+  end
+
+let dirty_bucket t w =
+  if t.w_stamp.(w) <> t.stamp then begin
+    t.w_stamp.(w) <- t.stamp;
+    vec_push t.dirty w
+  end
+
+let bucket_unlink t w r =
+  if t.bucket_head.(w) = r then t.bucket_head.(w) <- t.bucket_next.(r)
+  else begin
+    let c = ref t.bucket_head.(w) in
+    while !c >= 0 && t.bucket_next.(!c) <> r do
+      c := t.bucket_next.(!c)
+    done;
+    if !c >= 0 then t.bucket_next.(!c) <- t.bucket_next.(r)
+  end
+
+(* Minimal live predecessor one level up — the batch pipeline's
+   [Spanning.find_parent], on Live's own arrays. *)
+let rec find_parent t stride d pre dv a =
+  if a = d then -1
+  else
+    let u = (a * stride) + pre in
+    if t.in_bstar.(u) && t.dist.(u) = dv - 1 then u
+    else find_parent t stride d pre dv (a + 1)
+
+let rec exit_scan t stride d w rep a =
+  if a = d then -1
+  else
+    let x = (a * stride) + w in
+    if t.in_bstar.(x) && Nk.canonical t.p x = rep then x
+    else exit_scan t stride d w rep (a + 1)
+
+let rec entry_scan t d w rep b =
+  if b = d then -1
+  else
+    let x = (w * d) + b in
+    if t.in_bstar.(x) && Nk.canonical t.p x = rep then x
+    else entry_scan t d w rep (b + 1)
+
+exception Fallback
+
+(* Patch [chosen] / bucket membership / succ overrides for every
+   necklace containing a changed node or a successor of one.  Raises
+   [Fallback] if a height-one invariant check fails (never on a
+   well-formed state; the caller then runs the full recompute). *)
+let patch_derived t =
+  let p = t.p in
+  let d = p.W.d in
+  let stride = p.W.size / d in
+  let root_rep = Nk.canonical p t.root in
+  vec_clear t.marked;
+  vec_clear t.dirty;
+  (* necklaces of changed nodes, and of their B* successors (whose
+     chosen's parent pointer may silently retarget) *)
+  for i = 0 to t.changed.len - 1 do
+    let c = t.changed.buf.(i) in
+    mark_necklace t (Nk.canonical p c);
+    let sw = c mod stride * d in
+    for b = 0 to d - 1 do
+      let s = sw + b in
+      if t.in_bstar.(s) then mark_necklace t (Nk.canonical p s)
+    done
+  done;
+  for i = 0 to t.marked.len - 1 do
+    let r = t.marked.buf.(i) in
+    let old_chosen = t.chosen.(r) in
+    if old_chosen >= 0 && r <> root_rep then begin
+      let old_w = old_chosen / d in
+      bucket_unlink t old_w r;
+      dirty_bucket t old_w
+    end;
+    if t.in_bstar.(r) then begin
+      let best = ref r in
+      Nk.iter_nodes_from p r (fun y ->
+          if
+            t.dist.(y) < t.dist.(!best)
+            || (t.dist.(y) = t.dist.(!best) && y < !best)
+          then best := y);
+      t.chosen.(r) <- !best;
+      if r <> root_rep then begin
+        let w = !best / d in
+        t.bucket_next.(r) <- t.bucket_head.(w);
+        t.bucket_head.(w) <- r;
+        dirty_bucket t w
+      end
+    end
+    else t.chosen.(r) <- -1
+  done;
+  (* rebuild every dirty bucket: reset the suffix-w successor entries to
+     the necklace rotation, then rewrite the sorted cyclic D-edges *)
+  for i = 0 to t.dirty.len - 1 do
+    let w = t.dirty.buf.(i) in
+    for a = 0 to d - 1 do
+      let x = (a * stride) + w in
+      if t.in_bstar.(x) then t.successor.(x) <- (x mod stride * d) + (x / stride)
+    done;
+    vec_clear t.members;
+    let parent_rep = ref (-1) in
+    let c = ref t.bucket_head.(w) in
+    while !c >= 0 do
+      let r = !c in
+      vec_push t.members r;
+      let y = t.chosen.(r) in
+      let py = find_parent t stride d (y / d) t.dist.(y) 0 in
+      if py < 0 then raise Fallback;
+      let pr = Nk.canonical p py in
+      if !parent_rep < 0 then parent_rep := pr
+      else if !parent_rep <> pr then raise Fallback;
+      c := t.bucket_next.(r)
+    done;
+    if t.members.len > 0 then begin
+      vec_push t.members !parent_rep;
+      (* insertion sort ascending by representative — the same order as
+         the batch pipeline's ascending-necklace-index sort *)
+      let m = t.members.buf in
+      for i = 1 to t.members.len - 1 do
+        let x = m.(i) in
+        let j = ref (i - 1) in
+        while !j >= 0 && m.(!j) > x do
+          m.(!j + 1) <- m.(!j);
+          decr j
+        done;
+        m.(!j + 1) <- x
+      done;
+      let k = t.members.len in
+      for i = 0 to k - 1 do
+        let exit = exit_scan t stride d w m.(i) 0 in
+        let entry = entry_scan t d w m.((i + 1) mod k) 0 in
+        if exit < 0 || entry < 0 then raise Fallback;
+        t.successor.(exit) <- entry
+      done
+    end
+  done
+
+(* ------------------------------------------------------------------ *)
+(* fault: splice the dead necklace out and repair distances downstream  *)
+
+let rec supported t stride d pre dv a =
+  if a = d then false
+  else
+    let u = (a * stride) + pre in
+    if t.in_bstar.(u) && t.aff_stamp.(u) <> t.stamp && t.dist.(u) = dv - 1 then
+      true
+    else supported t stride d pre dv (a + 1)
+
+let remove_necklace t rep =
+  let p = t.p in
+  let d = p.W.d in
+  let stride = p.W.size / d in
+  t.stamp <- t.stamp + 1;
+  vec_clear t.queue;
+  vec_clear t.affected;
+  vec_clear t.changed;
+  (* 1. drop the necklace's nodes *)
+  Nk.iter_nodes_from p rep (fun y ->
+      t.in_bstar.(y) <- false;
+      hist_dec t t.dist.(y);
+      t.dist.(y) <- -1;
+      t.successor.(y) <- -1;
+      t.bsize <- t.bsize - 1;
+      vec_push t.changed y);
+  (* 2. identify downstream nodes whose BFS level lost all support.
+     Invalidation is conservative (an affected predecessor does not
+     support), so phase 3 recomputes an exact superset of the nodes
+     whose distance really moves. *)
+  for i = 0 to t.changed.len - 1 do
+    let y = t.changed.buf.(i) in
+    let sw = y mod stride * d in
+    for b = 0 to d - 1 do
+      let z = sw + b in
+      if t.in_bstar.(z) then vec_push t.queue z
+    done
+  done;
+  let qi = ref 0 in
+  while !qi < t.queue.len do
+    let z = t.queue.buf.(!qi) in
+    incr qi;
+    if
+      t.in_bstar.(z) && t.aff_stamp.(z) <> t.stamp && z <> t.root
+      && not (supported t stride d (z / d) t.dist.(z) 0)
+    then begin
+      t.aff_stamp.(z) <- t.stamp;
+      vec_push t.affected z;
+      let sw = z mod stride * d in
+      for b = 0 to d - 1 do
+        let s = sw + b in
+        if t.in_bstar.(s) && t.aff_stamp.(s) <> t.stamp then vec_push t.queue s
+      done
+    end
+  done;
+  (* 3. exact multi-source relayering of the affected set from its
+     unaffected boundary (deletions only increase distances, so
+     unaffected levels are final) *)
+  bq_reset t;
+  for i = 0 to t.affected.len - 1 do
+    let v = t.affected.buf.(i) in
+    let pre = v / d in
+    let best = ref max_int in
+    for a = 0 to d - 1 do
+      let u = (a * stride) + pre in
+      if t.in_bstar.(u) && t.aff_stamp.(u) <> t.stamp && t.dist.(u) + 1 < !best
+      then best := t.dist.(u) + 1
+    done;
+    t.cand.(v) <- !best;
+    if !best < max_int then bq_push t !best v
+  done;
+  let dv = ref 0 in
+  while !dv <= t.bq_hi do
+    let level = t.bq.(!dv) in
+    let li = ref 0 in
+    while !li < level.len do
+      let v = level.buf.(!li) in
+      incr li;
+      if
+        t.aff_stamp.(v) = t.stamp && t.set_stamp.(v) <> t.stamp
+        && t.cand.(v) = !dv
+      then begin
+        t.set_stamp.(v) <- t.stamp;
+        if t.dist.(v) <> !dv then begin
+          hist_dec t t.dist.(v);
+          t.dist.(v) <- !dv;
+          hist_inc t !dv;
+          vec_push t.changed v
+        end;
+        let sw = v mod stride * d in
+        for b = 0 to d - 1 do
+          let s = sw + b in
+          if
+            t.in_bstar.(s) && t.aff_stamp.(s) = t.stamp
+            && t.set_stamp.(s) <> t.stamp
+            && t.cand.(s) > !dv + 1
+          then begin
+            t.cand.(s) <- !dv + 1;
+            bq_push t (!dv + 1) s
+          end
+        done
+      end
+    done;
+    incr dv
+  done;
+  (* 4. affected nodes that never resettled are cut off from the root:
+     they leave B* (their live necklaces are now a smaller component) *)
+  for i = 0 to t.affected.len - 1 do
+    let v = t.affected.buf.(i) in
+    if t.set_stamp.(v) <> t.stamp then begin
+      t.in_bstar.(v) <- false;
+      hist_dec t t.dist.(v);
+      t.dist.(v) <- -1;
+      t.successor.(v) <- -1;
+      t.bsize <- t.bsize - 1;
+      vec_push t.changed v
+    end
+  done
+
+(* ------------------------------------------------------------------ *)
+(* repair: graft the revived necklace back and relax shortcuts          *)
+
+(* true iff the revived necklace has any De Bruijn edge to or from the
+   current B* *)
+let adjacent_to_bstar t rep =
+  let p = t.p in
+  let d = p.W.d in
+  let stride = p.W.size / d in
+  let hit = ref false in
+  Nk.iter_nodes_from p rep (fun y ->
+      if not !hit then begin
+        let pre = y / d in
+        let sw = y mod stride * d in
+        for a = 0 to d - 1 do
+          if t.in_bstar.((a * stride) + pre) || t.in_bstar.(sw + a) then
+            hit := true
+        done
+      end);
+  !hit
+
+let insert_necklace t rep =
+  let p = t.p in
+  let d = p.W.d in
+  let stride = p.W.size / d in
+  t.stamp <- t.stamp + 1;
+  vec_clear t.changed;
+  bq_reset t;
+  (* tentative levels for the revived nodes from their settled B*
+     predecessors; everything else improves by relaxation *)
+  Nk.iter_nodes_from p rep (fun y ->
+      t.aff_stamp.(y) <- t.stamp;
+      let pre = y / d in
+      let best = ref max_int in
+      for a = 0 to d - 1 do
+        let u = (a * stride) + pre in
+        if t.in_bstar.(u) && t.dist.(u) + 1 < !best then best := t.dist.(u) + 1
+      done;
+      t.cand.(y) <- !best;
+      if !best < max_int then bq_push t !best y);
+  let dv = ref 0 in
+  while !dv <= t.bq_hi do
+    let level = t.bq.(!dv) in
+    let li = ref 0 in
+    while !li < level.len do
+      let v = level.buf.(!li) in
+      incr li;
+      let settle_revived =
+        t.aff_stamp.(v) = t.stamp && t.set_stamp.(v) <> t.stamp
+        && t.cand.(v) = !dv
+      in
+      let relax_existing =
+        t.aff_stamp.(v) <> t.stamp && t.in_bstar.(v) && t.dist.(v) = !dv
+        && t.set_stamp.(v) <> t.stamp
+      in
+      if settle_revived then begin
+        t.set_stamp.(v) <- t.stamp;
+        t.in_bstar.(v) <- true;
+        t.dist.(v) <- !dv;
+        t.successor.(v) <- (v mod stride * d) + (v / stride);
+        t.bsize <- t.bsize + 1;
+        hist_inc t !dv;
+        vec_push t.changed v
+      end
+      else if relax_existing then t.set_stamp.(v) <- t.stamp;
+      if settle_revived || relax_existing then begin
+        let sw = v mod stride * d in
+        for b = 0 to d - 1 do
+          let s = sw + b in
+          if t.aff_stamp.(s) = t.stamp then begin
+            if t.set_stamp.(s) <> t.stamp && t.cand.(s) > !dv + 1 then begin
+              t.cand.(s) <- !dv + 1;
+              bq_push t (!dv + 1) s
+            end
+          end
+          else if t.in_bstar.(s) && t.dist.(s) > !dv + 1 then begin
+            (* a strictly shorter path through the revived necklace:
+               improvements arrive in ascending level order, so each
+               existing node moves at most once *)
+            hist_dec t t.dist.(s);
+            t.dist.(s) <- !dv + 1;
+            hist_inc t (!dv + 1);
+            vec_push t.changed s;
+            bq_push t (!dv + 1) s
+          end
+        done
+      end
+    done;
+    incr dv
+  done;
+  (* the merged component is strongly connected (the removed set is a
+     union of necklaces), so every revived node must have settled *)
+  Nk.iter_nodes_from p rep (fun y ->
+      if t.set_stamp.(y) <> t.stamp then raise Fallback)
+
+(* ------------------------------------------------------------------ *)
+(* event dispatch                                                       *)
+
+let nk_fault_count t rep =
+  match Hashtbl.find_opt t.nk_faults rep with Some c -> c | None -> 0
+
+let finish_patch t =
+  match patch_derived t with
+  | () ->
+      t.c_patched <- t.c_patched + 1;
+      t.c_affected <- t.c_affected + t.changed.len;
+      t.c_last_affected <- t.changed.len;
+      Patched
+  | exception Fallback ->
+      recompute t;
+      Recomputed
+
+let do_fault t v =
+  t.faulty.(v) <- true;
+  t.fault_count <- t.fault_count + 1;
+  let rep = Nk.canonical t.p v in
+  let c = nk_fault_count t rep in
+  Hashtbl.replace t.nk_faults rep (c + 1);
+  if c > 0 then begin
+    (* the necklace was already out of B* *)
+    t.c_unchanged <- t.c_unchanged + 1;
+    Unchanged
+  end
+  else begin
+    t.live_nodes <- t.live_nodes - Nk.length t.p rep;
+    if not t.in_bstar.(rep) then begin
+      (* a live-but-excluded necklace died: B* was strictly larger than
+         every excluded component and those only shrank, so B*, its
+         root and its distances are all unchanged *)
+      t.c_unchanged <- t.c_unchanged + 1;
+      Unchanged
+    end
+    else if t.bsize = 0 || Nk.same t.p v t.root then begin
+      recompute t;
+      Recomputed
+    end
+    else begin
+      remove_necklace t rep;
+      (* B* must stay the unique largest component: compare against the
+         total excluded live mass (an upper bound on any rival) *)
+      if t.bsize <= t.live_nodes - t.bsize then begin
+        recompute t;
+        Recomputed
+      end
+      else finish_patch t
+    end
+  end
+
+let do_repair t v =
+  t.faulty.(v) <- false;
+  t.fault_count <- t.fault_count - 1;
+  let rep = Nk.canonical t.p v in
+  let c = nk_fault_count t rep in
+  if c > 1 then begin
+    Hashtbl.replace t.nk_faults rep (c - 1);
+    t.c_unchanged <- t.c_unchanged + 1;
+    Unchanged
+  end
+  else begin
+    Hashtbl.remove t.nk_faults rep;
+    let excluded_before = t.live_nodes - t.bsize in
+    t.live_nodes <- t.live_nodes + Nk.length t.p rep;
+    let root_changes =
+      match t.root_hint with
+      | Some h ->
+          let rh = Nk.canonical t.p h in
+          (* the hint's own necklace reviving re-roots at the hint;
+             otherwise we are in smallest-member mode whenever the
+             current root is not the hint *)
+          rep = rh || (t.root <> rh && rep < t.root)
+      | None -> t.bsize = 0 || rep < t.root
+    in
+    if t.bsize = 0 || excluded_before > 0 || root_changes then begin
+      recompute t;
+      Recomputed
+    end
+    else if not (adjacent_to_bstar t rep) then
+      (* an isolated revived necklace is its own small component; B*
+         stays the largest unless the instance is tiny *)
+      if t.bsize <= t.live_nodes - t.bsize then begin
+        recompute t;
+        Recomputed
+      end
+      else begin
+        t.c_unchanged <- t.c_unchanged + 1;
+        Unchanged
+      end
+    else
+      match insert_necklace t rep with
+      | () -> finish_patch t
+      | exception Fallback ->
+          recompute t;
+          Recomputed
+  end
+
+let apply t ev =
+  let sz = t.p.W.size in
+  let reject e =
+    t.c_rejected <- t.c_rejected + 1;
+    Error e
+  in
+  match ev with
+  | Fault v when v < 0 || v >= sz -> reject (Out_of_range v)
+  | Repair v when v < 0 || v >= sz -> reject (Out_of_range v)
+  | Fault v when t.faulty.(v) -> reject (Already_faulty v)
+  | Repair v when not t.faulty.(v) -> reject (Not_faulty v)
+  | Fault v ->
+      t.c_events <- t.c_events + 1;
+      t.c_faults <- t.c_faults + 1;
+      Ok (do_fault t v)
+  | Repair v ->
+      t.c_events <- t.c_events + 1;
+      t.c_repairs <- t.c_repairs + 1;
+      Ok (do_repair t v)
+
+(* ------------------------------------------------------------------ *)
+
+let create ?root_hint ?domains ?ws p ~faults =
+  (match ws with Some w -> Workspace.check w p | None -> ());
+  let sz = p.W.size in
+  let t =
+    {
+      p;
+      root_hint;
+      domains;
+      ws;
+      faulty = Array.make sz false;
+      nk_faults = Hashtbl.create 64;
+      fault_count = 0;
+      live_nodes = sz;
+      in_bstar = Array.make sz false;
+      dist = Array.make sz (-1);
+      successor = Array.make sz (-1);
+      root = -1;
+      bsize = 0;
+      ecc = 0;
+      chosen = Array.make sz (-1);
+      bucket_head = Array.make (sz / p.W.d) (-1);
+      bucket_next = Array.make sz (-1);
+      hist = Array.make 64 0;
+      stamp = 0;
+      aff_stamp = Array.make sz 0;
+      set_stamp = Array.make sz 0;
+      nk_stamp = Array.make sz 0;
+      w_stamp = Array.make (sz / p.W.d) 0;
+      cand = Array.make sz max_int;
+      queue = vec_create ();
+      affected = vec_create ();
+      changed = vec_create ();
+      marked = vec_create ();
+      dirty = vec_create ();
+      members = vec_create ();
+      bq = Array.init 16 (fun _ -> vec_create ());
+      bq_hi = -1;
+      c_events = 0;
+      c_faults = 0;
+      c_repairs = 0;
+      c_rejected = 0;
+      c_patched = 0;
+      c_recomputed = 0;
+      c_unchanged = 0;
+      c_affected = 0;
+      c_last_affected = 0;
+    }
+  in
+  List.iter
+    (fun v ->
+      if v < 0 || v >= sz then invalid_arg "Ffc.Live.create: fault out of range";
+      if not t.faulty.(v) then begin
+        t.faulty.(v) <- true;
+        t.fault_count <- t.fault_count + 1;
+        let rep = Nk.canonical p v in
+        let c = nk_fault_count t rep in
+        Hashtbl.replace t.nk_faults rep (c + 1);
+        if c = 0 then t.live_nodes <- t.live_nodes - Nk.length p rep
+      end)
+    faults;
+  (match
+     Embed.embed ?root_hint ?domains ?ws p ~faults:(current_faults t)
+   with
+  | None -> set_empty t
+  | Some e -> load t e);
+  t
+
+let ring t =
+  if t.bsize = 0 then None
+  else begin
+    let c = Array.make t.bsize 0 in
+    let x = ref t.root in
+    for i = 0 to t.bsize - 1 do
+      if !x < 0 then
+        Pipeline_error.raise_error ~stage:"Live"
+          "successor map did not close into a cycle";
+      c.(i) <- !x;
+      x := t.successor.(!x)
+    done;
+    if !x <> t.root then
+      Pipeline_error.raise_error ~stage:"Live"
+        "successor map did not close into a cycle";
+    Some c
+  end

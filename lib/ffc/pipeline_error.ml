@@ -1,0 +1,12 @@
+type t = { stage : string; reason : string }
+
+exception Error of t
+
+let raise_error ~stage reason = raise (Error { stage; reason })
+
+let to_string { stage; reason } = "Ffc." ^ stage ^ ": " ^ reason
+
+let () =
+  Printexc.register_printer (function
+    | Error e -> Some (to_string e)
+    | _ -> None)

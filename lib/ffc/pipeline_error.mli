@@ -1,0 +1,24 @@
+(** Typed, recoverable errors for the FFC pipeline's defensive paths.
+
+    Proposition 2.1 guarantees the modified-tree successor map closes
+    into a Hamiltonian cycle of B\u{2217}, so the closure checks in
+    {!Embed}, {!Distributed} and {!Selftimed} should never fire on a
+    well-formed input — but a live service cannot crash the whole
+    process on a [failwith] if they ever do (corrupted state handed to
+    {!Embed.of_bstar}, a distributed schedule cut short, …).  Those
+    paths raise {!Error} instead, and the drivers that run many trials
+    ({!Campaign}, {!Live}) catch exactly this exception and record a
+    failed trial / fall back to a full recompute. *)
+
+type t = {
+  stage : string;  (** pipeline stage, e.g. ["Embed"] or ["Selftimed"] *)
+  reason : string;
+}
+
+exception Error of t
+
+val raise_error : stage:string -> string -> 'a
+(** [raise_error ~stage reason] raises {!Error}.  A printer is
+    registered, so an uncaught escape still renders readably. *)
+
+val to_string : t -> string

@@ -184,9 +184,16 @@ let run ?domains (bstar : Bstar.t) =
     (fun v st -> if Option.is_some st.best then successor.(v) <- successor_of p v st.frag)
     r.S.states;
   let cycle =
-    match Graphlib.Cycle.of_successor_map ~start:root (fun v -> successor.(v)) with
+    (* [of_successor_map_n], not [of_successor_map]: the ranged walk
+       treats a −1 successor (a node the schedule never reached) as
+       non-closure instead of indexing out of bounds. *)
+    match
+      Graphlib.Cycle.of_successor_map_n ~n:p.W.size ~start:root (fun v -> successor.(v))
+    with
     | Some c -> c
-    | None -> failwith "Ffc.Selftimed: schedule too short for this fault pattern"
+    | None ->
+        Pipeline_error.raise_error ~stage:"Selftimed"
+          "schedule too short for this fault pattern"
   in
   {
     bstar;

@@ -23,11 +23,29 @@ let split seed index =
      overlapping streams are not. *)
   { state = mix (Int64.add (Int64.of_int seed) (Int64.mul gamma (Int64.of_int (index + 1)))) }
 
+(* Bits needed to represent [x] (x ≥ 1): the rejection window below is
+   the smallest power of two ≥ bound. *)
+let rec bit_width acc x = if x = 0 then acc else bit_width (acc + 1) (x lsr 1)
+
 let int t bound =
   if bound < 1 then invalid_arg "Rng.int: bound < 1";
-  (* Take the top bits reduced mod bound; the modulo bias is negligible
-     for the small bounds used here (≤ a few million vs 2^62). *)
-  Int64.to_int (Int64.rem (Int64.shift_right_logical (next t) 2) (Int64.of_int bound))
+  (* Lemire-style rejection sampling: draw the top k bits of a raw step,
+     where 2^(k−1) < bound ≤ 2^k, and reject draws ≥ bound.  Every
+     residue is hit by the same number of raw states, so the result is
+     exactly uniform — the old path (top 62 bits mod bound) favored
+     small residues, with bias growing with bound.  k ≤ 62 because
+     [bound] is an OCaml int, so the shift below stays in range; the
+     top bits of splitmix64 are the best-mixed, and each round keeps
+     them with probability > 1/2 (expected < 2 draws). *)
+  if bound = 1 then 0
+  else begin
+    let k = bit_width 0 (bound - 1) in
+    let rec draw () =
+      let x = Int64.to_int (Int64.shift_right_logical (next t) (64 - k)) in
+      if x < bound then x else draw ()
+    in
+    draw ()
+  end
 
 let sample_distinct t ~k ~bound =
   if k < 0 || k > bound then invalid_arg "Rng.sample_distinct";

@@ -22,7 +22,11 @@ val next : t -> int64
 (** Raw 64-bit step. *)
 
 val int : t -> int -> int
-(** [int t bound] is uniform in [0, bound), [bound ≥ 1]. *)
+(** [int t bound] is exactly uniform in [0, bound), [bound ≥ 1]
+    (Lemire-style rejection sampling on the top bits of {!next} — no
+    modulo bias at any bound).  [bound = 1] returns 0 without consuming
+    a raw step; any other bound consumes ≥ 1 step, so streams are
+    reproducible but not aligned across different bounds. *)
 
 val sample_distinct : t -> k:int -> bound:int -> int list
 (** [k] distinct integers uniform over [0, bound), sorted increasingly.

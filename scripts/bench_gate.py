@@ -36,6 +36,10 @@ EXACT = {
     "verified", "same_output",
     # ffc-campaign: seeded and domain/reuse-invariant by contract
     "trials", "embedded", "bound_applicable", "bound_ok", "min_ring_length",
+    "errors",
+    # live churn: same contract — event outcomes are pure functions of
+    # (seed, target, trials, events)
+    "cfaults", "crepairs", "patched", "recomputed", "cunchanged", "cerrors",
 }
 # measurement -> allowed factor in either direction
 RATIO = {
@@ -50,11 +54,16 @@ RATIO = {
     "major_words": 4.0,
     "minor_words_per_trial": 4.0,
     "major_words_per_trial": 4.0,
+    "minor_words_per_event": 4.0,
+    "major_words_per_event": 4.0,
+    # per-event latencies: wall-clock figures, same window as wall_s
+    "median_event_s": 4.0,
+    "max_event_s": 4.0,
 }
 PERCENT_DEFAULT = 0.25
 
 MEASUREMENTS = EXACT | set(RATIO) | {
-    "mean_ring_length", "mean_bstar_size", "mean_ecc",
+    "mean_ring_length", "mean_bstar_size", "mean_ecc", "mean_live_faults",
 }
 
 
@@ -68,8 +77,8 @@ def skip(row):
 
 SCHEMA = [
     ("wall_s", ("wall_s",)),
-    ("minor words", ("minor_words", "minor_words_per_trial")),
-    ("major words", ("major_words", "major_words_per_trial")),
+    ("minor words", ("minor_words", "minor_words_per_trial", "minor_words_per_event")),
+    ("major words", ("major_words", "major_words_per_trial", "major_words_per_event")),
 ]
 
 

@@ -64,14 +64,14 @@ A seeded edge-fault campaign is fully reproducible, also across domains:
   #   f  success  construction  disjoint  masked  mean-ring-length
       0    5/5               5         0       0              36.0
       1    5/5               5         0       0              36.0
-      2    5/5               4         1       0              36.0
-      3    2/5               0         2       3              29.8
+      2    5/5               5         0       0              36.0
+      3    4/5               0         4       1              34.6
 
   $ debruijn-rings dhc -d 6 -n 2 --campaign --trials 5 --fmax 3 --domains 2 | tail -n 4
       0    5/5               5         0       0              36.0
       1    5/5               5         0       0              36.0
-      2    5/5               4         1       0              36.0
-      3    2/5               0         2       3              29.8
+      2    5/5               5         0       0              36.0
+      3    4/5               0         4       1              34.6
 
 A node-fault campaign (Chapter 2, Tables 2.1/2.2 shape): arena-pooled
 trials, Proposition 2.2/2.3 bound checks where applicable, and the same
@@ -80,12 +80,25 @@ bit-identity across domains:
   $ debruijn-rings ffc -d 3 -n 3 --campaign --trials 5 --fcounts 1,2
   # node-fault campaign on B(3,3): 5 trials per point, one workspace per domain
   #   f  embedded  verified     bound  mean-|B*|  mean-ring  mean-ecc  min-ring
-      1     5/5            5       5/5       24.0       24.0      3.40        24
-      2     5/5            5         -       21.6       21.6      4.00        20
+      1     5/5            5       5/5       24.0       24.0      3.80        24
+      2     5/5            5         -       20.6       20.6      4.40        20
 
   $ debruijn-rings ffc -d 3 -n 3 --campaign --trials 5 --fcounts 1,2 --domains 2 | tail -n 2
-      1     5/5            5       5/5       24.0       24.0      3.40        24
-      2     5/5            5         -       21.6       21.6      4.00        20
+      1     5/5            5       5/5       24.0       24.0      3.80        24
+      2     5/5            5         -       20.6       20.6      4.40        20
+
+A fault/repair churn campaign through the incremental live engine: the
+same statistics regardless of domain count:
+
+  $ debruijn-rings ffc -d 2 -n 6 --churn --trials 4 --events 50 --fcounts 2,4
+  # churn campaign on B(2,6): 4 trials x 50 events per target, one live engine per domain
+  # target  faults  repairs  patched  recomp  unchg  errors  mean-ring  min-ring  live-f
+         2     107       93      131      43     26       0       46.0        42     3.5
+         4     108       92       92      67     41       0       41.0        25     4.0
+
+  $ debruijn-rings ffc -d 2 -n 6 --churn --trials 4 --events 50 --fcounts 2,4 --domains 2 | tail -n 2
+         2     107       93      131      43     26       0       46.0        42     3.5
+         4     108       92       92      67     41       0       41.0        25     4.0
 
 Disjoint rings (psi(4) = 3):
 

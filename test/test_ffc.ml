@@ -752,8 +752,12 @@ let test_campaign_bounds () =
 let test_campaign_binary_single_fault () =
   (* Proposition 2.3: d = 2, f = 1 is covered even though d − 2 < 1. *)
   let p = W.params ~d:2 ~n:8 in
-  check_int "2^8 - 9" (p.W.size - 9) (Ffc.Campaign.length_bound p 1);
-  check_int "no bound at f = 2" (-1) (Ffc.Campaign.length_bound p 2);
+  (match Ffc.Campaign.length_bound p 1 with
+  | Some b -> check_int "2^8 - 9" (p.W.size - 9) b
+  | None -> Alcotest.fail "Proposition 2.3 bound missing at d = 2, f = 1");
+  Alcotest.(check bool)
+    "no bound at f = 2" true
+    (Option.is_none (Ffc.Campaign.length_bound p 2));
   let pts = Ffc.Campaign.run ~trials:10 ~fs:[ 1 ] ~d:2 ~n:8 () in
   List.iter
     (fun (pt : Ffc.Campaign.point) ->

@@ -56,6 +56,38 @@ let test_sample_distinct () =
       (List.sort_uniq compare xs = xs && List.for_all (fun x -> x >= 0 && x < 20) xs)
   done
 
+(* Golden pins of the unbiased draw sequences: every campaign statistic
+   in the repo is a function of these, so a silent change to the
+   rejection sampler would shift all committed baselines and cram pins.
+   The values were produced by this implementation and are frozen. *)
+
+let test_int_golden () =
+  let rng = Rng.split 0x5eed 3 in
+  let xs = List.init 12 (fun _ -> Rng.int rng 1000) in
+  check_bool "12 draws at bound 1000" true
+    (xs = [ 654; 558; 633; 360; 371; 569; 80; 805; 893; 902; 966; 400 ])
+
+let test_int_bound_one_consumes_nothing () =
+  (* bound = 1 is answered without advancing the state — campaigns rely
+     on this when a degenerate bound appears mid-stream. *)
+  let rng = Rng.split 0x5eed 6 in
+  check_int "only residue" 0 (Rng.int rng 1);
+  let after = Rng.next rng in
+  let fresh = Rng.next (Rng.split 0x5eed 6) in
+  check_bool "state untouched" true (Int64.equal after fresh)
+
+let test_sample_distinct_golden () =
+  let rng = Rng.split 0x5eed 4 in
+  check_bool "Floyd sample" true
+    (Rng.sample_distinct rng ~k:6 ~bound:100 = [ 2; 38; 41; 58; 70; 84 ])
+
+let test_shuffle_golden () =
+  let rng = Rng.split 0x5eed 5 in
+  let arr = Array.init 10 Fun.id in
+  Rng.shuffle rng arr;
+  check_bool "Fisher-Yates order" true
+    (arr = [| 6; 7; 1; 2; 9; 3; 0; 5; 8; 4 |])
+
 let test_shuffle_permutes () =
   let rng = Rng.split 42 2 in
   let arr = Array.init 50 Fun.id in
@@ -76,7 +108,13 @@ let () =
             test_split_decorrelated_from_create;
           Alcotest.test_case "split negative index" `Quick test_split_negative_index;
           Alcotest.test_case "int range" `Quick test_int_range;
+          Alcotest.test_case "int golden draws" `Quick test_int_golden;
+          Alcotest.test_case "int bound 1 is free" `Quick
+            test_int_bound_one_consumes_nothing;
           Alcotest.test_case "sample_distinct" `Quick test_sample_distinct;
+          Alcotest.test_case "sample_distinct golden" `Quick
+            test_sample_distinct_golden;
           Alcotest.test_case "shuffle" `Quick test_shuffle_permutes;
+          Alcotest.test_case "shuffle golden" `Quick test_shuffle_golden;
         ] );
     ]
