@@ -23,7 +23,7 @@ let parent_rule_ablation () =
     | None -> 0
     | Some b ->
         let g = Lazy.force b.B.graph in
-        let in_bstar v = b.B.in_bstar.(v) in
+        let in_bstar v = b.B.in_bstar.{v} <> 0 in
         let dist = Tr.bfs_dist_restricted g in_bstar b.B.root in
         let parent_of v =
           let preds =
@@ -37,7 +37,7 @@ let parent_rule_ablation () =
         let violations = ref 0 in
         Array.iteri
           (fun i rep ->
-            if i <> adj.A.idx_of_node.(b.B.root) then begin
+            if i <> adj.A.idx_of_node.{b.B.root} then begin
               let members = List.sort Int.compare (Debruijn.Necklace.nodes p rep) in
               let y =
                 List.fold_left
@@ -53,7 +53,7 @@ let parent_rule_ablation () =
               | Some y when dist.(y) > 0 ->
                   let par = parent_of y in
                   let w = W.prefix p y in
-                  let par_neck = adj.A.idx_of_node.(par) in
+                  let par_neck = adj.A.idx_of_node.{par} in
                   (match Hashtbl.find_opt label_parent w with
                   | None -> Hashtbl.add label_parent w par_neck
                   | Some q -> if q <> par_neck then incr violations)

@@ -41,6 +41,7 @@ let point_fields (pt : Ca.point) =
     ("wall_s", jnum pt.Ca.wall_s);
     ("minor_words_per_trial", jnum pt.Ca.minor_words_per_trial);
     ("major_words_per_trial", jnum pt.Ca.major_words_per_trial);
+    ("max_rss_kb", jint (Jrec.max_rss_kb ()));
   ]
 
 let print_point (pt : Ca.point) =

@@ -40,7 +40,37 @@ let time f =
   let x = f () in
   (x, Unix.gettimeofday () -. t0)
 
-type gc_timed = { wall_s : float; minor_words : float; major_words : float }
+type gc_timed = {
+  wall_s : float;
+  minor_words : float;
+  major_words : float;
+  max_rss_kb : int;
+}
+
+(* Peak resident set size (VmHWM) in kB, from /proc/self/status; 0 on
+   platforms without procfs.  Monotone over the process lifetime, so
+   the recorded value is the peak up to the end of the measured thunk —
+   off-heap Bigarray arenas show up here but not in the GC words. *)
+let max_rss_kb () =
+  match open_in "/proc/self/status" with
+  | exception Sys_error _ -> 0
+  | ic ->
+      let rec scan () =
+        match input_line ic with
+        | exception End_of_file -> 0
+        | line -> (
+            match String.split_on_char ':' line with
+            | "VmHWM" :: rest ->
+                let toks = String.split_on_char ' ' (String.trim (String.concat ":" rest)) in
+                List.fold_left
+                  (fun acc tok ->
+                    match acc with 0 -> Option.value ~default:0 (int_of_string_opt tok) | n -> n)
+                  0 toks
+            | _ -> scan ())
+      in
+      let kb = scan () in
+      close_in ic;
+      kb
 
 let time_gc f =
   let mn0, _, mj0 = Gc.counters () in
@@ -48,13 +78,20 @@ let time_gc f =
   let x = f () in
   let wall_s = Unix.gettimeofday () -. t0 in
   let mn1, _, mj1 = Gc.counters () in
-  (x, { wall_s; minor_words = mn1 -. mn0; major_words = mj1 -. mj0 })
+  ( x,
+    {
+      wall_s;
+      minor_words = mn1 -. mn0;
+      major_words = mj1 -. mj0;
+      max_rss_kb = max_rss_kb ();
+    } )
 
 let gc_fields g =
   [
     ("wall_s", jnum g.wall_s);
     ("minor_words", jnum g.minor_words);
     ("major_words", jnum g.major_words);
+    ("max_rss_kb", jint g.max_rss_kb);
   ]
 
 let top_heap_words () = (Gc.quick_stat ()).Gc.top_heap_words

@@ -44,6 +44,7 @@ let churn_fields (cp : Ca.churn_point) =
     ("max_event_s", jnum cp.Ca.max_event_s);
     ("minor_words_per_event", jnum cp.Ca.minor_words_per_event);
     ("major_words_per_event", jnum cp.Ca.major_words_per_event);
+    ("max_rss_kb", jint (Jrec.max_rss_kb ()));
   ]
 
 let print_point (cp : Ca.churn_point) =

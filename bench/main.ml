@@ -6,11 +6,13 @@
      dune exec bench/main.exe              run everything
      dune exec bench/main.exe -- tables    only the tables
      (sections: tables figures sweeps ablations open-problems timing scale dhc
-      ffc-campaign live)
+      ffc-campaign live multicore)
 
-   Flags (consumed by the scale, dhc, ffc-campaign and live sections):
+   Flags (consumed by the scale, dhc, ffc-campaign, live and multicore
+   sections):
      --json    also write the measurements to BENCH_scale.json /
-               BENCH_dhc.json / BENCH_ffc_campaign.json / BENCH_live.json
+               BENCH_dhc.json / BENCH_ffc_campaign.json / BENCH_live.json /
+               BENCH_multicore.json
      --smoke   smallest instances only (CI smoke run) *)
 
 let () =
@@ -23,7 +25,8 @@ let () =
       ("timing", Timing.run); ("scale", Scale.run ~json ~smoke);
       ("dhc", Dhc_bench.run ~json ~smoke);
       ("ffc-campaign", Ffc_campaign.run ~json ~smoke);
-      ("live", Live_bench.run ~json ~smoke) ]
+      ("live", Live_bench.run ~json ~smoke);
+      ("multicore", Multicore.run ~json ~smoke) ]
   in
   let requested =
     match List.filter (fun a -> not (String.starts_with ~prefix:"--" a)) args with

@@ -168,7 +168,10 @@ let distributed_acceptance ~domains =
         "  distributed run (x%d domains)    %8.3f s (%d rounds, %d messages)\n"
         domains t_dist st.Ffc.Distributed.total_rounds
         st.Ffc.Distributed.messages;
-      let same_succ = dist.Ffc.Distributed.successor = emb.Ffc.Embed.successor in
+      let same_succ =
+        dist.Ffc.Distributed.successor
+        = Graphlib.Flatarr.to_array emb.Ffc.Embed.successor
+      in
       let same_cycle = dist.Ffc.Distributed.cycle = emb.Ffc.Embed.cycle in
       Printf.printf "  successor maps identical: %b, cycles identical: %b\n"
         same_succ same_cycle;
@@ -221,6 +224,7 @@ let ffc_scale ~smoke () =
       ("wall_s", jnum t_ref);
       ("minor_words", jnum gc_ref.Jrec.minor_words);
       ("major_words", jnum gc_ref.Jrec.major_words);
+      ("max_rss_kb", jint gc_ref.Jrec.max_rss_kb);
       ("speedup_vs_reference", jnum 1.0);
     ];
   record
@@ -232,6 +236,7 @@ let ffc_scale ~smoke () =
       ("wall_s", jnum t_imp);
       ("minor_words", jnum gc_imp.Jrec.minor_words);
       ("major_words", jnum gc_imp.Jrec.major_words);
+      ("max_rss_kb", jint gc_imp.Jrec.max_rss_kb);
       ("speedup_vs_reference", jnum (t_ref /. t_imp));
     ];
   let sweep = if smoke then [ 17 ] else [ 17; 18; 19; 20; 21; 22 ] in

@@ -18,7 +18,7 @@ let hr = String.make 78 '-'
 let ecc_of (b : B.t) node =
   Graphlib.Itopo.eccentricity ~n:b.B.p.W.size
     ~succs:(fun x f -> W.iter_succs b.B.p x f)
-    ~keep:(fun v -> b.B.in_bstar.(v))
+    ~keep:(fun v -> b.B.in_bstar.{v} <> 0)
     node
 
 (* R = 0…01, replaced by a live neighbor when its necklace is faulty. *)

@@ -1,11 +1,12 @@
 module W = Debruijn.Word
 module Nk = Debruijn.Necklace
+module Fa = Graphlib.Flatarr
 module Csr = Graphlib.Csr
 
 type t = {
   bstar : Bstar.t;
   reps : int array;
-  idx_of_node : int array;
+  idx_of_node : Fa.t;
   graph : Csr.t Lazy.t;
 }
 
@@ -13,22 +14,22 @@ type t = {
    would heap-allocate one closure per necklace (the compiler cannot
    statically allocate closures with free variables), which dominated
    the pipeline's minor allocation; static functions cost nothing. *)
-let rec assign_necklace (idx_of_node : int array) stride d i x y =
-  idx_of_node.(y) <- i;
+let rec assign_necklace (idx_of_node : Fa.t) stride d i x y =
+  idx_of_node.{y} <- i;
   let y' = (y mod stride * d) + (y / stride) in
   if y' <> x then assign_necklace idx_of_node stride d i x y'
 
-let rec exit_scan p (idx_of_node : int array) idx w a =
+let rec exit_scan p (idx_of_node : Fa.t) idx w a =
   if a >= p.W.d then -1
   else
     let x = W.cons p a w in
-    if idx_of_node.(x) = idx then x else exit_scan p idx_of_node idx w (a + 1)
+    if idx_of_node.{x} = idx then x else exit_scan p idx_of_node idx w (a + 1)
 
-let rec entry_scan p (idx_of_node : int array) idx w b =
+let rec entry_scan p (idx_of_node : Fa.t) idx w b =
   if b >= p.W.d then -1
   else
     let x = W.snoc p w b in
-    if idx_of_node.(x) = idx then x else entry_scan p idx_of_node idx w (b + 1)
+    if idx_of_node.{x} = idx then x else entry_scan p idx_of_node idx w (b + 1)
 
 let build ?ws (bstar : Bstar.t) =
   let p = bstar.Bstar.p in
@@ -38,36 +39,37 @@ let build ?ws (bstar : Bstar.t) =
      minimal rotation, i.e. the representative, so the index is built
      without computing canonical forms or listing all of B(d,n).  The
      workspace rep buffer is already sized for every necklace of
-     B(d,n), so it never grows; [reps] itself stays an exact-size copy
-     either way — consumers use its length as the necklace count. *)
+     B(d,n), so it never grows; [reps] itself stays an exact-size heap
+     copy either way — consumers use its length as the necklace
+     count. *)
   let idx_of_node, growable =
     match ws with
-    | None -> (Array.make size (-1), true)
+    | None -> (Fa.make size (-1), true)
     | Some w ->
         Workspace.check w p;
-        Array.fill w.Workspace.idx_of_node 0 size (-1);
+        Fa.fill w.Workspace.idx_of_node (-1);
         (w.Workspace.idx_of_node, false)
   in
   let reps_buf =
-    ref (match ws with None -> Array.make 64 0 | Some w -> w.Workspace.reps_buf)
+    ref (match ws with None -> Fa.create 64 | Some w -> w.Workspace.reps_buf)
   in
   let count = ref 0 in
   let d = p.W.d in
   let stride = size / d in
   for x = 0 to size - 1 do
-    if in_bstar.(x) && idx_of_node.(x) < 0 then begin
-      if growable && !count = Array.length !reps_buf then begin
-        let b = Array.make (2 * !count) 0 in
-        Array.blit !reps_buf 0 b 0 !count;
+    if in_bstar.{x} <> 0 && idx_of_node.{x} < 0 then begin
+      if growable && !count = Fa.length !reps_buf then begin
+        let b = Fa.create (2 * !count) in
+        Fa.blit !reps_buf b;
         reps_buf := b
       end;
-      !reps_buf.(!count) <- x;
+      !reps_buf.{!count} <- x;
       (* Inlined necklace walk (rotate left until back at x). *)
       assign_necklace idx_of_node stride d !count x x;
       incr count
     end
   done;
-  let reps = Array.sub !reps_buf 0 !count in
+  let reps = Fa.sub_to_array !reps_buf 0 !count in
   (* N* itself (unlabeled, on necklace indices) is only needed by
      consumers that genuinely walk it — build it on demand.  Group live
      nodes by their (n−1)-suffix w: the nodes {αw} with a common w
@@ -82,8 +84,8 @@ let build ?ws (bstar : Bstar.t) =
          let k = ref 0 in
          for a = 0 to p.W.d - 1 do
            let x = W.cons p a w in
-           if in_bstar.(x) then begin
-             members.(!k) <- idx_of_node.(x);
+           if in_bstar.{x} <> 0 then begin
+             members.(!k) <- idx_of_node.{x};
              incr k
            end
          done;
@@ -108,8 +110,8 @@ let edges t =
     let k = ref 0 in
     for a = 0 to p.W.d - 1 do
       let x = W.cons p a w in
-      if in_bstar.(x) then begin
-        members.(!k) <- t.idx_of_node.(x);
+      if in_bstar.{x} <> 0 then begin
+        members.(!k) <- t.idx_of_node.{x};
         incr k
       end
     done;
@@ -158,7 +160,7 @@ let labels_between t i j =
         let alpha = W.first_digit p x in
         let hit = ref false in
         for b = 0 to p.W.d - 1 do
-          if b <> alpha && t.idx_of_node.(W.cons p b w) = j then hit := true
+          if b <> alpha && t.idx_of_node.{W.cons p b w} = j then hit := true
         done;
         if !hit then acc := w :: !acc);
     List.sort Int.compare !acc

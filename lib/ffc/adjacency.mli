@@ -15,7 +15,8 @@
 type t = {
   bstar : Bstar.t;
   reps : int array;  (** necklace representatives in B\u{2217}, increasing *)
-  idx_of_node : int array;  (** node → necklace index, −1 outside B\u{2217} *)
+  idx_of_node : Graphlib.Flatarr.t;
+      (** node → necklace index, −1 outside B\u{2217} (off-heap) *)
   graph : Graphlib.Csr.t Lazy.t;
       (** N\u{2217} on necklace indices, unlabeled; built on first force *)
 }

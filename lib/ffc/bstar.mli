@@ -18,8 +18,11 @@ type t = {
   graph : Graphlib.Digraph.t Lazy.t;
       (** the full B(d,n), materialized on first force *)
   faults : int list;  (** the faulty nodes as given *)
-  necklace_faulty : bool array;  (** node-level: lies on a faulty necklace *)
-  in_bstar : bool array;  (** node-level membership in B\u{2217} *)
+  necklace_faulty : Graphlib.Flatarr.Byte.t;
+      (** node-level: nonzero iff the node lies on a faulty necklace *)
+  in_bstar : Graphlib.Flatarr.Byte.t;
+      (** node-level membership in B\u{2217} (nonzero iff member) — off-heap
+          flag bytes, [m.{v} <> 0] to test *)
   size : int;  (** |B\u{2217}| — the fault-free cycle length *)
   root : int;  (** the distinguished node R with N(R) = \[R\] *)
 }

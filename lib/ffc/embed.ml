@@ -1,36 +1,49 @@
 module W = Debruijn.Word
+module Fa = Graphlib.Flatarr
+module Sched = Graphlib.Sched
 
 type t = {
   bstar : Bstar.t;
   modified : Spanning.modified;
-  successor : int array;
+  successor : Fa.t;
   cycle : int array;
 }
 
-let successor_map ?ws (m : Spanning.modified) =
+let successor_map ?domains ?ws (m : Spanning.modified) =
   let bstar = m.Spanning.tree.Spanning.adj.Adjacency.bstar in
   let p = bstar.Bstar.p in
   let in_bstar = bstar.Bstar.in_bstar in
   let override = m.Spanning.succ_override in
   let succ =
     match ws with
-    | None -> Array.make p.W.size (-1)
+    | None -> Fa.make p.W.size (-1)
     | Some w ->
         Workspace.check w p;
-        Array.fill w.Workspace.successor 0 p.W.size (-1);
+        Fa.fill w.Workspace.successor (-1);
         w.Workspace.successor
   in
   (* One flat pass: exit nodes of D-edges jump to the recorded entry
      node, everyone else follows its necklace (rotate left, inlined:
-     W.rotl without the per-call range check). *)
+     W.rotl without the per-call range check).  Each slot is written
+     once with a value depending only on read-only inputs, so chunking
+     the pass across the work-stealing pool is trivially
+     deterministic. *)
   let d = p.W.d in
   let stride = p.W.size / d in
-  for x = 0 to p.W.size - 1 do
-    if in_bstar.(x) then
-      succ.(x) <-
-        (if override.(x) >= 0 then override.(x)
-         else (x mod stride * d) + (x / stride))
-  done;
+  let fill lo hi =
+    for x = lo to hi - 1 do
+      if in_bstar.{x} <> 0 then
+        succ.{x} <-
+          (if override.{x} >= 0 then override.{x}
+           else (x mod stride * d) + (x / stride))
+    done
+  in
+  (match domains with
+  | Some k when k > 1 && p.W.size >= Graphlib.Itopo.par_threshold ->
+      Sched.with_pool ~domains:k (fun pool ->
+          Sched.parallel_for pool ~chunk:Graphlib.Itopo.chunk_size ~lo:0
+            ~hi:p.W.size (fun _ clo chi -> fill clo chi))
+  | _ -> fill 0 p.W.size);
   succ
 
 (* One deduplicated closure check for both allocation paths: [None]
@@ -41,11 +54,11 @@ let successor_map ?ws (m : Spanning.modified) =
 let close_cycle ?ws bstar successor =
   let walked =
     match ws with
-    | None -> Graphlib.Cycle.of_successor_array_n ~start:bstar.Bstar.root successor
+    | None -> Graphlib.Cycle.of_successor_flat_n ~start:bstar.Bstar.root successor
     | Some w ->
         Option.map
-          (fun len -> Array.sub w.Workspace.cycle_buf 0 len)
-          (Graphlib.Cycle.of_successor_array_into ~seen:w.Workspace.cycle_seen
+          (fun len -> Fa.sub_to_array w.Workspace.cycle_buf 0 len)
+          (Graphlib.Cycle.of_successor_flat_into ~seen:w.Workspace.cycle_seen
              ~buf:w.Workspace.cycle_buf ~start:bstar.Bstar.root successor)
   in
   match walked with
@@ -58,7 +71,7 @@ let of_bstar ?domains ?ws bstar =
   let adj = Adjacency.build ?ws bstar in
   let tree = Spanning.build ?domains ?ws adj in
   let modified = Spanning.modify ?ws tree in
-  let successor = successor_map ?ws modified in
+  let successor = successor_map ?domains ?ws modified in
   (* The ring is the trial's one fresh result either way — everything
      feeding it lives in the workspace when [?ws] is given. *)
   let cycle = close_cycle ?ws bstar successor in
@@ -85,13 +98,15 @@ let verify ?ws t =
         Graphlib.Bitset.clear w.Workspace.cycle_seen;
         w.Workspace.cycle_seen
   in
+  let in_bstar = b.Bstar.in_bstar in
+  let necklace_faulty = b.Bstar.necklace_faulty in
   let ok = ref true in
   for i = 0 to k - 1 do
     let x = t.cycle.(i) in
     if
       x < 0 || x >= p.W.size
-      || (not b.Bstar.in_bstar.(x))
-      || b.Bstar.necklace_faulty.(x)
+      || in_bstar.{x} = 0
+      || necklace_faulty.{x} <> 0
       || Graphlib.Bitset.mem seen x
     then ok := false
     else begin

@@ -13,11 +13,15 @@
 type t = {
   bstar : Bstar.t;
   modified : Spanning.modified;
-  successor : int array;  (** node → its successor in H, −1 outside B\u{2217} *)
+  successor : Graphlib.Flatarr.t;
+      (** node → its successor in H, −1 outside B\u{2217} (off-heap) *)
   cycle : int array;  (** H, starting at the root R *)
 }
 
-val successor_map : ?ws:Workspace.t -> Spanning.modified -> int array
+val successor_map :
+  ?domains:int -> ?ws:Workspace.t -> Spanning.modified -> Graphlib.Flatarr.t
+(** [?domains] chunks the flat pass across the work-stealing pool
+    (disjoint slots, bit-identical result). *)
 
 val of_bstar : ?domains:int -> ?ws:Workspace.t -> Bstar.t -> t
 (** Run steps 1–3 on an already-computed B\u{2217}.  [?domains]

@@ -187,10 +187,16 @@ let load t (e : Embed.t) =
   let d = p.W.d in
   let stride = sz / d in
   let b = e.Embed.bstar in
-  Array.blit b.Bstar.in_bstar 0 t.in_bstar 0 sz;
+  (* The pipeline's arrays are off-heap ({!Graphlib.Flatarr}) and may
+     alias the workspace; copy them element-wise into Live's heap
+     arrays. *)
+  let in_bstar_flags = b.Bstar.in_bstar in
+  for v = 0 to sz - 1 do
+    t.in_bstar.(v) <- in_bstar_flags.{v} <> 0
+  done;
   let tree = e.Embed.modified.Spanning.tree in
-  Array.blit tree.Spanning.dist 0 t.dist 0 sz;
-  Array.blit e.Embed.successor 0 t.successor 0 sz;
+  Graphlib.Flatarr.blit_to_array tree.Spanning.dist t.dist;
+  Graphlib.Flatarr.blit_to_array e.Embed.successor t.successor;
   t.root <- b.Bstar.root;
   t.bsize <- b.Bstar.size;
   t.ecc <- tree.Spanning.ecc;

@@ -1,33 +1,62 @@
 module W = Debruijn.Word
+module Fa = Graphlib.Flatarr
 module It = Graphlib.Itopo
+module Sched = Graphlib.Sched
 
 type tree = {
   adj : Adjacency.t;
   root_idx : int;
-  dist : int array;
+  dist : Fa.t;
   ecc : int;
-  node_parent : int array;
-  parent : int array;
-  label : int array;
-  chosen : int array;
+  node_parent : Fa.t;
+  parent : Fa.t;
+  label : Fa.t;
+  chosen : Fa.t;
 }
 
 (* Module-level so the per-node parent search allocates no closure — a
    capturing [let rec] in the scan loop would cost ~9 minor words per
    live node. *)
-let rec find_parent (in_bstar : bool array) (dist : int array) stride d pre dv a
-    =
+let rec find_parent (in_bstar : Fa.Byte.t) (dist : Fa.t) stride d pre dv a =
   if a = d then -1
   else
     let u = (a * stride) + pre in
-    if in_bstar.(u) && dist.(u) = dv - 1 then u
+    if in_bstar.{u} <> 0 && dist.{u} = dv - 1 then u
     else find_parent in_bstar dist stride d pre dv (a + 1)
+
+(* The T′ parent scan writes one slot per reached node, each a pure
+   function of the (already final) dist array — so chunking the
+   discovery order across a work-stealing pool is trivially
+   deterministic: every slot gets the same value no matter which domain
+   writes it.  Worth parallelizing: at B(2,22) this pass is a quarter
+   of the pipeline. *)
+let fill_parents ?domains ~(bfs : It.bfs) ~in_bstar ~node_parent ~stride ~d ()
+    =
+  let dist = bfs.It.dist in
+  let order = bfs.It.order in
+  let scan i =
+    let v = order.{i} in
+    node_parent.{v} <- find_parent in_bstar dist stride d (v / d) dist.{v} 0
+  in
+  match domains with
+  | Some k when k > 1 && bfs.It.count >= It.par_threshold ->
+      Sched.with_pool ~domains:k (fun pool ->
+          Sched.parallel_for pool ~chunk:It.chunk_size ~lo:1 ~hi:bfs.It.count
+            (fun _ clo chi ->
+              for i = clo to chi - 1 do
+                scan i
+              done))
+  | _ ->
+      for i = 1 to bfs.It.count - 1 do
+        scan i
+      done
 
 let build ?domains ?ws (adj : Adjacency.t) =
   let bstar = adj.Adjacency.bstar in
   let p = bstar.Bstar.p in
   let size = p.W.size in
-  let in_bstar v = bstar.Bstar.in_bstar.(v) in
+  let in_bstar_arr = bstar.Bstar.in_bstar in
+  let in_bstar v = in_bstar_arr.{v} <> 0 in
   let root = bstar.Bstar.root in
   (match ws with Some w -> Workspace.check w p | None -> ());
   let itws = match ws with None -> None | Some w -> Some w.Workspace.it in
@@ -41,37 +70,35 @@ let build ?domains ?ws (adj : Adjacency.t) =
      eccentricity in B* — ecc(R), Table 2.1/2.2's column — is the
      distance of the last discovery; recording it here saves the
      campaign a whole extra traversal. *)
-  let ecc = if bfs.It.count = 0 then 0 else dist.(bfs.It.order.(bfs.It.count - 1)) in
+  let ecc =
+    if bfs.It.count = 0 then 0 else dist.{bfs.It.order.{bfs.It.count - 1}}
+  in
   (* T′ parent: minimal predecessor one BFS level up, inside B*.  Only
      reached nodes are scanned (via discovery order); predecessors are
      a·stride + v/d for a = 0..d−1 — ascending in a, so the first live
      hit at the previous level is already the minimal one. *)
   let node_parent =
     match ws with
-    | None -> Array.make size (-1)
+    | None -> Fa.make size (-1)
     | Some w ->
-        Array.fill w.Workspace.node_parent 0 size (-1);
+        Fa.fill w.Workspace.node_parent (-1);
         w.Workspace.node_parent
   in
   let stride = size / p.W.d in
-  let in_bstar_arr = bstar.Bstar.in_bstar in
-  for i = 1 to bfs.It.count - 1 do
-    let v = bfs.It.order.(i) in
-    node_parent.(v) <-
-      find_parent in_bstar_arr dist stride p.W.d (v / p.W.d) dist.(v) 0
-  done;
+  fill_parents ?domains ~bfs ~in_bstar:in_bstar_arr ~node_parent ~stride
+    ~d:p.W.d ();
   let m = Array.length adj.Adjacency.reps in
-  let root_idx = adj.Adjacency.idx_of_node.(root) in
+  let root_idx = adj.Adjacency.idx_of_node.{root} in
   (* Necklace-level arrays: workspace capacity is the fault-free
      necklace count ≥ m; only the first m entries are (re)set and
      read. *)
   let necklace_array =
     match ws with
-    | None -> fun _ -> Array.make m (-1)
+    | None -> fun _ -> Fa.make m (-1)
     | Some w ->
         fun pick ->
           let a = pick w in
-          Array.fill a 0 m (-1);
+          Fa.fill_prefix a m (-1);
           a
   in
   let parent = necklace_array (fun w -> w.Workspace.parent) in
@@ -80,32 +107,33 @@ let build ?domains ?ws (adj : Adjacency.t) =
   (* Earliest receipt, ties toward the minimal node — a lexicographic
      (dist, node) minimum per necklace.  One ascending node scan: on
      equal distance the first (smallest) node sticks. *)
+  let idx_of_node = adj.Adjacency.idx_of_node in
   for v = 0 to size - 1 do
-    let i = adj.Adjacency.idx_of_node.(v) in
+    let i = idx_of_node.{v} in
     if i >= 0 then begin
-      let b = chosen.(i) in
-      if b < 0 || dist.(v) < dist.(b) then chosen.(i) <- v
+      let b = chosen.{i} in
+      if b < 0 || dist.{v} < dist.{b} then chosen.{i} <- v
     end
   done;
   for i = 0 to m - 1 do
-    let y = chosen.(i) in
+    let y = chosen.{i} in
     assert (y >= 0);
     if i <> root_idx then begin
-      let par_node = node_parent.(y) in
+      let par_node = node_parent.{y} in
       assert (par_node >= 0);
-      parent.(i) <- adj.Adjacency.idx_of_node.(par_node);
-      label.(i) <- W.prefix p y
+      parent.{i} <- idx_of_node.{par_node};
+      label.{i} <- W.prefix p y
     end
   done;
   (* The root's chosen node is R itself (distance 0). *)
-  chosen.(root_idx) <- root;
+  chosen.{root_idx} <- root;
   { adj; root_idx; dist; ecc; node_parent; parent; label; chosen }
 
 let tree_edges t =
   let m = Array.length t.adj.Adjacency.reps in
   List.filter_map
     (fun i ->
-      if i = t.root_idx then None else Some (t.parent.(i), i, t.label.(i)))
+      if i = t.root_idx then None else Some (t.parent.{i}, i, t.label.{i}))
     (List.init m Fun.id)
 
 let check_height_one t =
@@ -119,7 +147,7 @@ let check_height_one t =
       | Some par' -> par = par')
     (tree_edges t)
 
-type modified = { tree : tree; succ_override : int array }
+type modified = { tree : tree; succ_override : Fa.t }
 
 (* Bucket the non-root necklaces by their parent-edge label w — labels
    are ints below wsize, so two arrays replace the seed's Hashtbl.
@@ -134,8 +162,8 @@ let label_buckets t =
   let bucket_children = Array.make wsize [] in
   for i = 0 to m - 1 do
     if i <> t.root_idx then begin
-      let w = t.label.(i) in
-      let par = t.parent.(i) in
+      let w = t.label.{i} in
+      let par = t.parent.{i} in
       if bucket_par.(w) < 0 then bucket_par.(w) <- par
       else assert (bucket_par.(w) = par);
       bucket_children.(w) <- i :: bucket_children.(w)
@@ -157,19 +185,19 @@ let modify ?ws t =
   let bucket_par, bucket_head, bucket_next, scratch, succ_override =
     match ws with
     | None ->
-        ( Array.make wsize (-1),
-          Array.make wsize (-1),
-          Array.make m (-1),
-          Array.make (m + 1) 0,
-          Array.make p.W.size (-1) )
+        ( Fa.make wsize (-1),
+          Fa.make wsize (-1),
+          Fa.make m (-1),
+          Fa.make (m + 1) 0,
+          Fa.make p.W.size (-1) )
     | Some w ->
         Workspace.check w p;
-        Array.fill w.Workspace.bucket_par 0 wsize (-1);
-        Array.fill w.Workspace.bucket_head 0 wsize (-1);
+        Fa.fill w.Workspace.bucket_par (-1);
+        Fa.fill w.Workspace.bucket_head (-1);
         (* bucket_next needs no reset: only chains rooted in
            bucket_head are walked, and every link on them is written
            this call. *)
-        Array.fill w.Workspace.succ_override 0 p.W.size (-1);
+        Fa.fill w.Workspace.succ_override (-1);
         ( w.Workspace.bucket_par,
           w.Workspace.bucket_head,
           w.Workspace.bucket_next,
@@ -178,12 +206,12 @@ let modify ?ws t =
   in
   for i = 0 to m - 1 do
     if i <> t.root_idx then begin
-      let w = t.label.(i) in
-      let par = t.parent.(i) in
-      if bucket_par.(w) < 0 then bucket_par.(w) <- par
-      else assert (bucket_par.(w) = par);
-      bucket_next.(i) <- bucket_head.(w);
-      bucket_head.(w) <- i
+      let w = t.label.{i} in
+      let par = t.parent.{i} in
+      if bucket_par.{w} < 0 then bucket_par.{w} <- par
+      else assert (bucket_par.{w} = par);
+      bucket_next.{i} <- bucket_head.{w};
+      bucket_head.{w} <- i
     end
   done;
   (* The D-edges, flattened to node level: the w-edge [X]→[Y] leaves [X]
@@ -194,35 +222,35 @@ let modify ?ws t =
   let k = ref 0 in
   let c = ref (-1) in
   for w = 0 to wsize - 1 do
-    let par = bucket_par.(w) in
+    let par = bucket_par.{w} in
     if par >= 0 then begin
       k := 1;
-      scratch.(0) <- par;
-      c := bucket_head.(w);
+      scratch.{0} <- par;
+      c := bucket_head.{w};
       while !c >= 0 do
-        scratch.(!k) <- !c;
+        scratch.{!k} <- !c;
         incr k;
-        c := bucket_next.(!c)
+        c := bucket_next.{!c}
       done;
       let k = !k in
       (* Insertion sort over necklace indices: representatives ascend
          with index, so index order IS increasing-representative order;
          a T_w is tiny (two members is typical). *)
       for i = 1 to k - 1 do
-        let x = scratch.(i) in
+        let x = scratch.{i} in
         c := i - 1;
-        while !c >= 0 && scratch.(!c) > x do
-          scratch.(!c + 1) <- scratch.(!c);
+        while !c >= 0 && scratch.{!c} > x do
+          scratch.{!c + 1} <- scratch.{!c};
           decr c
         done;
-        scratch.(!c + 1) <- x
+        scratch.{!c + 1} <- x
       done;
       for i = 0 to k - 1 do
-        let idx = scratch.(i) and next = scratch.((i + 1) mod k) in
+        let idx = scratch.{i} and next = scratch.{(i + 1) mod k} in
         let exit = Adjacency.exit_node adj idx w in
         let entry = Adjacency.entry_node adj next w in
         assert (exit >= 0 && entry >= 0);
-        succ_override.(exit) <- entry
+        succ_override.{exit} <- entry
       done
     end
   done;
@@ -253,13 +281,15 @@ let out_edge m idx w =
   match Adjacency.node_with_suffix adj idx w with
   | None -> None
   | Some exit ->
-      let entry = m.succ_override.(exit) in
-      if entry < 0 then None else Some adj.Adjacency.idx_of_node.(entry)
+      let entry = m.succ_override.{exit} in
+      if entry < 0 then None else Some adj.Adjacency.idx_of_node.{entry}
 
 let d_edge_count m =
-  Array.fold_left
-    (fun acc target -> if target >= 0 then acc + 1 else acc)
-    0 m.succ_override
+  let acc = ref 0 in
+  for x = 0 to Fa.length m.succ_override - 1 do
+    if m.succ_override.{x} >= 0 then incr acc
+  done;
+  !acc
 
 let is_spanning_subgraph m =
   let adj = m.tree.adj in

@@ -13,21 +13,25 @@
     wα and wβ share their full predecessor set, hence their T′ parent.
 
     The BFS runs over the arithmetic iterators (no graph is built) and
-    accepts [?domains] for level-synchronous parallel expansion — the
-    result is bit-identical to the sequential run. *)
+    accepts [?domains]: large levels expand through the work-stealing
+    pool, and the T′ parent scan is chunked across it too (each slot is
+    a pure function of the final dist array) — the result is
+    bit-identical to the sequential run. *)
 
 type tree = {
   adj : Adjacency.t;
   root_idx : int;  (** the necklace of R *)
-  dist : int array;  (** node-level BFS distance from R inside B\u{2217} (−1 outside) *)
+  dist : Graphlib.Flatarr.t;
+      (** node-level BFS distance from R inside B\u{2217} (−1 outside) *)
   ecc : int;
       (** eccentricity of R in B\u{2217} (max of [dist]) — a free by-product
           of the spanning BFS, so campaigns get ecc(R) without another
           traversal *)
-  node_parent : int array;  (** node-level T′ parent (−1 for R / outside) *)
-  parent : int array;  (** necklace-level parent index (−1 for root) *)
-  label : int array;  (** w label of the parent edge (−1 for root) *)
-  chosen : int array;  (** per necklace: the earliest-reached node Y *)
+  node_parent : Graphlib.Flatarr.t;
+      (** node-level T′ parent (−1 for R / outside) *)
+  parent : Graphlib.Flatarr.t;  (** necklace-level parent index (−1 for root) *)
+  label : Graphlib.Flatarr.t;  (** w label of the parent edge (−1 for root) *)
+  chosen : Graphlib.Flatarr.t;  (** per necklace: the earliest-reached node Y *)
 }
 
 val build : ?domains:int -> ?ws:Workspace.t -> Adjacency.t -> tree
@@ -45,7 +49,7 @@ val tree_edges : tree -> (int * int * int) list
 
 type modified = {
   tree : tree;
-  succ_override : int array;
+  succ_override : Graphlib.Flatarr.t;
       (** node-level D-edges: the unique exit node αw of a w-edge maps
           to the entry node wβ of the successor necklace on the
           w-cycle; −1 everywhere else (take the necklace successor).

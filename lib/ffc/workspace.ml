@@ -1,30 +1,32 @@
 module W = Debruijn.Word
 module Bs = Graphlib.Bitset
+module Fa = Graphlib.Flatarr
 module It = Graphlib.Itopo
 
 type t = {
   p : W.params;
   max_necklaces : int;
+  arena : Fa.Arena.arena;
   (* node-level scratch (dⁿ entries) *)
-  necklace_faulty : bool array;
-  in_bstar : bool array;
-  idx_of_node : int array;
-  node_parent : int array;
-  succ_override : int array;
-  successor : int array;
-  cycle_buf : int array;
+  necklace_faulty : Fa.Byte.t;
+  in_bstar : Fa.Byte.t;
+  idx_of_node : Fa.t;
+  node_parent : Fa.t;
+  succ_override : Fa.t;
+  successor : Fa.t;
+  cycle_buf : Fa.t;
   cycle_seen : Bs.t;
   it : It.ws;
   (* necklace-level scratch (max_necklaces entries unless noted) *)
-  reps_buf : int array;
-  parent : int array;
-  label : int array;
-  chosen : int array;
-  nscratch : int array;  (* max_necklaces + 1 *)
-  bucket_next : int array;
+  reps_buf : Fa.t;
+  parent : Fa.t;
+  label : Fa.t;
+  chosen : Fa.t;
+  nscratch : Fa.t;  (* max_necklaces + 1 *)
+  bucket_next : Fa.t;
   (* (n−1)-suffix-level scratch (dⁿ⁻¹ entries) *)
-  bucket_par : int array;
-  bucket_head : int array;
+  bucket_par : Fa.t;
+  bucket_head : Fa.t;
 }
 
 (* Necklace count of the fault-free B(d,n) — an upper bound on the live
@@ -54,26 +56,45 @@ let create p =
   let size = p.W.size in
   let wsize = size / p.W.d in
   let m = count_necklaces p in
+  (* All word/byte scratch comes out of one arena: two backing
+     allocations total, every region starting at a 64-byte-separated
+     offset (Flatarr.Arena), so two campaign domains — each with its own
+     workspace — or two arrays of one workspace never share a cache
+     line.  The backing sizes are the exact sums of the aligned carve
+     sizes below, in order. *)
+  let aw = Fa.Arena.aligned_words in
+  let words =
+    (5 * aw size) + It.ws_arena_words size
+    + (5 * aw m) + aw (m + 1) + (2 * aw wsize)
+  in
+  let bytes = 2 * Fa.Arena.aligned_bytes size in
+  let arena = Fa.Arena.create ~words ~bytes in
+  let carve n =
+    let a = Fa.Arena.carve arena n in
+    Fa.fill a (-1);
+    a
+  in
   {
     p;
     max_necklaces = m;
-    necklace_faulty = Array.make size false;
-    in_bstar = Array.make size false;
-    idx_of_node = Array.make size (-1);
-    node_parent = Array.make size (-1);
-    succ_override = Array.make size (-1);
-    successor = Array.make size (-1);
-    cycle_buf = Array.make size 0;
+    arena;
+    necklace_faulty = Fa.Arena.carve_byte arena size;
+    in_bstar = Fa.Arena.carve_byte arena size;
+    idx_of_node = carve size;
+    node_parent = carve size;
+    succ_override = carve size;
+    successor = carve size;
+    cycle_buf = carve size;
     cycle_seen = Bs.create size;
-    it = It.ws_create size;
-    reps_buf = Array.make m 0;
-    parent = Array.make m (-1);
-    label = Array.make m (-1);
-    chosen = Array.make m (-1);
-    nscratch = Array.make (m + 1) 0;
-    bucket_next = Array.make m (-1);
-    bucket_par = Array.make wsize (-1);
-    bucket_head = Array.make wsize (-1);
+    it = It.ws_create ~arena size;
+    reps_buf = carve m;
+    parent = carve m;
+    label = carve m;
+    chosen = carve m;
+    nscratch = carve (m + 1);
+    bucket_next = carve m;
+    bucket_par = carve wsize;
+    bucket_head = carve wsize;
   }
 
 let check t p =

@@ -1,13 +1,18 @@
-(** Preallocated scratch arena for repeated FFC embeddings on one
-    (d, n).
+(** Preallocated off-heap scratch arena for repeated FFC embeddings on
+    one (d, n).
 
     A workspace bundles every scratch structure the four pipeline
     stages need — traversal state ({!Graphlib.Itopo.ws}), the necklace
     index, adjacency/spanning buffers, the succ-override tree and the
     ring-walk scratch — sized once by {!create} and reused across
     trials via the [?ws] argument of [Bstar.compute], [Embed.embed]
-    etc.  A steady-state trial then allocates almost nothing beyond the
-    returned ring (see DESIGN.md §5 for the ownership/reset contract).
+    etc.  All of it lives in {e one} {!Graphlib.Flatarr.Arena}: two
+    [Bigarray] backing allocations (words + flag bytes) the GC never
+    scans, each region carved at a 64-byte-separated offset so no two
+    arrays — nor two domains' workspaces — share a cache line.  A
+    steady-state trial then allocates almost nothing beyond the
+    returned ring (see DESIGN.md §5 and §6b for the
+    ownership/reset/layout contract).
 
     Reuse discipline:
     - each stage resets exactly the scratch it reads before writing,
@@ -19,21 +24,26 @@
       the workspace's next use.  The returned [cycle] is the one
       freshly-allocated result and survives;
     - a workspace is single-threaded state — campaigns give each domain
-      its own. *)
+      its own.  The parallel BFS levels of a [?ws] + [?domains] run
+      only ever hand {e read-only} views of workspace storage to other
+      domains. *)
 
 type t = {
   p : Debruijn.Word.params;
   max_necklaces : int;
       (** necklace count of the fault-free B(d,n) — capacity of the
           necklace-level arrays (any B* has at most this many) *)
+  arena : Graphlib.Flatarr.Arena.arena;
+      (** the backing storage every array below is carved from —
+          exposed for size introspection ([words_used]/[bytes_used]) *)
   (* node-level scratch, dⁿ entries *)
-  necklace_faulty : bool array;  (** owned by [Bstar.compute] *)
-  in_bstar : bool array;  (** owned by [Bstar.compute] *)
-  idx_of_node : int array;  (** owned by [Adjacency.build] *)
-  node_parent : int array;  (** owned by [Spanning.build] *)
-  succ_override : int array;  (** owned by [Spanning.modify] *)
-  successor : int array;  (** owned by [Embed.successor_map] *)
-  cycle_buf : int array;  (** owned by [Embed.of_bstar]'s ring walk *)
+  necklace_faulty : Graphlib.Flatarr.Byte.t;  (** owned by [Bstar.compute] *)
+  in_bstar : Graphlib.Flatarr.Byte.t;  (** owned by [Bstar.compute] *)
+  idx_of_node : Graphlib.Flatarr.t;  (** owned by [Adjacency.build] *)
+  node_parent : Graphlib.Flatarr.t;  (** owned by [Spanning.build] *)
+  succ_override : Graphlib.Flatarr.t;  (** owned by [Spanning.modify] *)
+  successor : Graphlib.Flatarr.t;  (** owned by [Embed.successor_map] *)
+  cycle_buf : Graphlib.Flatarr.t;  (** owned by [Embed.of_bstar]'s ring walk *)
   cycle_seen : Graphlib.Bitset.t;
       (** shared by the ring walk and [Embed.verify] *)
   it : Graphlib.Itopo.ws;
@@ -41,21 +51,21 @@ type t = {
           [dist] is clobbered by any later traversal with the same
           workspace *)
   (* necklace-level scratch, [max_necklaces] entries unless noted *)
-  reps_buf : int array;  (** owned by [Adjacency.build] *)
-  parent : int array;  (** owned by [Spanning.build] *)
-  label : int array;  (** owned by [Spanning.build] *)
-  chosen : int array;  (** owned by [Spanning.build] *)
-  nscratch : int array;  (** [max_necklaces + 1]; [Spanning.modify] *)
-  bucket_next : int array;  (** owned by [Spanning.modify] *)
+  reps_buf : Graphlib.Flatarr.t;  (** owned by [Adjacency.build] *)
+  parent : Graphlib.Flatarr.t;  (** owned by [Spanning.build] *)
+  label : Graphlib.Flatarr.t;  (** owned by [Spanning.build] *)
+  chosen : Graphlib.Flatarr.t;  (** owned by [Spanning.build] *)
+  nscratch : Graphlib.Flatarr.t;  (** [max_necklaces + 1]; [Spanning.modify] *)
+  bucket_next : Graphlib.Flatarr.t;  (** owned by [Spanning.modify] *)
   (* (n−1)-suffix-level scratch, dⁿ⁻¹ entries *)
-  bucket_par : int array;  (** owned by [Spanning.modify] *)
-  bucket_head : int array;  (** owned by [Spanning.modify] *)
+  bucket_par : Graphlib.Flatarr.t;  (** owned by [Spanning.modify] *)
+  bucket_head : Graphlib.Flatarr.t;  (** owned by [Spanning.modify] *)
 }
 
 val create : Debruijn.Word.params -> t
-(** Allocate every scratch structure for (d, n): ~9 words per node plus
-    ~5 per necklace, in one shot.  O(dⁿ) time (one necklace-counting
-    sweep). *)
+(** Allocate the whole arena for (d, n): ~9 words per node plus ~5 per
+    necklace, in two backing allocations.  O(dⁿ) time (one
+    necklace-counting sweep). *)
 
 val check : t -> Debruijn.Word.params -> unit
 (** @raise Invalid_argument when the workspace was built for a

@@ -123,6 +123,39 @@ let of_successor_array_into ~seen ~(buf : int array) ~start (succ : int array) =
   in
   go start
 
+let of_successor_flat_into ~seen ~(buf : Flatarr.t) ~start (succ : Flatarr.t) =
+  let n = Flatarr.length succ in
+  if start < 0 || start >= n then
+    invalid_arg "Cycle.of_successor_flat_into: start out of range";
+  if Bitset.length seen < n || Flatarr.length buf < n then
+    invalid_arg "Cycle.of_successor_flat_into: scratch too small";
+  (* [of_successor_array_into] with both the successor map and the node
+     buffer off-heap — the walk the Bigarray-backed FFC workspace closes
+     its ring with. *)
+  Bitset.clear seen;
+  let len = ref 0 in
+  let rec go v =
+    if v = start && !len > 0 then Some !len
+    else if v < 0 || v >= n || Bitset.mem seen v then None
+    else begin
+      Bitset.add seen v;
+      buf.{!len} <- v;
+      incr len;
+      go succ.{v}
+    end
+  in
+  go start
+
+let of_successor_flat_n ~start (succ : Flatarr.t) =
+  let n = Flatarr.length succ in
+  if start < 0 || start >= n then
+    invalid_arg "Cycle.of_successor_flat_n: start out of range";
+  let seen = Bitset.create n in
+  let buf = Flatarr.create n in
+  Option.map
+    (fun len -> Flatarr.sub_to_array buf 0 len)
+    (of_successor_flat_into ~seen ~buf ~start succ)
+
 let of_successor_array_n ~start (succ : int array) =
   let n = Array.length succ in
   if start < 0 || start >= n then

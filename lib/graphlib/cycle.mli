@@ -63,3 +63,12 @@ val of_successor_array_into :
     is cleared, the walk's nodes land in [buf.(0 .. len−1)], and the
     result is [Some len] iff the walk closes into a simple cycle.  Both
     scratch structures must span at least [Array.length succ]. *)
+
+val of_successor_flat_n : start:int -> Flatarr.t -> int array option
+(** {!of_successor_array_n} over an off-heap successor map (the cycle
+    itself still comes back as a fresh heap array). *)
+
+val of_successor_flat_into :
+  seen:Bitset.t -> buf:Flatarr.t -> start:int -> Flatarr.t -> int option
+(** {!of_successor_array_into} with the successor map and node buffer
+    both off-heap. *)

@@ -1,0 +1,92 @@
+(** Off-heap flat int arrays and the workspace arena carver.
+
+    [t] is a [Bigarray.Array1] of kind [int] (unboxed 63-bit ints in
+    malloc'd storage): the GC never scans or moves its contents, so the
+    pipeline's ~8-words-per-node working set costs the collector
+    nothing.  Access with the standard bigarray syntax [a.{i}] /
+    [a.{i} <- v] (bounds-checked, same cost profile as [.(i)] on a
+    heap array), or the named {!get}/{!set}.
+
+    {b [create] does not zero}: Bigarray hands back raw storage.  Use
+    {!make}, or rely on the reset-before-read discipline the pipeline
+    stages already follow (DESIGN.md §5/§6b). *)
+
+type t = (int, Bigarray.int_elt, Bigarray.c_layout) Bigarray.Array1.t
+
+val create : int -> t
+(** Uninitialized off-heap array of [n] ints. *)
+
+val make : int -> int -> t
+(** [make n v] — like [Array.make]: [n] ints, all set to [v]. *)
+
+val length : t -> int
+val get : t -> int -> int
+val set : t -> int -> int -> unit
+val fill : t -> int -> unit
+
+val fill_prefix : t -> int -> int -> unit
+(** [fill_prefix a len v] sets [a.{0 .. len−1}] to [v] — the
+    workspace's necklace-level arrays have fault-free capacity but only
+    their live prefix is ever (re)set and read. *)
+
+val of_array : int array -> t
+val to_array : t -> int array
+
+val sub_to_array : t -> int -> int -> int array
+(** [sub_to_array a pos len] — heap copy of [a.{pos .. pos+len−1}]. *)
+
+val blit : t -> t -> unit
+(** Copy every element of the source into the (at least as long)
+    destination's prefix. *)
+
+val blit_to_array : t -> int array -> unit
+(** Copy every element into the (at least as long) heap array — how
+    [Ffc.Live] snapshots workspace-aliased results it must outlive. *)
+
+(** One-byte 0/1 flag arrays (kind [int8_unsigned]): the off-heap
+    replacement for the pipeline's node-level [bool array]s, at 1/8 the
+    footprint of a word-per-flag layout. *)
+module Byte : sig
+  type t = (int, Bigarray.int8_unsigned_elt, Bigarray.c_layout) Bigarray.Array1.t
+
+  val create : int -> t
+  (** Uninitialized. *)
+
+  val make : int -> int -> t
+  val length : t -> int
+  val get : t -> int -> int
+  val set : t -> int -> int -> unit
+  val fill : t -> int -> unit
+
+  val to_bool_array : t -> bool array
+  (** [true] where nonzero — for consumers (and oracles) that still
+      speak [bool array]. *)
+end
+
+(** Sub-arena carving: many arrays out of two backing allocations.
+
+    Every carve starts at a 64-byte-separated offset, so two carved
+    regions never share a cache line {e relative to the backing} —
+    domains writing disjoint carves cannot false-share.  Carving is
+    append-only and permanent (an arena is sized exactly once, by
+    [Ffc.Workspace.create]); carving past the backing raises. *)
+module Arena : sig
+  type arena
+
+  val create : words:int -> bytes:int -> arena
+  (** Backings of [words] ints and [bytes] bytes, zeroed once. *)
+
+  val carve : arena -> int -> t
+  (** The next [n]-int region (a view into the word backing).
+      @raise Invalid_argument when the backing is exhausted. *)
+
+  val carve_byte : arena -> int -> Byte.t
+
+  val aligned_words : int -> int
+  (** Words actually consumed by an [n]-word carve (rounded up to the
+      64-byte alignment quantum) — for sizing the backing as a sum. *)
+
+  val aligned_bytes : int -> int
+  val words_used : arena -> int
+  val bytes_used : arena -> int
+end

@@ -1,17 +1,30 @@
 type iter = int -> (int -> unit) -> unit
 
-type bfs = { dist : int array; order : int array; count : int }
+type bfs = { dist : Flatarr.t; order : Flatarr.t; count : int }
 
 (* Reusable traversal scratch: one visited bitset plus full-size
-   distance/order arrays, sized for a fixed node count [n].  Every
-   traversal that accepts [?ws] resets exactly the state it uses
-   (bitset clear is O(n/8); the dist fill is O(n)), so reuse across
-   traversals is bit-identical to fresh allocation. *)
-type ws = { wn : int; wvisited : Bitset.t; wdist : int array; worder : int array }
+   distance/order arrays, sized for a fixed node count [n].  The
+   dist/order arrays are off-heap ({!Flatarr}) — optionally carved out
+   of a caller-supplied arena — so a traversal's 2n-word working set
+   never enters the GC.  Every traversal that accepts [?ws] resets
+   exactly the state it uses (bitset clear is O(n/8); the dist fill is
+   O(n)), so reuse across traversals is bit-identical to fresh
+   allocation. *)
+type ws = { wn : int; wvisited : Bitset.t; wdist : Flatarr.t; worder : Flatarr.t }
 
-let ws_create n =
+let ws_arena_words n = 2 * Flatarr.Arena.aligned_words n
+
+let ws_create ?arena n =
   if n < 0 then invalid_arg "Itopo.ws_create: negative size";
-  { wn = n; wvisited = Bitset.create n; wdist = Array.make n (-1); worder = Array.make n 0 }
+  let dist, order =
+    match arena with
+    | None -> (Flatarr.make n (-1), Flatarr.make n 0)
+    | Some a ->
+        let d = Flatarr.Arena.carve a n in
+        Flatarr.fill d (-1);
+        (d, Flatarr.Arena.carve a n)
+  in
+  { wn = n; wvisited = Bitset.create n; wdist = dist; worder = order }
 
 let ws_check ws n =
   if ws.wn <> n then invalid_arg "Itopo: workspace sized for a different n"
@@ -31,11 +44,68 @@ let symmetric ~succs ~preds : iter =
       succs u f;
       preds u f
 
-(* Below this many frontier nodes a level is expanded sequentially even
-   when [domains > 1]: spawning is ~20–50 µs per domain and would
-   dominate small levels (same threshold rationale as
-   Netsim.Simulator.par_threshold). *)
-let par_threshold = 2048
+(* A BFS level is expanded in parallel in units of [chunk_size]
+   frontier positions; below [par_threshold] frontier nodes the level
+   runs sequentially even when [domains > 1] — with fewer than four
+   chunks there is nothing to steal and the barrier (~1 µs per round
+   plus worker wake-up) dominates.  The activation cutoff scales with
+   the chunk size: overriding [?chunk] moves it in lockstep, which is
+   also what lets the qcheck suites drive the full parallel machinery
+   on tiny graphs ([chunk = 1] activates at 4 frontier nodes). *)
+let chunk_size = 512
+let par_threshold = 4 * chunk_size
+
+(* Candidate buffers for at most this many chunks are in flight per
+   round: a round gathers up to [chunks_per_round] chunks in parallel,
+   then commits them sequentially in ascending chunk order.  Bounding
+   the round keeps candidate storage O(chunks_per_round · chunk)
+   regardless of frontier width, and the buffers are reused across
+   rounds and levels. *)
+let chunks_per_round = 64
+
+(* Per-slot candidate buffer lengths are strided 8 words (64 bytes)
+   apart so two domains finishing adjacent slots never write the same
+   cache line. *)
+let len_stride = 8
+
+type expand = {
+  pool : Sched.pool;
+  chunk : int;
+  bufs : int array array;  (* [chunks_per_round] growable candidate buffers *)
+  lens : int array;  (* slot s length at [s * len_stride] *)
+}
+
+let make_expand ~domains ~chunk =
+  {
+    pool = Sched.create ~domains;
+    chunk;
+    bufs = Array.init chunks_per_round (fun _ -> Array.make 256 0);
+    lens = Array.make (chunks_per_round * len_stride) 0;
+  }
+
+(* Lazy pool: a traversal that never meets [par_threshold] must not pay
+   for spawning domains.  The pool is created on first parallel level
+   and shut down by the traversal's [Fun.protect]. *)
+type par = { pdomains : int; pchunk : int; mutable pexp : expand option }
+
+let par_get p =
+  match p.pexp with
+  | Some e -> e
+  | None ->
+      let e = make_expand ~domains:p.pdomains ~chunk:p.pchunk in
+      p.pexp <- Some e;
+      e
+
+let with_par ~domains ~chunk f =
+  if domains < 1 then invalid_arg "Itopo: domains must be >= 1";
+  if chunk < 1 then invalid_arg "Itopo: chunk must be >= 1";
+  let p = { pdomains = domains; pchunk = chunk; pexp = None } in
+  Fun.protect
+    ~finally:(fun () ->
+      match p.pexp with
+      | Some e -> Sched.shutdown e.pool
+      | None -> ())
+    (fun () -> f p)
 
 (* The visited bitset doubles as the keep mask: nodes failing [keep]
    are pre-marked once, so the per-candidate test in the hot loops is a
@@ -56,124 +126,141 @@ let masked_visited ?ws ~n ~keep () =
   visited
 
 let order_array ?ws ~n () =
-  match ws with None -> Array.make n 0 | Some w -> w.worder
+  match ws with None -> Flatarr.make n 0 | Some w -> w.worder
 
 let dist_array ?ws ~n () =
   match ws with
-  | None -> Array.make n (-1)
+  | None -> Flatarr.make n (-1)
   | Some w ->
-      Array.fill w.wdist 0 n (-1);
+      Flatarr.fill w.wdist (-1);
       w.wdist
 
-(* Expand one BFS level [order.(lo..hi-1)] in parallel.  Workers only
-   READ the visited bits, stashing candidate discoveries per chunk;
-   [commit] then dedupes sequentially in (chunk, frontier-position,
-   successor-order) order — exactly the order the sequential loop
-   considers candidates — so frontier contents, discovery order and
-   distances are bit-identical to the sequential expansion. *)
-let expand_par ~domains ~succs ~visited ~commit ~(order : int array) lo hi =
-  let k = hi - lo in
-  let chunk = (k + domains - 1) / domains in
-  let results = Array.make domains [||] in
-  let worker j =
-    let clo = lo + (j * chunk) and chi = min hi (lo + ((j + 1) * chunk)) in
-    if clo < chi then begin
-      let buf = ref (Array.make 256 0) in
-      let len = ref 0 in
-      let push v =
-        if !len = Array.length !buf then begin
-          let b = Array.make (2 * !len) 0 in
-          Array.blit !buf 0 b 0 !len;
-          buf := b
-        end;
-        !buf.(!len) <- v;
-        incr len
-      in
-      for i = clo to chi - 1 do
-        succs order.(i) (fun v -> if not (Bitset.mem visited v) then push v)
-      done;
-      results.(j) <- Array.sub !buf 0 !len
-    end
+(* Gather the candidates of chunk [order.{clo .. chi−1}] into slot
+   [slot]'s buffer.  Runs on an arbitrary domain: it only READS the
+   visited bits (the sequential commit below is the sole writer) and
+   writes nothing shared except its own slot's buffer and length.  A
+   buffer growth republishes the pointer into [bufs] — made visible to
+   the committing domain by the round barrier. *)
+let gather exp ~succs ~visited ~(order : Flatarr.t) slot clo chi =
+  let buf = ref exp.bufs.(slot) in
+  let len = ref 0 in
+  let push v =
+    if !len = Array.length !buf then begin
+      let b = Array.make (2 * !len) 0 in
+      Array.blit !buf 0 b 0 !len;
+      buf := b;
+      exp.bufs.(slot) <- b
+    end;
+    !buf.(!len) <- v;
+    incr len
   in
-  let spawned =
-    List.init (domains - 1) (fun j -> Domain.spawn (fun () -> worker (j + 1)))
-  in
-  worker 0;
-  List.iter Domain.join spawned;
-  Array.iter
-    (Array.iter (fun v -> if not (Bitset.mem visited v) then commit v))
-    results
+  for i = clo to chi - 1 do
+    succs order.{i} (fun v -> if not (Bitset.mem visited v) then push v)
+  done;
+  exp.lens.(slot * len_stride) <- !len
 
-let bfs ?(domains = 1) ?ws ~n ~succs ?(keep = keep_all) src =
+(* Expand one BFS level [order.{lo..hi-1}] in parallel, in rounds of at
+   most [chunks_per_round] chunks.  Within a round the chunks are
+   gathered by the work-stealing pool (any domain, any interleaving),
+   then committed sequentially in ascending chunk order with the
+   visited re-check — exactly the (frontier-position, successor-order)
+   sequence the sequential loop considers candidates in, so frontier
+   contents, discovery order and distances are bit-identical to
+   [domains = 1] whatever the chunk size or steal schedule. *)
+let expand_level exp ~succs ~visited ~commit ~order lo hi =
+  let chunk = exp.chunk in
+  let nchunks = (hi - lo + chunk - 1) / chunk in
+  let round_start = ref 0 in
+  while !round_start < nchunks do
+    let round = min chunks_per_round (nchunks - !round_start) in
+    let base = lo + (!round_start * chunk) in
+    Sched.parallel_for exp.pool ~chunk:1 ~lo:0 ~hi:round (fun slot _ _ ->
+        let clo = base + (slot * chunk) in
+        gather exp ~succs ~visited ~order slot clo (min hi (clo + chunk)));
+    for slot = 0 to round - 1 do
+      let buf = exp.bufs.(slot) in
+      let len = exp.lens.(slot * len_stride) in
+      for i = 0 to len - 1 do
+        let v = buf.(i) in
+        if not (Bitset.mem visited v) then commit v
+      done
+    done;
+    round_start := !round_start + round
+  done
+
+let bfs ?(domains = 1) ?(chunk = chunk_size) ?ws ~n ~succs ?(keep = keep_all)
+    src =
   if src < 0 || src >= n then invalid_arg "Itopo.bfs: source out of range";
-  let dist = dist_array ?ws ~n () in
-  let order = order_array ?ws ~n () in
-  let count = ref 0 in
-  let visited = masked_visited ?ws ~n ~keep () in
-  if not (Bitset.mem visited src) then begin
-    Bitset.add visited src;
-    dist.(src) <- 0;
-    order.(0) <- src;
-    count := 1;
-    let level_start = ref 0 in
-    let d = ref 0 in
-    (* Hoisted out of the level loop: allocating these closures per
-       level (let alone per node, as a lambda in the inner loop would)
-       accounted for megawords of minor garbage per traversal. *)
-    let commit v =
-      Bitset.add visited v;
-      dist.(v) <- !d;
-      order.(!count) <- v;
-      incr count
-    in
-    let consider v = if not (Bitset.mem visited v) then commit v in
-    while !level_start < !count do
-      let lo = !level_start and hi = !count in
-      level_start := hi;
-      incr d;
-      if domains > 1 && hi - lo >= par_threshold then
-        expand_par ~domains ~succs ~visited ~commit ~order lo hi
-      else
-        for i = lo to hi - 1 do
-          succs order.(i) consider
+  with_par ~domains ~chunk (fun p ->
+      let dist = dist_array ?ws ~n () in
+      let order = order_array ?ws ~n () in
+      let count = ref 0 in
+      let visited = masked_visited ?ws ~n ~keep () in
+      if not (Bitset.mem visited src) then begin
+        Bitset.add visited src;
+        dist.{src} <- 0;
+        order.{0} <- src;
+        count := 1;
+        let level_start = ref 0 in
+        let d = ref 0 in
+        (* Hoisted out of the level loop: allocating these closures per
+           level (let alone per node, as a lambda in the inner loop
+           would) accounted for megawords of minor garbage per
+           traversal. *)
+        let commit v =
+          Bitset.add visited v;
+          dist.{v} <- !d;
+          order.{!count} <- v;
+          incr count
+        in
+        let consider v = if not (Bitset.mem visited v) then commit v in
+        while !level_start < !count do
+          let lo = !level_start and hi = !count in
+          level_start := hi;
+          incr d;
+          if domains > 1 && hi - lo >= 4 * chunk then
+            expand_level (par_get p) ~succs ~visited ~commit ~order lo hi
+          else
+            for i = lo to hi - 1 do
+              succs order.{i} consider
+            done
         done
-    done
-  end;
-  { dist; order; count = !count }
+      end;
+      { dist; order; count = !count })
 
-let bfs_dist ?domains ~n ~succs ?keep src =
-  (bfs ?domains ~n ~succs ?keep src).dist
+let bfs_dist ?domains ?chunk ~n ~succs ?keep src =
+  Flatarr.to_array (bfs ?domains ?chunk ~n ~succs ?keep src).dist
 
-let eccentricity ?domains ?ws ~n ~succs ?keep src =
-  let r = bfs ?domains ?ws ~n ~succs ?keep src in
+let eccentricity ?domains ?chunk ?ws ~n ~succs ?keep src =
+  let r = bfs ?domains ?chunk ?ws ~n ~succs ?keep src in
   (* BFS discovers nodes by nondecreasing distance, so the last
      discovery is the farthest. *)
-  if r.count = 0 then 0 else r.dist.(r.order.(r.count - 1))
+  if r.count = 0 then 0 else r.dist.{r.order.{r.count - 1}}
 
 (* Visited-bitset BFS (no distances) appending discoveries to [order]
    from position [!count]; [visited] must already have [src] unmarked
    and every excluded node pre-marked ({!masked_visited}).  Shared by
    the component sweeps so that one bitset + one order array span every
    seed. *)
-let flood ~domains ~succs ~visited ~(order : int array) ~count src =
+let flood ~par:p ~succs ~visited ~(order : Flatarr.t) ~count src =
   Bitset.add visited src;
-  order.(!count) <- src;
+  order.{!count} <- src;
   incr count;
   let level_start = ref (!count - 1) in
   let commit v =
     Bitset.add visited v;
-    order.(!count) <- v;
+    order.{!count} <- v;
     incr count
   in
   let consider v = if not (Bitset.mem visited v) then commit v in
   while !level_start < !count do
     let lo = !level_start and hi = !count in
     level_start := hi;
-    if domains > 1 && hi - lo >= par_threshold then
-      expand_par ~domains ~succs ~visited ~commit ~order lo hi
+    if p.pdomains > 1 && hi - lo >= 4 * p.pchunk then
+      expand_level (par_get p) ~succs ~visited ~commit ~order lo hi
     else
       for i = lo to hi - 1 do
-        succs order.(i) consider
+        succs order.{i} consider
       done
   done
 
@@ -216,13 +303,13 @@ let component_members ~n ~succs ~preds ?(keep = keep_all) src =
    span (start, size) of the largest one.  Each component occupies a
    contiguous segment of [order], already in BFS discovery order from
    its smallest member (seeds ascend). *)
-let lwc_sweep ~domains ~n ~both ~visited ~order =
+let lwc_sweep ~par ~n ~both ~visited ~order =
   let count = ref 0 in
   let best_start = ref 0 and best_size = ref 0 in
   for seed = 0 to n - 1 do
     if not (Bitset.mem visited seed) then begin
       let start = !count in
-      flood ~domains ~succs:both ~visited ~order ~count seed;
+      flood ~par ~succs:both ~visited ~order ~count seed;
       let size = !count - start in
       (* strict [>]: ties go to the earlier seed, i.e. the component
          containing the smallest node — matching
@@ -235,40 +322,44 @@ let lwc_sweep ~domains ~n ~both ~visited ~order =
   done;
   (!best_start, !best_size)
 
-let largest_weak_component ?(domains = 1) ~n ~succs ~preds ?(keep = keep_all) ()
-    =
-  let both = symmetric ~succs ~preds in
-  let visited = masked_visited ~n ~keep () in
-  let order = Array.make n 0 in
-  let start, size = lwc_sweep ~domains ~n ~both ~visited ~order in
-  Array.sub order start size
+let largest_weak_component ?(domains = 1) ?(chunk = chunk_size) ~n ~succs
+    ~preds ?(keep = keep_all) () =
+  with_par ~domains ~chunk (fun par ->
+      let both = symmetric ~succs ~preds in
+      let visited = masked_visited ~n ~keep () in
+      let order = Flatarr.make n 0 in
+      let start, size = lwc_sweep ~par ~n ~both ~visited ~order in
+      Flatarr.sub_to_array order start size)
 
-let largest_weak_component_span ?(domains = 1) ~ws ~n ~succs ~preds
-    ?(keep = keep_all) () =
-  let both = symmetric ~succs ~preds in
-  let visited = masked_visited ~ws ~n ~keep () in
-  let order = ws.worder in
-  let start, size = lwc_sweep ~domains ~n ~both ~visited ~order in
-  (order, start, size)
+let largest_weak_component_span ?(domains = 1) ?(chunk = chunk_size) ~ws ~n
+    ~succs ~preds ?(keep = keep_all) () =
+  with_par ~domains ~chunk (fun par ->
+      let both = symmetric ~succs ~preds in
+      let visited = masked_visited ~ws ~n ~keep () in
+      let order = ws.worder in
+      let start, size = lwc_sweep ~par ~n ~both ~visited ~order in
+      (order, start, size))
 
 let weak_labels ~n ~succs ~preds ?(keep = keep_all) () =
   let both = symmetric ~succs ~preds in
   let visited = masked_visited ~n ~keep () in
-  let order = Array.make n 0 in
+  let order = Flatarr.make n 0 in
   let count = ref 0 in
   let label = Array.make n (-1) in
+  let par = { pdomains = 1; pchunk = chunk_size; pexp = None } in
   for seed = 0 to n - 1 do
     if not (Bitset.mem visited seed) then begin
       let start = !count in
-      flood ~domains:1 ~succs:both ~visited ~order ~count seed;
+      flood ~par ~succs:both ~visited ~order ~count seed;
       for i = start to !count - 1 do
-        label.(order.(i)) <- seed
+        label.(order.{i}) <- seed
       done
     end
   done;
   label
 
-let is_strongly_connected ?domains ~n ~succs ~preds ?(keep = keep_all) () =
+let is_strongly_connected ?domains ?chunk ~n ~succs ~preds ?(keep = keep_all)
+    () =
   let root = ref (-1) in
   let kept = ref 0 in
   for v = n - 1 downto 0 do
@@ -279,8 +370,8 @@ let is_strongly_connected ?domains ~n ~succs ~preds ?(keep = keep_all) () =
   done;
   !kept <= 1
   ||
-  let fwd = bfs ?domains ~n ~succs ~keep !root in
+  let fwd = bfs ?domains ?chunk ~n ~succs ~keep !root in
   fwd.count = !kept
   &&
-  let bwd = bfs ?domains ~n ~succs:preds ~keep !root in
+  let bwd = bfs ?domains ?chunk ~n ~succs:preds ~keep !root in
   bwd.count = !kept

@@ -5,17 +5,20 @@
     each successor of [v] (in a fixed order), likewise [preds].  For De
     Bruijn graphs the iterators are pure arithmetic
     ([Debruijn.Word.iter_succs]), so million-node traversals run without
-    building any adjacency structure at all.  State is flat: distances
-    and discovery order in [int array]s (the BFS queue {e is} the
-    discovery-order array — every node is pushed at most once, so no
-    ring buffer is needed), visited marks in {!Bitset}.
+    building any adjacency structure at all.  State is flat and
+    off-heap: distances and discovery order in {!Flatarr.t}s (the BFS
+    queue {e is} the discovery-order array — every node is pushed at
+    most once, so no ring buffer is needed), visited marks in
+    {!Bitset}.
 
-    [?domains:k] switches large BFS levels to level-synchronous parallel
-    expansion: workers read the visited marks read-only and stash
-    candidates per chunk, then a sequential merge dedupes them in the
-    exact order the sequential loop would consider them — results are
-    bit-identical to [domains = 1] (same contract as
-    [Netsim.Simulator]'s parallel stepping). *)
+    [?domains:k] expands large BFS levels through a chunked
+    work-stealing pool ({!Sched}): the level is cut into
+    {!chunk_size}-position chunks, gathered concurrently (workers read
+    the visited marks read-only, stashing candidates per chunk), then
+    committed sequentially in ascending chunk order — the exact
+    candidate-consideration sequence of the sequential loop, so results
+    are bit-identical to [domains = 1] for {e every} domain count,
+    chunk size and steal schedule (DESIGN.md §6b). *)
 
 type iter = int -> (int -> unit) -> unit
 (** [iter v f] calls [f] on each neighbor of [v], in a deterministic
@@ -29,10 +32,24 @@ val no_preds : iter
     set is a union of necklaces), passing [no_preds] makes the sweep
     walk [succs] alone — half the edge work and no wrapper closure. *)
 
+val chunk_size : int
+(** Frontier positions per work-stealing chunk (512).  The default
+    granule of parallel level expansion: big enough that an atomic
+    claim amortizes to noise, small enough that a level of a few
+    thousand nodes still load-balances. *)
+
+val par_threshold : int
+(** [4 * chunk_size].  Levels narrower than this run sequentially even
+    when [domains > 1]: with fewer than four chunks there is nothing to
+    steal and the round barrier dominates.  Overriding [?chunk] moves
+    the cutoff in lockstep ([4 * chunk]) — so [~chunk:1] exercises the
+    full parallel machinery on graphs only a few nodes wide, which is
+    how the qcheck determinism suites reach it. *)
+
 type bfs = {
-  dist : int array;  (** distance from the source; [-1] if unreached *)
-  order : int array;
-      (** [order.(0 .. count−1)] are the reached nodes in discovery
+  dist : Flatarr.t;  (** distance from the source; [-1] if unreached *)
+  order : Flatarr.t;
+      (** [order.{0 .. count−1}] are the reached nodes in discovery
           order (nondecreasing distance); entries beyond [count] are
           meaningless *)
   count : int;  (** number of reached nodes *)
@@ -47,12 +64,19 @@ type ws
     to the fresh-allocation path — each traversal resets exactly the
     workspace state it reads. *)
 
-val ws_create : int -> ws
+val ws_create : ?arena:Flatarr.Arena.arena -> int -> ws
 (** [ws_create n] — workspace for traversals over node ids
-    [0 .. n−1].  Allocates 2n+O(n/bits) words once. *)
+    [0 .. n−1].  The 2n-word dist/order storage is off-heap: freshly
+    allocated, or carved from [?arena] (exactly {!ws_arena_words}[ n]
+    words — how [Ffc.Workspace] folds the traversal scratch into its
+    single backing allocation). *)
+
+val ws_arena_words : int -> int
+(** Arena words consumed by [ws_create ~arena n]. *)
 
 val bfs :
   ?domains:int ->
+  ?chunk:int ->
   ?ws:ws ->
   n:int ->
   succs:iter ->
@@ -62,14 +86,23 @@ val bfs :
 (** [bfs ~n ~succs src] — BFS from [src] over node ids [0 .. n−1].
     [?keep] restricts to an induced subgraph; a source failing [keep]
     reaches nothing ([count = 0]).  With [?ws] the result's [dist] and
-    [order] point into the workspace (valid until its next use). *)
+    [order] point into the workspace (valid until its next use).
+    [?chunk] (default {!chunk_size}) overrides the work-stealing
+    granule — results are bit-identical for every value ≥ 1. *)
 
 val bfs_dist :
-  ?domains:int -> n:int -> succs:iter -> ?keep:(int -> bool) -> int -> int array
-(** Just the distance array of {!bfs}. *)
+  ?domains:int ->
+  ?chunk:int ->
+  n:int ->
+  succs:iter ->
+  ?keep:(int -> bool) ->
+  int ->
+  int array
+(** The distance array of {!bfs}, copied to the heap. *)
 
 val eccentricity :
   ?domains:int ->
+  ?chunk:int ->
   ?ws:ws ->
   n:int ->
   succs:iter ->
@@ -88,6 +121,7 @@ val component_members :
 
 val largest_weak_component :
   ?domains:int ->
+  ?chunk:int ->
   n:int ->
   succs:iter ->
   preds:iter ->
@@ -102,15 +136,16 @@ val largest_weak_component :
 
 val largest_weak_component_span :
   ?domains:int ->
+  ?chunk:int ->
   ws:ws ->
   n:int ->
   succs:iter ->
   preds:iter ->
   ?keep:(int -> bool) ->
   unit ->
-  int array * int * int
+  Flatarr.t * int * int
 (** Allocation-free {!largest_weak_component}: returns
-    [(order, start, size)] where [order.(start .. start+size−1)] is the
+    [(order, start, size)] where [order.{start .. start+size−1}] is the
     largest component in BFS discovery order.  [order] is the
     workspace's order array — the span is valid until the workspace's
     next use.  Same contents and tie-breaks as the copying variant. *)
@@ -122,6 +157,7 @@ val weak_labels :
 
 val is_strongly_connected :
   ?domains:int ->
+  ?chunk:int ->
   n:int ->
   succs:iter ->
   preds:iter ->

@@ -1,0 +1,161 @@
+(* Chunked work-stealing scheduler over index ranges.
+
+   A [pool] owns [domains − 1] long-lived worker domains parked on a
+   condition variable; [run] publishes a job (an epoch bump under the
+   mutex), participates as worker 0, and barriers until every worker
+   has finished.  Amortizing [Domain.spawn] across the many parallel
+   regions of one traversal (every BFS level is a region) is the point:
+   spawning per level cost 20–50 µs per domain per level.
+
+   [parallel_for] is the only work distributor: the range is cut into
+   fixed-size chunks, chunks are pre-partitioned contiguously across
+   workers, and each worker claims chunks through an atomic cursor —
+   its own first, then (work stealing) from every other worker's
+   cursor in round-robin order.  [Atomic.fetch_and_add] makes every
+   claim unique, so each chunk index executes exactly once, on exactly
+   one domain; {e which} domain is nondeterministic, so determinism is
+   the caller's job — have the body write only to chunk-indexed slots
+   and merge sequentially in chunk order (what Itopo's BFS does).
+
+   A worker exception is stashed and re-raised from [run] after the
+   barrier (first one wins); the protocol itself never wedges. *)
+
+type pool = {
+  size : int;  (* participating domains, including the caller *)
+  mutex : Mutex.t;
+  start : Condition.t;  (* a new epoch was published *)
+  finish : Condition.t;  (* a worker finished the current epoch *)
+  mutable epoch : int;
+  mutable job : (int -> unit) option;
+  mutable pending : int;
+  mutable failure : exn option;
+  mutable stop : bool;
+  mutable workers : unit Domain.t list;
+}
+
+let worker_loop pool me =
+  let seen = ref 0 in
+  let running = ref true in
+  while !running do
+    Mutex.lock pool.mutex;
+    while (not pool.stop) && pool.epoch = !seen do
+      Condition.wait pool.start pool.mutex
+    done;
+    if pool.stop then begin
+      running := false;
+      Mutex.unlock pool.mutex
+    end
+    else begin
+      seen := pool.epoch;
+      let job = pool.job in
+      Mutex.unlock pool.mutex;
+      let outcome =
+        match job with
+        | None -> None
+        | Some f -> ( try f me; None with exn -> Some exn)
+      in
+      Mutex.lock pool.mutex;
+      (match (outcome, pool.failure) with
+      | Some e, None -> pool.failure <- Some e
+      | _ -> ());
+      pool.pending <- pool.pending - 1;
+      if pool.pending = 0 then Condition.broadcast pool.finish;
+      Mutex.unlock pool.mutex
+    end
+  done
+
+let create ~domains =
+  if domains < 1 then invalid_arg "Sched.create: domains must be >= 1";
+  let pool =
+    {
+      size = domains;
+      mutex = Mutex.create ();
+      start = Condition.create ();
+      finish = Condition.create ();
+      epoch = 0;
+      job = None;
+      pending = 0;
+      failure = None;
+      stop = false;
+      workers = [];
+    }
+  in
+  pool.workers <-
+    List.init (domains - 1) (fun i -> Domain.spawn (fun () -> worker_loop pool (i + 1)));
+  pool
+
+let size pool = pool.size
+
+let shutdown pool =
+  match pool.workers with
+  | [] -> ()
+  | workers ->
+      Mutex.lock pool.mutex;
+      pool.stop <- true;
+      Condition.broadcast pool.start;
+      Mutex.unlock pool.mutex;
+      List.iter Domain.join workers;
+      pool.workers <- []
+
+let with_pool ~domains f =
+  let pool = create ~domains in
+  Fun.protect ~finally:(fun () -> shutdown pool) (fun () -> f pool)
+
+let run pool f =
+  if pool.size = 1 then f 0
+  else begin
+    Mutex.lock pool.mutex;
+    pool.job <- Some f;
+    pool.failure <- None;
+    pool.pending <- pool.size - 1;
+    pool.epoch <- pool.epoch + 1;
+    Condition.broadcast pool.start;
+    Mutex.unlock pool.mutex;
+    let mine = try f 0; None with exn -> Some exn in
+    Mutex.lock pool.mutex;
+    while pool.pending > 0 do
+      Condition.wait pool.finish pool.mutex
+    done;
+    pool.job <- None;
+    let theirs = pool.failure in
+    pool.failure <- None;
+    Mutex.unlock pool.mutex;
+    (match mine with Some e -> raise e | None -> ());
+    match theirs with Some e -> raise e | None -> ()
+  end
+
+let parallel_for pool ~chunk ~lo ~hi body =
+  if chunk < 1 then invalid_arg "Sched.parallel_for: chunk must be >= 1";
+  let span = hi - lo in
+  if span > 0 then begin
+    let nchunks = (span + chunk - 1) / chunk in
+    let exec c =
+      let cl = lo + (c * chunk) in
+      body c cl (min hi (cl + chunk))
+    in
+    if pool.size = 1 || nchunks = 1 then
+      for c = 0 to nchunks - 1 do
+        exec c
+      done
+    else begin
+      let k = pool.size in
+      (* Contiguous pre-partition: worker w owns chunk indices
+         [w·nchunks/k, (w+1)·nchunks/k).  Each cursor is claimed with
+         fetch_and_add by its owner and, once a thief runs dry, by
+         anyone — over-increments past the limit are harmless. *)
+      let cursors = Array.init k (fun w -> Atomic.make (w * nchunks / k)) in
+      run pool (fun me ->
+          let drain w =
+            let limit = (w + 1) * nchunks / k in
+            let continue = ref true in
+            while !continue do
+              let c = Atomic.fetch_and_add cursors.(w) 1 in
+              if c < limit then exec c else continue := false
+            done
+          in
+          drain me;
+          for off = 1 to k - 1 do
+            drain ((me + off) mod k)
+          done)
+    end
+  end

@@ -1,0 +1,48 @@
+(** Chunked work-stealing scheduler over index ranges.
+
+    A {!pool} owns [domains − 1] long-lived worker domains parked on a
+    condition variable; {!run} publishes a job and barriers until every
+    participant (the caller is worker 0) finishes, so the cost of
+    [Domain.spawn] is paid once per pool instead of once per parallel
+    region — a BFS runs one region {e per level}.
+
+    {!parallel_for} distributes a range cut into fixed-size chunks:
+    chunks are pre-partitioned contiguously across workers and claimed
+    through per-worker atomic cursors — each worker drains its own
+    cursor, then steals from the others round-robin.  Every claim is an
+    [Atomic.fetch_and_add], so each chunk executes exactly once but on
+    a nondeterministic domain; callers wanting deterministic results
+    must write only to chunk-indexed slots and merge sequentially in
+    chunk order (the contract [Itopo]'s BFS follows — DESIGN.md §6b). *)
+
+type pool
+
+val create : domains:int -> pool
+(** [create ~domains] spawns [domains − 1] workers.  [domains = 1] is
+    a valid degenerate pool: everything runs on the caller, no domains
+    are spawned.  @raise Invalid_argument when [domains < 1]. *)
+
+val size : pool -> int
+(** Participating domains, including the caller. *)
+
+val shutdown : pool -> unit
+(** Stop and join the workers.  Idempotent.  A pool must not be used
+    after shutdown. *)
+
+val with_pool : domains:int -> (pool -> 'a) -> 'a
+(** [create] / [shutdown] bracketed with [Fun.protect]. *)
+
+val run : pool -> (int -> unit) -> unit
+(** [run pool f] executes [f w] on every participant, [w] ∈
+    [0 .. size−1] ([f 0] on the caller), and returns after all have
+    finished.  If any participant raises, one such exception is
+    re-raised here {e after} the barrier (the pool stays usable). *)
+
+val parallel_for :
+  pool -> chunk:int -> lo:int -> hi:int -> (int -> int -> int -> unit) -> unit
+(** [parallel_for pool ~chunk ~lo ~hi body] covers [\[lo, hi)] with
+    chunks of [chunk] indices and calls [body c cl ch] exactly once per
+    chunk, where [c] is the chunk's ordinal and [\[cl, ch)] ⊆
+    [\[lo, hi)] its index range.  Chunks run concurrently via work
+    stealing; see the determinism contract above.
+    @raise Invalid_argument when [chunk < 1]. *)

@@ -59,6 +59,13 @@ RATIO = {
     # per-event latencies: wall-clock figures, same window as wall_s
     "median_event_s": 4.0,
     "max_event_s": 4.0,
+    # peak resident set: dominated by the off-heap arenas, but the OS
+    # high-water mark also counts transient heap, so windowed
+    "max_rss_kb": 4.0,
+    # derived multicore speedups: rows carry "domains" in the engine so
+    # they are skipped anyway; listed here to keep the field out of row
+    # identity if that ever changes
+    "speedup_vs_x1": 8.0,
 }
 PERCENT_DEFAULT = 0.25
 
@@ -79,6 +86,7 @@ SCHEMA = [
     ("wall_s", ("wall_s",)),
     ("minor words", ("minor_words", "minor_words_per_trial", "minor_words_per_event")),
     ("major words", ("major_words", "major_words_per_trial", "major_words_per_event")),
+    ("max_rss_kb", ("max_rss_kb",)),
 ]
 
 

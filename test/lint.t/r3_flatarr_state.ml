@@ -1,0 +1,8 @@
+(* Fixture: trips R3 only — a toplevel off-heap scratch array in a file
+   that uses Domain.  Bigarray storage is unsynchronized shared memory;
+   a toplevel Flatarr races exactly like a toplevel Array. *)
+let scratch = Flatarr.Byte.make 1024 0
+
+let read i = scratch.{i}
+
+let par f = Domain.join (Domain.spawn f)

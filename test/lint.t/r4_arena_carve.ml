@@ -1,0 +1,3 @@
+(* Fixture: trips R4 only — carving an arena outside the workspace /
+   Itopo scratch constructors. *)
+let steal arena = Flatarr.Arena.carve arena 64

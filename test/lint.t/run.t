@@ -4,7 +4,7 @@ The rule registry:
   R1  no Stdlib.Random / Unix.gettimeofday outside Util.Rng and bench/jrec.ml
   R2  no polymorphic =/compare/Hashtbl.hash on structured values
   R3  no mutable toplevel state in Domain-reachable code (annotate with [@@lint.domain_safe])
-  R4  arena confinement: Workspace internals stay in the pipeline; ?ws never escapes into data
+  R4  arena confinement: Workspace internals and Arena carving stay in the pipeline; ?ws never escapes into data
   R5  no Obj.magic/%identity; no Printf in lib/
 
 Each fixture trips exactly one rule, with the right id and location:
@@ -19,6 +19,14 @@ Each fixture trips exactly one rule, with the right id and location:
   [1]
   $ debruijn-lint r3_toplevel_state.ml
   r3_toplevel_state.ml:3:0: [R3] toplevel binding holds a mutable Hashtbl.create, shared under Domain.spawn; hoist it into the runtime state or annotate [@@lint.domain_safe "why"]
+  debruijn-lint: 1 file(s), 1 finding(s)
+  [1]
+  $ debruijn-lint r3_flatarr_state.ml
+  r3_flatarr_state.ml:4:0: [R3] toplevel binding holds an off-heap Flatarr.Byte.make, shared under Domain.spawn; hoist it into the runtime state or annotate [@@lint.domain_safe "why"]
+  debruijn-lint: 1 file(s), 1 finding(s)
+  [1]
+  $ debruijn-lint r4_arena_carve.ml
+  r4_arena_carve.ml:3:18: [R4] Arena.carve: carving hands out aliasing views; arenas are carved only by the Workspace and Itopo scratch constructors
   debruijn-lint: 1 file(s), 1 finding(s)
   [1]
   $ debruijn-lint r4_ws_escape.ml

@@ -7,6 +7,7 @@ module A = Ffc.Adjacency
 module Sp = Ffc.Spanning
 module E = Ffc.Embed
 module Dist = Ffc.Distributed
+module Fa = Graphlib.Flatarr
 
 let check_int = Alcotest.(check int)
 let check_bool = Alcotest.(check bool)
@@ -25,9 +26,9 @@ let test_bstar_example () =
   let b = example_bstar () in
   check_int "21 nodes survive" 21 b.B.size;
   check_int "root is 000" (W.of_string p33 "000") b.B.root;
-  check_bool "faulty node flagged" true b.B.necklace_faulty.(W.of_string p33 "020");
-  check_bool "rotation of faulty flagged" true b.B.necklace_faulty.(W.of_string p33 "200");
-  check_bool "live node kept" true b.B.in_bstar.(W.of_string p33 "012");
+  check_bool "faulty node flagged" true (b.B.necklace_faulty.{W.of_string p33 "020"} <> 0);
+  check_bool "rotation of faulty flagged" true (b.B.necklace_faulty.{W.of_string p33 "200"} <> 0);
+  check_bool "live node kept" true (b.B.in_bstar.{W.of_string p33 "012"} <> 0);
   check_bool "strongly connected" true (B.is_strongly_connected b);
   check_int "9 live necklaces" 9 (B.necklace_count b)
 
@@ -143,7 +144,7 @@ let test_adjacency_unique_alpha_w () =
       for w = 0 to p2.W.size - 1 do
         let hits =
           List.filter
-            (fun a -> adj.A.idx_of_node.(W.cons p33 a w) = i)
+            (fun a -> adj.A.idx_of_node.{W.cons p33 a w} = i)
             [ 0; 1; 2 ]
         in
         check_bool "at most one" true (List.length hits <= 1)
@@ -213,7 +214,7 @@ let test_example_2_1_successors () =
   (* §2.2: "node 120 is followed by its necklace successor 201 …
      node 101 is followed by 012". *)
   let e = E.of_bstar (example_bstar ()) in
-  let succ s = e.E.successor.(W.of_string p33 s) in
+  let succ s = e.E.successor.{W.of_string p33 s} in
   check_int "succ 120 = 201" (W.of_string p33 "201") (succ "120");
   check_int "succ 101 = 012" (W.of_string p33 "012") (succ "101")
 
@@ -270,7 +271,7 @@ let test_prop_2_2_diameter () =
             check_bool "diameter <= 2n" true (B.diameter b <= 2 * n);
             (* B* contains all live necklaces: size = dⁿ − NF. *)
             let nf =
-              List.length (List.filter (fun v -> b.B.necklace_faulty.(v)) (W.all p))
+              List.length (List.filter (fun v -> b.B.necklace_faulty.{v} <> 0) (W.all p))
             in
             check_int "no fragmentation" (p.W.size - nf) b.B.size
       done)
@@ -350,7 +351,8 @@ let test_distributed_matches_example () =
   let b = example_bstar () in
   let cent = E.of_bstar b in
   let dist = Dist.run b in
-  Alcotest.(check (array int)) "identical successor maps" cent.E.successor dist.Dist.successor;
+  Alcotest.(check (array int)) "identical successor maps" (Fa.to_array cent.E.successor)
+    dist.Dist.successor;
   Alcotest.(check (array int)) "identical cycles" cent.E.cycle dist.Dist.cycle
 
 let test_distributed_matches_random () =
@@ -366,7 +368,7 @@ let test_distributed_matches_random () =
         | Some b ->
             let cent = E.of_bstar b in
             let dist = Dist.run b in
-            Alcotest.(check (array int)) "successor maps" cent.E.successor
+            Alcotest.(check (array int)) "successor maps" (Fa.to_array cent.E.successor)
               dist.Dist.successor
       done)
     [ (2, 5); (2, 7); (3, 3); (3, 4); (4, 3); (5, 2) ]
@@ -411,7 +413,7 @@ let test_selftimed_matches () =
         | Some b ->
             let cent = E.of_bstar b in
             let st = Ffc.Selftimed.run b in
-            Alcotest.(check (array int)) "successors" cent.E.successor
+            Alcotest.(check (array int)) "successors" (Fa.to_array cent.E.successor)
               st.Ffc.Selftimed.successor;
             Alcotest.(check (array int)) "cycle" cent.E.cycle st.Ffc.Selftimed.cycle
       done)
@@ -443,7 +445,7 @@ let test_probe_phase_flags () =
     (fun v live ->
       let faulty_v = List.mem v b.B.faults in
       if faulty_v then check_bool "faulty silent" false live
-      else check_bool "flag matches necklace fault" (not b.B.necklace_faulty.(v)) live)
+      else check_bool "flag matches necklace fault" (b.B.necklace_faulty.{v} = 0) live)
     flags
 
 let test_lemma_2_1_arc_structure () =
@@ -470,19 +472,18 @@ let test_lemma_2_1_arc_structure () =
             Array.iteri
               (fun i v ->
                 let prev = cyc.(((i - 1) mod k + k) mod k) in
-                let nv = adj.A.idx_of_node.(v) and np = adj.A.idx_of_node.(prev) in
+                let nv = adj.A.idx_of_node.{v} and np = adj.A.idx_of_node.{prev} in
                 if nv <> np then entries.(nv) <- entries.(nv) + 1)
               cyc;
             (* expected: the number of distinct w with an outgoing D-edge
                (single-necklace B* has zero D-edges and one "arc") *)
             let out_degrees = Array.make (Array.length adj.A.reps) 0 in
-            Array.iteri
-              (fun x target ->
-                if target >= 0 then begin
-                  let i = adj.A.idx_of_node.(x) in
-                  out_degrees.(i) <- out_degrees.(i) + 1
-                end)
-              m.Sp.succ_override;
+            for x = 0 to Fa.length m.Sp.succ_override - 1 do
+              if m.Sp.succ_override.{x} >= 0 then begin
+                let i = adj.A.idx_of_node.{x} in
+                out_degrees.(i) <- out_degrees.(i) + 1
+              end
+            done;
             Array.iteri
               (fun idx _ ->
                 let out_degree = out_degrees.(idx) in
@@ -634,7 +635,7 @@ let test_distributed_b217 () =
           let dist = Dist.run ~domains:2 b in
           Alcotest.(check bool)
             "successor maps identical" true
-            (dist.Dist.successor = emb.E.successor);
+            (dist.Dist.successor = Fa.to_array emb.E.successor);
           Alcotest.(check bool)
             "cycles identical" true
             (dist.Dist.cycle = emb.E.cycle))
@@ -651,6 +652,22 @@ let test_implicit_b220 () =
       | Some e ->
           check_bool "verify" true (E.verify e);
           check_int "cycle covers B*" e.E.bstar.B.size (E.length e))
+
+(* B(2,27) (134M nodes, one fault) — the multicore acceptance instance
+   from the work-stealing PR.  The off-heap arena keeps the OCaml heap
+   flat (~zero minor words per node); wall-clock is dominated by the
+   parallel BFS.  Nightly big-instances job only. *)
+let test_embed_b227 () =
+  match Sys.getenv_opt "NETSIM_BIG" with
+  | None | Some "" | Some "0" -> ()
+  | Some _ -> (
+      let p = W.params ~d:2 ~n:27 in
+      match E.embed ~domains:4 p ~faults:[ 1 ] with
+      | None -> Alcotest.fail "B(2,27) f=1: no live necklace"
+      | Some e ->
+          check_bool "verify" true (E.verify e);
+          check_int "cycle covers B*" e.E.bstar.B.size (E.length e);
+          check_bool "Prop 2.3 bound" true (E.length e >= p.W.size - 28))
 
 (* ?domains:2 must be bit-identical to the sequential run; B(2,13) is
    the smallest binary instance whose middle BFS levels exceed
@@ -806,8 +823,8 @@ let qsuite =
         | Some e, Some r ->
             e.E.bstar.B.root = r.Ffc.Reference.root
             && e.E.bstar.B.size = r.Ffc.Reference.size
-            && e.E.bstar.B.in_bstar = r.Ffc.Reference.in_bstar
-            && e.E.successor = r.Ffc.Reference.successor
+            && Fa.Byte.to_bool_array e.E.bstar.B.in_bstar = r.Ffc.Reference.in_bstar
+            && Fa.to_array e.E.successor = r.Ffc.Reference.successor
             && e.E.cycle = r.Ffc.Reference.cycle
         | _ -> false);
     Test.make ~name:"length >= d^n - nf whenever f <= d-2" ~count:150 (make scenario)
@@ -893,6 +910,8 @@ let () =
           Alcotest.test_case "domains:2 bit-identical" `Quick test_embed_domains_identical;
           Alcotest.test_case "B(2,20) implicit acceptance (NETSIM_BIG=1)" `Slow
             test_implicit_b220;
+          Alcotest.test_case "B(2,27) multicore acceptance (NETSIM_BIG=1)" `Slow
+            test_embed_b227;
         ] );
       ( "workspace",
         [

@@ -260,20 +260,22 @@ let test_csr_parallel_and_loops () =
 (* itopo: implicit-topology traversals *)
 
 module It = Graphlib.Itopo
+module Fa = Graphlib.Flatarr
+module Sched = Graphlib.Sched
 
 let isuccs g v f = List.iter f (D.succs g v)
 let ipreds g v f = List.iter f (D.preds g v)
 
 let test_itopo_bfs_ring () =
   let r = It.bfs ~n:5 ~succs:(isuccs ring5) 0 in
-  Alcotest.(check (array int)) "dist" [| 0; 1; 2; 3; 4 |] r.It.dist;
+  Alcotest.(check (array int)) "dist" [| 0; 1; 2; 3; 4 |] (Fa.to_array r.It.dist);
   check_int "count" 5 r.It.count;
   Alcotest.(check (array int)) "order" [| 0; 1; 2; 3; 4 |]
-    (Array.sub r.It.order 0 r.It.count);
+    (Fa.sub_to_array r.It.order 0 r.It.count);
   check_int "ecc" 4 (It.eccentricity ~n:5 ~succs:(isuccs ring5) 0);
   (* keep predicate cuts the ring *)
   let r = It.bfs ~n:5 ~succs:(isuccs ring5) ~keep:(fun v -> v <> 2) 0 in
-  check_int "blocked dist" (-1) r.It.dist.(3);
+  check_int "blocked dist" (-1) r.It.dist.{3};
   check_int "blocked count" 2 r.It.count;
   (* source failing keep reaches nothing *)
   let r = It.bfs ~n:5 ~succs:(isuccs ring5) ~keep:(fun v -> v <> 0) 0 in
@@ -337,10 +339,11 @@ let test_itopo_parallel_levels () =
   let seq = It.bfs ~n ~succs 0 in
   let par = It.bfs ~domains:4 ~n ~succs 0 in
   check_int "same count" seq.It.count par.It.count;
-  Alcotest.(check (array int)) "same dist" seq.It.dist par.It.dist;
+  Alcotest.(check (array int)) "same dist" (Fa.to_array seq.It.dist)
+    (Fa.to_array par.It.dist);
   Alcotest.(check (array int)) "same order"
-    (Array.sub seq.It.order 0 seq.It.count)
-    (Array.sub par.It.order 0 par.It.count)
+    (Fa.sub_to_array seq.It.order 0 seq.It.count)
+    (Fa.sub_to_array par.It.order 0 par.It.count)
 
 (* ------------------------------------------------------------------ *)
 (* connectivity *)
@@ -523,9 +526,190 @@ let qsuite_compact =
         let par = It.bfs ~domains:4 ~n ~succs:(isuccs g) 0 in
         seq.It.dist = par.It.dist
         && seq.It.count = par.It.count
-        && Array.sub seq.It.order 0 seq.It.count
-           = Array.sub par.It.order 0 par.It.count);
+        && Fa.sub_to_array seq.It.order 0 seq.It.count
+           = Fa.sub_to_array par.It.order 0 par.It.count);
+    (* Adversarial chunk sizes: chunk = 1 drops the activation cutoff to
+       4 frontier nodes, so tiny random graphs genuinely exercise the
+       work-stealing expansion; chunk > n degenerates every level to a
+       single chunk.  Results must be bit-identical across all of them
+       and to the sequential run. *)
+    Test.make ~name:"Itopo.bfs work-stealing determinism over chunk sizes"
+      ~count:100 arb_graph (fun (n, es) ->
+        let g = D.of_edges n es in
+        let seq = It.bfs ~n ~succs:(isuccs g) 0 in
+        List.for_all
+          (fun chunk ->
+            List.for_all
+              (fun domains ->
+                let par = It.bfs ~domains ~chunk ~n ~succs:(isuccs g) 0 in
+                seq.It.dist = par.It.dist
+                && seq.It.count = par.It.count
+                && Fa.sub_to_array seq.It.order 0 seq.It.count
+                   = Fa.sub_to_array par.It.order 0 par.It.count)
+              [ 2; 4 ])
+          [ 1; 3; n + 7 ]);
+    Test.make
+      ~name:"Itopo.largest_weak_component chunk=1 parallel sweep identical"
+      ~count:100 arb_graph (fun (n, es) ->
+        let g = D.of_edges n es in
+        let seq =
+          It.largest_weak_component ~n ~succs:(isuccs g) ~preds:(ipreds g) ()
+        in
+        let par =
+          It.largest_weak_component ~domains:4 ~chunk:1 ~n ~succs:(isuccs g)
+            ~preds:(ipreds g) ()
+        in
+        seq = par);
   ]
+
+(* ------------------------------------------------------------------ *)
+(* flatarr: off-heap arrays and the arena carver *)
+
+let test_flatarr_basics () =
+  let a = Fa.make 5 (-1) in
+  check_int "make fills" (-1) a.{3};
+  a.{3} <- 42;
+  check_int "set/get" 42 (Fa.get a 3);
+  check_int "length" 5 (Fa.length a);
+  Fa.fill_prefix a 2 7;
+  Alcotest.(check (array int)) "fill_prefix" [| 7; 7; -1; 42; -1 |]
+    (Fa.to_array a);
+  let b = Fa.of_array [| 1; 2; 3 |] in
+  Alcotest.(check (array int)) "of_array/to_array round-trip" [| 1; 2; 3 |]
+    (Fa.to_array b);
+  Alcotest.(check (array int)) "sub_to_array" [| 2; 3 |] (Fa.sub_to_array b 1 2);
+  let dst = Array.make 4 9 in
+  Fa.blit_to_array b dst;
+  Alcotest.(check (array int)) "blit_to_array prefix" [| 1; 2; 3; 9 |] dst;
+  let c = Fa.create 5 in
+  Fa.blit b c;
+  check_int "blit prefix" 2 c.{1};
+  let by = Fa.Byte.make 4 0 in
+  by.{2} <- 1;
+  Alcotest.(check (array bool)) "Byte.to_bool_array"
+    [| false; false; true; false |]
+    (Fa.Byte.to_bool_array by)
+
+let test_flatarr_arena () =
+  let words = 2 * Fa.Arena.aligned_words 10 in
+  let bytes = Fa.Arena.aligned_bytes 100 in
+  let a = Fa.Arena.create ~words ~bytes in
+  let x = Fa.Arena.carve a 10 in
+  let y = Fa.Arena.carve a 10 in
+  check_int "zeroed" 0 x.{9};
+  check_int "carve length" 10 (Fa.length y);
+  check_int "words advance by aligned quanta"
+    (2 * Fa.Arena.aligned_words 10)
+    (Fa.Arena.words_used a);
+  (* carved views are disjoint regions of one backing *)
+  x.{9} <- 5;
+  y.{0} <- 6;
+  check_int "no overlap" 5 x.{9};
+  let b = Fa.Arena.carve_byte a 100 in
+  check_int "byte carve zeroed" 0 (Fa.Byte.get b 99);
+  check_int "bytes used" (Fa.Arena.aligned_bytes 100) (Fa.Arena.bytes_used a);
+  Alcotest.check_raises "word arena exhausted"
+    (Invalid_argument "Flatarr.Arena.carve: arena exhausted") (fun () ->
+      ignore (Fa.Arena.carve a 1));
+  Alcotest.check_raises "byte arena exhausted"
+    (Invalid_argument "Flatarr.Arena.carve_byte: arena exhausted") (fun () ->
+      ignore (Fa.Arena.carve_byte a 1))
+
+let test_itopo_ws_arena () =
+  (* A workspace carved from an arena behaves exactly like a fresh one. *)
+  let n = 64 in
+  let arena =
+    Fa.Arena.create ~words:(It.ws_arena_words n) ~bytes:0
+  in
+  let ws = It.ws_create ~arena n in
+  check_int "arena fully consumed" (It.ws_arena_words n)
+    (Fa.Arena.words_used arena);
+  let succs v f = if v + 1 < n then f (v + 1) in
+  let fresh = It.bfs ~n ~succs 0 in
+  let arened = It.bfs ~ws ~n ~succs 0 in
+  check_int "same count" fresh.It.count arened.It.count;
+  Alcotest.(check (array int)) "same dist" (Fa.to_array fresh.It.dist)
+    (Fa.to_array arened.It.dist)
+
+(* ------------------------------------------------------------------ *)
+(* sched: the work-stealing pool *)
+
+let test_sched_parallel_for () =
+  (* Every index executed exactly once, whatever the chunking. *)
+  List.iter
+    (fun domains ->
+      Sched.with_pool ~domains (fun pool ->
+          check_int "size" domains (Sched.size pool);
+          List.iter
+            (fun chunk ->
+              let n = 1000 in
+              let hits = Array.make n 0 in
+              (* Disjoint writes per index: safe across domains. *)
+              Sched.parallel_for pool ~chunk ~lo:0 ~hi:n (fun _ cl ch ->
+                  for i = cl to ch - 1 do
+                    hits.(i) <- hits.(i) + 1
+                  done);
+              check_bool
+                (Printf.sprintf "all-once domains=%d chunk=%d" domains chunk)
+                true
+                (Array.for_all (fun c -> c = 1) hits))
+            [ 1; 7; 64; 1000; 5000 ]))
+    [ 1; 2; 4 ]
+
+let test_sched_chunk_ranges () =
+  Sched.with_pool ~domains:2 (fun pool ->
+      let seen = Array.make 10 (-1) in
+      Sched.parallel_for pool ~chunk:4 ~lo:3 ~hi:13 (fun c cl ch ->
+          for i = cl to ch - 1 do
+            seen.(i - 3) <- c
+          done);
+      (* chunk c covers [3 + 4c, min(13, 3 + 4c + 4)) *)
+      Alcotest.(check (array int)) "chunk ordinals"
+        [| 0; 0; 0; 0; 1; 1; 1; 1; 2; 2 |]
+        seen)
+
+let test_sched_exceptions () =
+  Sched.with_pool ~domains:4 (fun pool ->
+      Alcotest.check_raises "worker exception propagates" Exit (fun () ->
+          Sched.run pool (fun w -> if w = 3 then raise Exit));
+      (* ... and the pool survives for the next job *)
+      let total = Atomic.make 0 in
+      Sched.run pool (fun _ -> ignore (Atomic.fetch_and_add total 1));
+      check_int "pool usable after failure" 4 (Atomic.get total));
+  Alcotest.check_raises "domains must be positive"
+    (Invalid_argument "Sched.create: domains must be >= 1") (fun () ->
+      ignore (Sched.create ~domains:0))
+
+(* The parallel-activation contract (ISSUE 7 satellite): the cutoff is
+   a named constant derived from the chunk size, and crossing it must
+   not change results — pinned with a star graph whose single level
+   sits exactly at / just below the threshold. *)
+let test_itopo_par_threshold () =
+  check_int "par_threshold derived from chunk size" (4 * It.chunk_size)
+    It.par_threshold;
+  let star width =
+    let n = width + 1 in
+    let succs v f =
+      if v = 0 then
+        for i = 1 to width do
+          f i
+        done
+    in
+    (n, succs)
+  in
+  List.iter
+    (fun width ->
+      let n, succs = star width in
+      let seq = It.bfs ~n ~succs 0 in
+      let par = It.bfs ~domains:4 ~n ~succs 0 in
+      check_int
+        (Printf.sprintf "count at width %d" width)
+        seq.It.count par.It.count;
+      check_bool
+        (Printf.sprintf "dist identical at width %d" width)
+        true
+        (seq.It.dist = par.It.dist))
+    [ It.par_threshold - 1; It.par_threshold; It.par_threshold + 1 ]
 
 let () =
   Alcotest.run "graphlib"
@@ -590,6 +774,19 @@ let () =
           Alcotest.test_case "largest weak component" `Quick test_itopo_largest_weak;
           Alcotest.test_case "no_preds sweep" `Quick test_itopo_no_preds;
           Alcotest.test_case "parallel levels bit-identical" `Quick test_itopo_parallel_levels;
+          Alcotest.test_case "arena workspace" `Quick test_itopo_ws_arena;
+          Alcotest.test_case "par_threshold boundary" `Quick test_itopo_par_threshold;
+        ] );
+      ( "flatarr",
+        [
+          Alcotest.test_case "basics" `Quick test_flatarr_basics;
+          Alcotest.test_case "arena carving" `Quick test_flatarr_arena;
+        ] );
+      ( "sched",
+        [
+          Alcotest.test_case "parallel_for covers once" `Quick test_sched_parallel_for;
+          Alcotest.test_case "chunk ranges" `Quick test_sched_chunk_ranges;
+          Alcotest.test_case "exceptions" `Quick test_sched_exceptions;
         ] );
       ("properties", List.map (fun t -> QCheck_alcotest.to_alcotest ~long:false t) qsuite);
       ( "compact vs reference",

@@ -30,9 +30,9 @@ let oracle_agrees ?(materialize = true) (live : Lv.t) p faults =
       && Lv.ecc live = tree.Sp.ecc
       && (let ok = ref true in
           for v = 0 to p.W.size - 1 do
-            if Lv.in_bstar live v <> b.B.in_bstar.(v) then ok := false;
-            if Lv.successor live v <> e.E.successor.(v) then ok := false;
-            if b.B.in_bstar.(v) && Lv.dist live v <> tree.Sp.dist.(v) then
+            if Lv.in_bstar live v <> (b.B.in_bstar.{v} <> 0) then ok := false;
+            if Lv.successor live v <> e.E.successor.{v} then ok := false;
+            if b.B.in_bstar.{v} <> 0 && Lv.dist live v <> tree.Sp.dist.{v} then
               ok := false
           done;
           !ok)

@@ -161,10 +161,12 @@ let r2 =
    [@@lint.domain_safe "why"]. *)
 
 let mutable_modules =
-  [ "Hashtbl"; "Queue"; "Stack"; "Buffer"; "Bytes"; "Array"; "Weak"; "Dynarray" ]
+  [ "Hashtbl"; "Queue"; "Stack"; "Buffer"; "Bytes"; "Array"; "Weak"; "Dynarray";
+    "Atomic"; "Flatarr"; "Sched" ]
 
 let mutable_makers =
-  [ "create"; "make"; "init"; "of_list"; "of_seq"; "make_matrix"; "copy"; "append"; "concat"; "sub" ]
+  [ "create"; "make"; "init"; "of_list"; "of_seq"; "of_array"; "make_matrix"; "copy";
+    "append"; "concat"; "sub" ]
 
 let rec r3_init_shape ctx e =
   match e.pexp_desc with
@@ -180,10 +182,21 @@ let rec r3_init_shape ctx e =
   | Pexp_apply ({ pexp_desc = Pexp_ident { txt; _ }; _ }, _) -> (
       match flat txt with
       | [ "ref" ] | [ "Stdlib"; "ref" ] -> Some "a ref cell"
-      | ([ m; f ] | [ "Stdlib"; m; f ])
-        when List.mem m mutable_modules && List.mem f mutable_makers ->
-          Some (Printf.sprintf "a mutable %s.%s" m f)
-      | _ -> None)
+      | comps -> (
+          (* Strip one qualifying prefix so [Stdlib.Atomic.make],
+             [Graphlib.Flatarr.create] and the bare aliases all land on
+             the same module-path + maker shape. *)
+          let comps =
+            match comps with ("Stdlib" | "Graphlib") :: rest -> rest | _ -> comps
+          in
+          match comps with
+          | [ m; f ] when List.mem m mutable_modules && List.mem f mutable_makers ->
+              Some (Printf.sprintf "a mutable %s.%s" m f)
+          | [ "Flatarr"; (("Byte" | "Arena") as sub); f ] when List.mem f mutable_makers ->
+              Some (Printf.sprintf "an off-heap Flatarr.%s.%s" sub f)
+          | [ "Bigarray"; "Array1"; f ] when List.mem f mutable_makers ->
+              Some (Printf.sprintf "a mutable Bigarray.Array1.%s" f)
+          | _ -> None))
   | _ -> None
 
 let r3 =
@@ -215,10 +228,23 @@ let r3 =
    private to the pipeline stages, and a function taking [?ws] may
    thread the arena along or project its fields, but must not package
    the handle itself into returned/stored data (that silently extends
-   arena lifetime past the aliasing contract). *)
+   arena lifetime past the aliasing contract).  The Bigarray backing
+   has the same lifetime discipline: [Flatarr.Arena.carve]/[carve_byte]
+   hand out aliasing views, so carving is confined to the workspace and
+   Itopo scratch constructors (and Flatarr itself). *)
 
 let r4_arena_file path =
   String.length path >= 8 && String.sub path 0 8 = "lib/ffc/" || path = "lib/graphlib/itopo.ml"
+
+let r4_carve_files =
+  [ "lib/ffc/workspace.ml"; "lib/graphlib/itopo.ml"; "lib/graphlib/flatarr.ml" ]
+
+(* Alias-robust: matches [Flatarr.Arena.carve], [Fa.Arena.carve_byte],
+   [Graphlib.Flatarr.Arena.carve], ... *)
+let r4_carve_access comps =
+  match List.rev comps with
+  | (("carve" | "carve_byte") as f) :: "Arena" :: _ -> Some f
+  | _ -> None
 
 let r4_public_workspace_values = [ "create"; "check" ]
 
@@ -255,9 +281,22 @@ let r4_packaging e =
 let r4 =
   {
     id = "R4";
-    summary = "arena confinement: Workspace internals stay in the pipeline; ?ws never escapes into data";
+    summary =
+      "arena confinement: Workspace internals and Arena carving stay in the pipeline; ?ws \
+       never escapes into data";
     on_expr =
       (fun emit ctx e ->
+        (if not (List.mem ctx.path r4_carve_files) then
+           match e.pexp_desc with
+           | Pexp_ident { txt; loc } -> (
+               match r4_carve_access (flat txt) with
+               | Some f ->
+                   emit ~id:"R4" ~loc
+                     (Printf.sprintf
+                        "Arena.%s: carving hands out aliasing views; arenas are carved only \
+                         by the Workspace and Itopo scratch constructors" f)
+               | None -> ())
+           | _ -> ());
         if not (r4_arena_file ctx.path) then
           match e.pexp_desc with
           | Pexp_ident { txt; loc } | Pexp_field (_, { txt; loc }) -> (
