@@ -1,0 +1,174 @@
+(* Collective traffic over embedded rings — ring reduce-scatter,
+   all-gather and allreduce driven through the network simulator on (a)
+   the FFC-embedded ring under node faults (Chapter 2) and (b) up to
+   psi(d) edge-disjoint Hamiltonian rings under link faults (Chapter 3).
+
+   Smoke: B(2,10) for the FFC cases and B(4,5) for striping; full:
+   B(2,16) and B(4,8).  Every run exact-verifies the reduced integer
+   payloads against the rank-space reference execution, so the gated
+   counters (rounds, delivered, wire words, link load, checksum) are
+   deterministic.  Wall times are machine-dependent; the one domain-
+   sweep row carries "domains" in its engine name so the CI gate
+   schema-checks it without windowing, and its checksum/rounds are
+   asserted bit-identical to the sequential run here instead.
+
+   The headline claim is enforced, not just reported: on the fault-free
+   instance the k-ring striped allreduce must move at least 0.8 k times
+   the application bytes per simulator step of the single-ring run. *)
+
+let jstr = Jrec.jstr
+let jint = Jrec.jint
+let jnum = Jrec.jnum
+let jbool = Jrec.jbool
+let record = Jrec.record
+
+let ops = [ Core.Collective_schedule.Reduce_scatter; All_gather; Allreduce ]
+
+let row ~engine ~d ~n ~f ~op (r : Core.Collective_exec.report) g =
+  record
+    ([
+       ("section", jstr "collective");
+       ("d", jint d);
+       ("n", jint n);
+       ("op", jstr (Core.Collective_schedule.op_to_string op));
+       ("engine", jstr engine);
+       ("f", jint f);
+     ]
+    @ Jrec.gc_fields g
+    @ [
+        ("rings", jint r.Core.Collective_exec.rings);
+        ("ranks", jint r.Core.Collective_exec.ranks);
+        ("phases", jint r.Core.Collective_exec.phases);
+        ("rounds", jint r.Core.Collective_exec.rounds);
+        ("delivered", jint r.Core.Collective_exec.delivered);
+        ("wire_words", jint r.Core.Collective_exec.wire_words);
+        ("payload_words", jint r.Core.Collective_exec.payload_words);
+        ("max_link_load", jint r.Core.Collective_exec.max_link_load);
+        ("max_port_load", jint r.Core.Collective_exec.max_port_load);
+        ("checksum", jint r.Core.Collective_exec.checksum);
+        ("verified", jbool r.Core.Collective_exec.verified);
+        ("bytes_per_step", jnum r.Core.Collective_exec.bytes_per_step);
+      ])
+
+let show ~engine ~op (r : Core.Collective_exec.report) g =
+  Printf.printf
+    "  %-13s %-22s rounds %6d  delivered %9d  B/step %8.1f  link<=%2d  ok %b  %6.2fs\n"
+    (Core.Collective_schedule.op_to_string op)
+    engine r.Core.Collective_exec.rounds r.Core.Collective_exec.delivered
+    r.Core.Collective_exec.bytes_per_step r.Core.Collective_exec.max_link_load
+    r.Core.Collective_exec.verified g.Jrec.wall_s
+
+let check_verified ~what (r : Core.Collective_exec.report) =
+  if not r.Core.Collective_exec.verified then
+    failwith ("collective: exact verification failed: " ^ what)
+
+(* Chapter-2 side: the FFC-embedded ring under seeded random node
+   faults. *)
+let ffc_side ~d ~n ~ranks ~chunk_words ~fault_counts =
+  let p = Core.Word.params ~d ~n in
+  Printf.printf " FFC ring of B(%d,%d) (%d nodes), ranks %d, chunk %d words\n" d n
+    p.Core.Word.size ranks chunk_words;
+  List.iter
+    (fun f ->
+      let rng = Core.Rng.create 0x5eed in
+      let faults = Core.Rng.sample_distinct rng ~k:f ~bound:p.Core.Word.size in
+      List.iter
+        (fun op ->
+          let r, g =
+            Jrec.time_gc (fun () ->
+                Option.get
+                  (Core.collective_over_fault_free_ring ~d ~n ~faults ~op ~ranks
+                     ~chunk_words ()))
+          in
+          check_verified ~what:(Printf.sprintf "ffc f=%d" f) r;
+          show ~engine:(Printf.sprintf "ffc-ring f=%d" f) ~op r g;
+          row ~engine:"ffc-ring" ~d ~n ~f ~op r g)
+        ops)
+    fault_counts
+
+(* Chapter-3 side: striping across k edge-disjoint rings, plus the
+   bidirectional and parallel-stepping variants, plus link faults. *)
+let striped_side ~d ~n ~ranks ~chunk_words =
+  let k = Core.Psi.psi d in
+  let p = Core.Word.params ~d ~n in
+  Printf.printf
+    " striped rings of B(%d,%d) (%d nodes), psi(%d) = %d, ranks %d, chunk %d words\n"
+    d n p.Core.Word.size d k ranks chunk_words;
+  let run ?domains ?(bidirectional = false) ?(edge_faults = []) ~k op =
+    Jrec.time_gc (fun () ->
+        Option.get
+          (Core.striped_collective_over_disjoint_rings ?domains ~bidirectional
+             ~edge_faults ~d ~n ~k ~op ~ranks ~chunk_words ()))
+  in
+  (* k = 1 vs k = psi(d), fault-free: the striping contract. *)
+  List.iter
+    (fun op ->
+      let r1, g1 = run ~k:1 op in
+      check_verified ~what:"striped k=1" r1;
+      show ~engine:"striped x1" ~op r1 g1;
+      row ~engine:"striped x1" ~d ~n ~f:0 ~op r1 g1;
+      let rk, gk = run ~k op in
+      check_verified ~what:(Printf.sprintf "striped k=%d" k) rk;
+      show ~engine:(Printf.sprintf "striped x%d" k) ~op rk gk;
+      row ~engine:(Printf.sprintf "striped x%d" k) ~d ~n ~f:0 ~op rk gk;
+      if op = Core.Collective_schedule.Allreduce then begin
+        let gain =
+          rk.Core.Collective_exec.bytes_per_step
+          /. r1.Core.Collective_exec.bytes_per_step
+        in
+        Printf.printf "  striping gain x%.2f over one ring (floor %.2f)\n" gain
+          (0.8 *. float_of_int k);
+        if gain < 0.8 *. float_of_int k then
+          failwith
+            (Printf.sprintf
+               "collective: striped allreduce gain x%.2f below the 0.8k floor"
+               gain)
+      end;
+      (* Parallel stepping must be bit-identical to the sequential run. *)
+      if op = Core.Collective_schedule.Allreduce then begin
+        let rd, gd = run ~domains:2 ~k op in
+        if
+          rd.Core.Collective_exec.checksum <> rk.Core.Collective_exec.checksum
+          || rd.Core.Collective_exec.rounds <> rk.Core.Collective_exec.rounds
+          || rd.Core.Collective_exec.delivered
+             <> rk.Core.Collective_exec.delivered
+        then failwith "collective: domains=2 run diverged from sequential";
+        check_verified ~what:"striped domains=2" rd;
+        show ~engine:(Printf.sprintf "striped x%d domains x2" k) ~op rd gd;
+        row ~engine:(Printf.sprintf "striped x%d domains x2" k) ~d ~n ~f:0 ~op rd
+          gd;
+        let rb, gb = run ~bidirectional:true ~k op in
+        check_verified ~what:"striped bidir" rb;
+        show ~engine:(Printf.sprintf "striped x%d bidir" k) ~op rb gb;
+        row ~engine:(Printf.sprintf "striped x%d bidir" k) ~d ~n ~f:0 ~op rb gb
+      end)
+    ops;
+  (* Link faults: kill one ring's edge and stripe over the survivors. *)
+  let st = List.hd (Core.Compose.disjoint_streams_upto ~d ~n ~k:1) in
+  let u = st.Core.Stream.start in
+  let edge_faults = [ (u, st.Core.Stream.succ u) ] in
+  let rf, gf = run ~edge_faults ~k Core.Collective_schedule.Allreduce in
+  check_verified ~what:"striped survivors" rf;
+  show
+    ~engine:(Printf.sprintf "striped survivors/%d" k)
+    ~op:Core.Collective_schedule.Allreduce rf gf;
+  row ~engine:"striped survivors" ~d ~n ~f:1 ~op:Core.Collective_schedule.Allreduce
+    rf gf;
+  if rf.Core.Collective_exec.rings <> k - 1 then
+    failwith "collective: one link fault should kill exactly one ring"
+
+let run ?(json = false) ?(smoke = false) () =
+  print_endline (String.make 78 '-');
+  print_endline
+    "COLLECTIVE - ring reduce-scatter / all-gather / allreduce over embedded rings";
+  print_endline (String.make 78 '-');
+  if smoke then begin
+    ffc_side ~d:2 ~n:10 ~ranks:16 ~chunk_words:4 ~fault_counts:[ 0; 2 ];
+    striped_side ~d:4 ~n:5 ~ranks:16 ~chunk_words:4
+  end
+  else begin
+    ffc_side ~d:2 ~n:16 ~ranks:64 ~chunk_words:8 ~fault_counts:[ 0; 8 ];
+    striped_side ~d:4 ~n:8 ~ranks:64 ~chunk_words:8
+  end;
+  print_newline ();
+  if json then Jrec.write "BENCH_collective.json"

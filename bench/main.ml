@@ -6,13 +6,13 @@
      dune exec bench/main.exe              run everything
      dune exec bench/main.exe -- tables    only the tables
      (sections: tables figures sweeps ablations open-problems timing scale dhc
-      ffc-campaign live multicore)
+      ffc-campaign live multicore collective)
 
-   Flags (consumed by the scale, dhc, ffc-campaign, live and multicore
-   sections):
+   Flags (consumed by the scale, dhc, ffc-campaign, live, multicore and
+   collective sections):
      --json    also write the measurements to BENCH_scale.json /
                BENCH_dhc.json / BENCH_ffc_campaign.json / BENCH_live.json /
-               BENCH_multicore.json
+               BENCH_multicore.json / BENCH_collective.json
      --smoke   smallest instances only (CI smoke run) *)
 
 let () =
@@ -26,7 +26,8 @@ let () =
       ("dhc", Dhc_bench.run ~json ~smoke);
       ("ffc-campaign", Ffc_campaign.run ~json ~smoke);
       ("live", Live_bench.run ~json ~smoke);
-      ("multicore", Multicore.run ~json ~smoke) ]
+      ("multicore", Multicore.run ~json ~smoke);
+      ("collective", Collective_bench.run ~json ~smoke) ]
   in
   let requested =
     match List.filter (fun a -> not (String.starts_with ~prefix:"--" a)) args with

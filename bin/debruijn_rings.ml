@@ -5,6 +5,7 @@
      edge      Hamiltonian ring under link failures (Chapter 3)
      dhc       streaming Chapter-3 engine: rings and edge-fault campaigns
      disjoint  edge-disjoint Hamiltonian rings
+     collective ring reduce-scatter / all-gather / allreduce over embedded rings
      count     necklace counts (Chapter 4)
      psi       the tolerance functions psi / phi / MAX
      butterfly fault-free ring in a butterfly network (section 3.4)   *)
@@ -298,6 +299,92 @@ let butterfly_cmd =
     (Cmd.info "butterfly" ~doc:"Fault-free ring in a butterfly network (section 3.4).")
     Term.(const run $ d_arg $ n_arg $ faults)
 
+let collective_cmd =
+  let op_arg =
+    Arg.(value & opt string "allreduce" & info [ "op" ] ~docv:"OP"
+           ~doc:"Collective operation: reduce-scatter (rs), all-gather (ag) or allreduce (ar).")
+  in
+  let rings =
+    Arg.(value & opt int 0 & info [ "rings" ] ~docv:"K"
+           ~doc:"Stripe the payload across $(docv) edge-disjoint Hamiltonian rings (Chapter 3); 0 (the default) runs on the FFC-embedded ring (Chapter 2).")
+  in
+  let ranks =
+    Arg.(value & opt int 8 & info [ "ranks" ] ~docv:"R" ~doc:"Logical participants per ring (clamped to the ring length).")
+  in
+  let chunk_words =
+    Arg.(value & opt int 4 & info [ "chunk-words" ] ~docv:"W" ~doc:"Words per message chunk.")
+  in
+  let faults =
+    Arg.(value & opt int 0 & info [ "faults" ] ~docv:"F"
+           ~doc:"Sample $(docv) random faults from the seed: nodes in FFC mode, links in striped mode.")
+  in
+  let seed =
+    Arg.(value & opt int 0x5eed & info [ "seed" ] ~docv:"S" ~doc:"Fault-sampling seed.")
+  in
+  let domains =
+    Arg.(value & opt int 1 & info [ "domains" ] ~docv:"K" ~doc:"Step the simulator on $(docv) OCaml domains (bit-identical results).")
+  in
+  let bidir =
+    Arg.(value & flag & info [ "bidir" ] ~doc:"Also drive every ring in the reverse direction with its own payload stripe.")
+  in
+  let run d n op_str rings_k ranks chunk_words faults seed domains bidir =
+    let op =
+      match Core.Collective_schedule.op_of_string op_str with
+      | Some op -> op
+      | None -> failwith (Printf.sprintf "bad op %S (want rs | ag | ar)" op_str)
+    in
+    let p = Core.Word.params ~d ~n in
+    let rng = Core.Rng.create seed in
+    let report =
+      if rings_k = 0 then begin
+        let fault_nodes =
+          Core.Rng.sample_distinct rng ~k:faults ~bound:p.Core.Word.size
+        in
+        Printf.printf "# %s over the FFC ring of B(%d,%d), %d node fault(s)\n"
+          (Core.Collective_schedule.op_to_string op) d n faults;
+        Core.collective_over_fault_free_ring ~domains ~bidirectional:bidir ~d ~n
+          ~faults:fault_nodes ~op ~ranks ~chunk_words ()
+      end
+      else begin
+        let rec sample k acc =
+          if k = 0 then List.rev acc
+          else
+            let u = Core.Rng.int rng p.Core.Word.size in
+            let succs = Core.Word.successors p u in
+            let v = List.nth succs (Core.Rng.int rng (List.length succs)) in
+            sample (k - 1) ((u, v) :: acc)
+        in
+        let edge_faults = sample faults [] in
+        Printf.printf
+          "# %s striped over %d edge-disjoint ring(s) of B(%d,%d), %d link fault(s)\n"
+          (Core.Collective_schedule.op_to_string op) rings_k d n faults;
+        Core.striped_collective_over_disjoint_rings ~domains ~bidirectional:bidir
+          ~edge_faults ~d ~n ~k:rings_k ~op ~ranks ~chunk_words ()
+      end
+    in
+    match report with
+    | None ->
+        prerr_endline "no ring survives the fault set";
+        exit 1
+    | Some r ->
+        Printf.printf "# rings %d  ranks %d  phases %d  rounds %d\n"
+          r.Core.Collective_exec.rings r.Core.Collective_exec.ranks
+          r.Core.Collective_exec.phases r.Core.Collective_exec.rounds;
+        Printf.printf
+          "# delivered %d  wire-words %d  payload-words %d  max-link-load %d  max-port-load %d\n"
+          r.Core.Collective_exec.delivered r.Core.Collective_exec.wire_words
+          r.Core.Collective_exec.payload_words r.Core.Collective_exec.max_link_load
+          r.Core.Collective_exec.max_port_load;
+        Printf.printf "verified %b  checksum %d\n" r.Core.Collective_exec.verified
+          r.Core.Collective_exec.checksum;
+        if not r.Core.Collective_exec.verified then exit 1
+  in
+  Cmd.v
+    (Cmd.info "collective"
+       ~doc:"Ring collectives (reduce-scatter / all-gather / allreduce) over embedded rings.")
+    Term.(const run $ d_arg $ n_arg $ op_arg $ rings $ ranks $ chunk_words $ faults
+          $ seed $ domains $ bidir)
+
 let route_cmd =
   let src = Arg.(required & pos 0 (some string) None & info [] ~docv:"SRC") in
   let dst = Arg.(required & pos 1 (some string) None & info [] ~docv:"DST") in
@@ -323,4 +410,4 @@ let route_cmd =
 let () =
   let doc = "fault-tolerant ring embedding in De Bruijn networks (Rowley & Bose)" in
   let info = Cmd.info "debruijn-rings" ~version:"1.0.0" ~doc in
-  exit (Cmd.eval (Cmd.group info [ ffc_cmd; edge_cmd; dhc_cmd; disjoint_cmd; count_cmd; psi_cmd; butterfly_cmd; route_cmd ]))
+  exit (Cmd.eval (Cmd.group info [ ffc_cmd; edge_cmd; dhc_cmd; disjoint_cmd; collective_cmd; count_cmd; psi_cmd; butterfly_cmd; route_cmd ]))

@@ -1,0 +1,250 @@
+module W = Debruijn.Word
+module Fa = Graphlib.Flatarr
+
+type spec = {
+  op : Schedule.op;
+  ranks : int;
+  chunk_words : int;
+  bidirectional : bool;
+}
+
+type report = {
+  rings : int;
+  ranks : int;
+  phases : int;
+  rounds : int;
+  delivered : int;
+  wire_words : int;
+  payload_words : int;
+  bytes_per_step : float;
+  max_link_load : int;
+  max_port_load : int;
+  verified : bool;
+  checksum : int;
+}
+
+(* Per-node, per-ring role.  [base] is the word offset of the rank's
+   buffer slice in the run's flat payload arena; [phase] counts the
+   receives completed, which is also the index of the next send. *)
+type role =
+  | Off
+  | Relay of { next : int }
+  | Rank of { rank : int; next : int; base : int; mutable phase : int }
+
+type nstate = { mutable started : bool; roles : role array }
+type msg = { ring : int; chunk : int; data : int array }
+
+let default_init ~ring ~rank ~chunk ~word =
+  1 + (((ring * 1009) + (rank * 31) + (chunk * 7) + word) mod 97)
+
+(* The initial buffer contents per operation: the reducing operations
+   start from the full vector everywhere; all-gather starts from
+   per-rank ownership (chunk r live at rank r, the rest zero) — the
+   same convention as [Schedule.simulate]. *)
+let initial_word op ~init ~ring ~rank ~chunk ~word =
+  match (op : Schedule.op) with
+  | All_gather -> if chunk = rank then init ~ring ~rank ~chunk ~word else 0
+  | Reduce_scatter | Allreduce -> init ~ring ~rank ~chunk ~word
+
+let run ?(domains = 1) ?(edge_faults = []) ?(init = default_init) ~p ~faulty
+    ~rings spec =
+  (match rings with [] -> invalid_arg "Collective.Exec.run: no rings" | _ -> ());
+  if spec.chunk_words < 1 then invalid_arg "Collective.Exec.run: chunk_words < 1";
+  let cycles = Array.of_list rings in
+  let length = Array.length cycles.(0) in
+  Array.iter
+    (fun c ->
+      if Array.length c <> length then
+        invalid_arg "Collective.Exec.run: rings of unequal length")
+    cycles;
+  if length < 2 then invalid_arg "Collective.Exec.run: ring shorter than 2";
+  (* Reverse directions are extra logical rings over the symmetric
+     closure: same nodes, reversed edge set, their own payload stripe. *)
+  let cycles =
+    if spec.bidirectional then
+      Array.append cycles
+        (Array.map
+           (fun c -> Array.init length (fun i -> c.(length - 1 - i)))
+           cycles)
+    else cycles
+  in
+  let nrings = Array.length cycles in
+  let ranks = min spec.ranks length in
+  if ranks < 2 then invalid_arg "Collective.Exec.run: ranks < 2";
+  let cw = spec.chunk_words in
+  let ph = Schedule.phases spec.op ~ranks in
+  let bounds = Schedule.boundaries ~ranks ~length in
+  (* Flat payload arena: rank r of ring j owns the [ranks·cw]-word
+     slice at [((j·ranks) + r)·ranks·cw].  A step writes only the
+     stepped node's own slice — the ?domains safety contract. *)
+  let buf = Fa.make (nrings * ranks * ranks * cw) 0 in
+  let base_of ~ring ~rank = ((ring * ranks) + rank) * ranks * cw in
+  for j = 0 to nrings - 1 do
+    for r = 0 to ranks - 1 do
+      let base = base_of ~ring:j ~rank:r in
+      for c = 0 to ranks - 1 do
+        for w = 0 to cw - 1 do
+          buf.{base + (c * cw) + w} <-
+            initial_word spec.op ~init ~ring:j ~rank:r ~chunk:c ~word:w
+        done
+      done
+    done
+  done;
+  (* Node → role tables, one pair of flat maps per ring. *)
+  let rank_of = Array.init nrings (fun _ -> Array.make p.W.size (-1)) in
+  let next_of = Array.init nrings (fun _ -> Array.make p.W.size (-1)) in
+  Array.iteri
+    (fun j cycle ->
+      Array.iteri
+        (fun i v ->
+          if v < 0 || v >= p.W.size then
+            invalid_arg "Collective.Exec.run: ring node out of range";
+          if faulty v then invalid_arg "Collective.Exec.run: ring touches a faulty node";
+          if next_of.(j).(v) >= 0 then
+            invalid_arg "Collective.Exec.run: ring revisits a node";
+          next_of.(j).(v) <- cycle.((i + 1) mod length))
+        cycle;
+      Array.iteri (fun r pos -> rank_of.(j).(cycle.(pos)) <- r) bounds)
+    cycles;
+  (* Topology: the implicit De Bruijn edge set, materialized once for
+     the simulator's neighbor check; symmetric closure under
+     bidirectional traffic; faulty links removed (so a ring crossing
+     one would be caught as an illegal send, not silently excused). *)
+  let topology =
+    let g = Graphlib.Digraph.of_successors p.W.size (W.successors p) in
+    let g = if spec.bidirectional then Graphlib.Digraph.undirected_view g else g in
+    match edge_faults with
+    | [] -> g
+    | _ ->
+        Graphlib.Digraph.remove_edges g (fun (u, v) ->
+            List.exists
+              (fun (fu, fv) ->
+                (u = fu && v = fv) || (spec.bidirectional && u = fv && v = fu))
+              edge_faults)
+  in
+  (* One send: copy the chunk out of the rank's slice into a fresh
+     array, so later slice writes never mutate in-flight payloads. *)
+  let mk_send ~next ~ring ~base ~phase ~rank =
+    let chunk = Schedule.send_chunk ~ranks ~rank ~phase in
+    let data = Array.init cw (fun w -> buf.{base + (chunk * cw) + w}) in
+    (next, { ring; chunk; data })
+  in
+  let proto =
+    {
+      Netsim.Simulator.initial =
+        (fun v ->
+          let roles =
+            Array.init nrings (fun j ->
+                let r = rank_of.(j).(v) in
+                if r >= 0 then
+                  Rank
+                    {
+                      rank = r;
+                      next = next_of.(j).(v);
+                      base = base_of ~ring:j ~rank:r;
+                      phase = 0;
+                    }
+                else if next_of.(j).(v) >= 0 then Relay { next = next_of.(j).(v) }
+                else Off)
+          in
+          { started = false; roles });
+      step =
+        (fun ~round:_ _v st inbox ->
+          let sends = ref [] in
+          if not st.started then begin
+            st.started <- true;
+            Array.iteri
+              (fun j role ->
+                match role with
+                | Rank rk ->
+                    sends :=
+                      mk_send ~next:rk.next ~ring:j ~base:rk.base ~phase:0
+                        ~rank:rk.rank
+                      :: !sends
+                | Relay _ | Off -> ())
+              st.roles
+          end;
+          List.iter
+            (fun (_src, m) ->
+              match st.roles.(m.ring) with
+              | Relay { next } -> sends := (next, m) :: !sends
+              | Rank rk ->
+                  let red = Schedule.reduces spec.op ~ranks ~phase:rk.phase in
+                  let off = rk.base + (m.chunk * cw) in
+                  for w = 0 to cw - 1 do
+                    buf.{off + w} <-
+                      (if red then buf.{off + w} + m.data.(w) else m.data.(w))
+                  done;
+                  rk.phase <- rk.phase + 1;
+                  if rk.phase < ph then
+                    sends :=
+                      mk_send ~next:rk.next ~ring:m.ring ~base:rk.base
+                        ~phase:rk.phase ~rank:rk.rank
+                      :: !sends
+              | Off -> ())
+            inbox;
+          (st, List.rev !sends));
+      wants_step = (fun st -> not st.started);
+    }
+  in
+  let res =
+    Netsim.Simulator.run ~domains
+      ~payload_words:(fun m -> Array.length m.data)
+      ~topology ~faulty proto
+  in
+  (* Exact verification against the rank-space reference execution —
+     the sequential-fold oracle. *)
+  let verified = ref true in
+  let checksum = ref 0 in
+  for j = 0 to nrings - 1 do
+    let expect =
+      Schedule.simulate spec.op ~ranks ~chunk_words:cw
+        ~init:(fun ~rank ~chunk ~word -> init ~ring:j ~rank ~chunk ~word)
+    in
+    for r = 0 to ranks - 1 do
+      let base = base_of ~ring:j ~rank:r in
+      for i = 0 to (ranks * cw) - 1 do
+        let got = buf.{base + i} in
+        checksum := !checksum + got;
+        if got <> expect.(r).(i) then verified := false
+      done
+    done
+  done;
+  (* Arithmetic congestion accounting: each ring edge carries exactly
+     [segment_messages] messages, so the peak directed-link load is
+     that figure times the deepest ring-sharing of any edge.  Sharing
+     is counted by sorting the packed edge keys of every ring. *)
+  let msgs = Schedule.segment_messages spec.op ~ranks in
+  let keys = Array.make (nrings * length) 0 in
+  Array.iteri
+    (fun j cycle ->
+      Array.iteri
+        (fun i u ->
+          keys.((j * length) + i) <-
+            (u * p.W.size) + cycle.((i + 1) mod length))
+        cycle)
+    cycles;
+  Array.sort Int.compare keys;
+  let max_share = ref 0 and run_len = ref 0 in
+  Array.iteri
+    (fun i k ->
+      if i > 0 && keys.(i - 1) = k then incr run_len else run_len := 1;
+      if !run_len > !max_share then max_share := !run_len)
+    keys;
+  let payload_words = nrings * Schedule.payload_words spec.op ~ranks ~chunk_words:cw in
+  {
+    rings = nrings;
+    ranks;
+    phases = ph;
+    rounds = res.Netsim.Simulator.rounds;
+    delivered = res.Netsim.Simulator.delivered;
+    wire_words = res.Netsim.Simulator.payload_total;
+    payload_words;
+    bytes_per_step =
+      8.0 *. float_of_int payload_words
+      /. float_of_int (max 1 res.Netsim.Simulator.rounds);
+    max_link_load = !max_share * msgs;
+    max_port_load = res.Netsim.Simulator.max_port_load;
+    verified = !verified;
+    checksum = !checksum;
+  }

@@ -1,0 +1,96 @@
+(** Execute ring-collective schedules over {!Netsim.Simulator} on
+    embedded rings of B(d,n).
+
+    The caller supplies the rings as node cycles — the FFC-embedded
+    ring under node faults (Chapter 2, {!Ffc.Embed}), or up to ψ(d)
+    pairwise edge-disjoint Hamiltonian cycles under link faults
+    (Chapter 3, {!Dhc.Compose.disjoint_streams_upto}).  Each ring
+    carries an independent stripe of the payload, so k edge-disjoint
+    rings move k× the application bytes in the same number of
+    simulator rounds — the multi-ring striped allreduce.
+
+    Mapping onto the network: {!Schedule.boundaries} places [ranks]
+    logical participants at evenly spaced ring positions; the ring
+    nodes between two consecutive ranks are {e relays} that forward
+    payload hop by hop along ring edges (shared-relay traffic in the
+    style of Albader et al.).  Ranks are self-timed: a rank's phase-s
+    send is triggered by its phase-(s−1) receive, so the whole run
+    pipelines — chunks stream through every segment concurrently and a
+    full allreduce costs ≈ 2·L rounds on an L-node ring, independent
+    of the rank count.
+
+    Payload words live in one off-heap {!Graphlib.Flatarr} buffer
+    carved into per-(ring, rank) slices; a step writes only the
+    stepped node's own slice, which is what makes the protocol safe
+    under the simulator's [?domains] parallel stepping (bit-identical
+    results, same contract as every other protocol in the repo).
+
+    Verification is exact: the final buffer of every rank is compared
+    word-for-word against the rank-space reference execution
+    ({!Schedule.simulate}), itself a sequential fold of the integer
+    payloads — no floating point, no tolerance. *)
+
+type spec = {
+  op : Schedule.op;
+  ranks : int;  (** logical participants per ring, clamped to ring length *)
+  chunk_words : int;  (** words per message — the per-link per-round capacity *)
+  bidirectional : bool;
+      (** also drive every ring in the reverse direction with its own
+          stripe (full-duplex links: the topology becomes the
+          symmetric closure, and the reversed ring uses only reversed
+          edges, so the two directions never share a directed link) *)
+}
+
+type report = {
+  rings : int;  (** logical rings driven; directions count separately *)
+  ranks : int;  (** ranks per ring after clamping *)
+  phases : int;  (** schedule phases per ring ({!Schedule.phases}) *)
+  rounds : int;  (** simulator rounds to quiescence *)
+  delivered : int;  (** message hops (simulator [delivered]) *)
+  wire_words : int;
+      (** words that crossed links — simulator payload accounting;
+          equals [delivered · chunk_words] *)
+  payload_words : int;
+      (** application payload transported end-to-end:
+          rings · ranks · chunk_words *)
+  bytes_per_step : float;
+      (** effective goodput, 8·[payload_words] / [rounds] — the figure
+          the striped variant multiplies by k *)
+  max_link_load : int;
+      (** peak messages carried by one directed link over the run,
+          from the arithmetic congestion accounting: each ring edge
+          carries exactly {!Schedule.segment_messages} messages, so
+          the peak is that figure times the deepest ring-sharing of
+          any link (1 for edge-disjoint rings) *)
+  max_port_load : int;  (** peak sends by one node in one round (simulator) *)
+  verified : bool;  (** exact match against {!Schedule.simulate} *)
+  checksum : int;  (** sum of all final payload words, for bit-identity pins *)
+}
+
+val run :
+  ?domains:int ->
+  ?edge_faults:(int * int) list ->
+  ?init:(ring:int -> rank:int -> chunk:int -> word:int -> int) ->
+  p:Debruijn.Word.params ->
+  faulty:(int -> bool) ->
+  rings:int array list ->
+  spec ->
+  report
+(** Drive one collective over every given ring simultaneously in a
+    single simulator run.
+
+    Requirements (checked): at least one ring; all rings the same
+    length L ≥ 2 (they stripe one payload, so they must agree on rank
+    geometry); no ring visits a node twice or touches a node satisfying
+    [faulty]; consecutive ring nodes must be De Bruijn-adjacent (the
+    simulator rejects the send otherwise).  [ranks] is clamped to
+    [min ranks L] and must end ≥ 2; [chunk_words ≥ 1].
+
+    [edge_faults] removes the given directed De Bruijn edges from the
+    topology (both directions under [bidirectional]) — a ring crossing
+    a dead link makes the run raise {!Netsim.Simulator.Illegal_send},
+    so a clean return {e proves} the rings avoid the fault set.
+
+    [init] gives the integer payload (defaults to a fixed splitmix-free
+    arithmetic mix); [domains] is passed to the simulator and is
+    bit-identical by its contract. *)

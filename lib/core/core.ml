@@ -26,6 +26,9 @@ module Butterfly_embed = Butterfly.Embed
 module Count = Necklace_count.Count
 module Hypercube_ring = Hypercube.Ring
 module Rng = Util.Rng
+module Compose = Dhc.Compose
+module Collective_schedule = Collective.Schedule
+module Collective_exec = Collective.Exec
 
 let fault_free_ring ~d ~n ~faults =
   let p = Word.params ~d ~n in
@@ -71,3 +74,40 @@ let route ~d ~n ~faults x y =
 
 let necklace_count ~d ~n = Necklace_count.Count.total ~d ~n
 let necklace_count_of_length ~d ~n ~t = Necklace_count.Count.of_length ~d ~n ~t
+
+let collective_over_fault_free_ring ?domains ?(bidirectional = false) ~d ~n
+    ~faults ~op ~ranks ~chunk_words () =
+  let p = Word.params ~d ~n in
+  Option.map
+    (fun e ->
+      let flags = Necklace.mark_faulty_necklaces p faults in
+      Collective.Exec.run ?domains ~p
+        ~faulty:(fun v -> flags.(v))
+        ~rings:[ e.Ffc.Embed.cycle ]
+        { Collective.Exec.op; ranks; chunk_words; bidirectional })
+    (Ffc.Embed.embed p ~faults)
+
+let striped_collective_over_disjoint_rings ?domains ?(bidirectional = false)
+    ?(edge_faults = []) ~d ~n ~k ~op ~ranks ~chunk_words () =
+  let p = Word.params ~d ~n in
+  let streams =
+    match edge_faults with
+    | [] -> Dhc.Compose.disjoint_streams_upto ~d ~n ~k
+    | _ ->
+        let rec take k = function
+          | [] -> []
+          | _ when k = 0 -> []
+          | st :: rest -> st :: take (k - 1) rest
+        in
+        take k
+          (Dhc.Edge_fault.surviving_disjoint_streams ~d ~n ~faults:edge_faults)
+  in
+  match streams with
+  | [] -> None
+  | _ ->
+      let rings = List.map Dhc.Stream.to_nodes streams in
+      Some
+        (Collective.Exec.run ?domains ~edge_faults ~p
+           ~faulty:(fun _ -> false)
+           ~rings
+           { Collective.Exec.op; ranks; chunk_words; bidirectional })

@@ -47,6 +47,9 @@ module Butterfly_embed = Butterfly.Embed
 module Count = Necklace_count.Count
 module Hypercube_ring = Hypercube.Ring
 module Rng = Util.Rng
+module Compose = Dhc.Compose
+module Collective_schedule = Collective.Schedule
+module Collective_exec = Collective.Exec
 
 val fault_free_ring :
   d:int -> n:int -> faults:int list -> int array option
@@ -102,3 +105,39 @@ val necklace_count : d:int -> n:int -> int
 (** Chapter 4: total number of necklaces. *)
 
 val necklace_count_of_length : d:int -> n:int -> t:int -> int
+
+val collective_over_fault_free_ring :
+  ?domains:int ->
+  ?bidirectional:bool ->
+  d:int ->
+  n:int ->
+  faults:int list ->
+  op:Collective.Schedule.op ->
+  ranks:int ->
+  chunk_words:int ->
+  unit ->
+  Collective.Exec.report option
+(** One-call driver for the Chapter-2 setting: embed the FFC ring
+    avoiding the faulty processors, then run the given collective over
+    it on the network simulator, exact-verifying the reduced values.
+    [None] when no ring survives the fault set. *)
+
+val striped_collective_over_disjoint_rings :
+  ?domains:int ->
+  ?bidirectional:bool ->
+  ?edge_faults:(int * int) list ->
+  d:int ->
+  n:int ->
+  k:int ->
+  op:Collective.Schedule.op ->
+  ranks:int ->
+  chunk_words:int ->
+  unit ->
+  Collective.Exec.report option
+(** One-call driver for the Chapter-3 setting: take [k] of the ψ(d)
+    pairwise edge-disjoint Hamiltonian rings (the survivors of
+    [edge_faults], when given) and stripe one collective across all of
+    them in a single simulator run — k× the application bytes per step
+    of the single-ring schedule.  [None] when no ring survives.
+    @raise Invalid_argument if [edge_faults] is empty and k is outside
+    [1, ψ(d)]. *)

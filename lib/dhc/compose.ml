@@ -44,3 +44,21 @@ let rec disjoint_hamiltonian_streams ~d ~n =
       let as_ = disjoint_hamiltonian_streams ~d:s ~n in
       let bs = Strategies.disjoint_hamiltonian_streams ~d:t ~n in
       List.concat_map (fun a -> List.map (fun b -> Stream.product ~s ~t a b) bs) as_
+
+(* Bounded enumeration: the guarantee of Propositions 3.1/3.2 is exactly
+   ψ(d) members, so asking for more is a caller error, reported eagerly
+   rather than by returning a short list the caller would mis-stripe
+   over.  Building the family is O(ψ(d)) closures, so constructing it
+   fully and slicing costs nothing measurable. *)
+let disjoint_streams_upto ~d ~n ~k =
+  let psi = Psi.psi d in
+  if k < 1 || k > psi then
+    invalid_arg
+      (Fmt.str "Compose.disjoint_streams_upto: k = %d outside [1, psi(%d) = %d]"
+         k d psi);
+  let rec take k = function
+    | [] -> []
+    | _ when k = 0 -> []
+    | st :: rest -> st :: take (k - 1) rest
+  in
+  take k (disjoint_hamiltonian_streams ~d ~n)

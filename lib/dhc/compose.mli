@@ -23,3 +23,11 @@ val disjoint_hamiltonian_streams : d:int -> n:int -> Stream.t list
 (** The same ψ(d) cycles as O(n)-memory {!Stream.t}s (same order, same
     node order): materializing the family costs ψ(d)·dⁿ words, the
     streams a handful of closures each. *)
+
+val disjoint_streams_upto : d:int -> n:int -> k:int -> Stream.t list
+(** The first [k] members of {!disjoint_hamiltonian_streams} — the
+    enumeration the multi-ring collective stripes over.  Every returned
+    pair is edge-disjoint ({!Stream.edge_disjoint}); the family is
+    guaranteed for exactly ψ(d) members, so the enumeration fails
+    cleanly past it.
+    @raise Invalid_argument unless 1 ≤ k ≤ ψ(d). *)

@@ -128,6 +128,17 @@ let best_hc_avoiding_stream ~d ~n ~faults =
   | Some st -> Some st
   | None -> hc_avoiding_via_disjoint_stream ~d ~n ~faults
 
+(* Every member of the ψ(d) family that avoids the whole fault set —
+   the rings a striped collective can still drive.  Same O(f·n)-probe
+   screening as [hc_avoiding_via_disjoint_stream], kept in family order
+   so stripe indices are stable across fault sets. *)
+let surviving_disjoint_streams ~d ~n ~faults =
+  let p = W.params ~d ~n in
+  validate_faults p faults;
+  List.filter
+    (fun st -> List.for_all (fun (u, v) -> not (Stream.contains_edge st u v)) faults)
+    (Compose.disjoint_hamiltonian_streams ~d ~n)
+
 (* ------------------------------------------------------------------ *)
 (* Materializing wrappers — the seed API, same outputs as [Reference]
    (digit sequences of length dⁿ). *)

@@ -64,6 +64,14 @@ val best_hc_avoiding_stream : d:int -> n:int -> faults:fault list -> Stream.t op
     {!hc_avoiding_via_disjoint_stream} — realizes the MAX(ψ(d)−1, φ(d))
     bound of Proposition 3.4. *)
 
+val surviving_disjoint_streams :
+  d:int -> n:int -> faults:fault list -> Stream.t list
+(** The members of the ψ(d) disjoint family ({!Compose.disjoint_streams_upto})
+    avoiding every given fault, in family order — what the multi-ring
+    striped collective runs over under link failures.  With f faults at
+    least ψ(d) − f members survive (each fault kills at most one ring).
+    Screening is O(ψ(d)·f·n) successor probes, never a dⁿ walk. *)
+
 (** {1 Materializing wrappers (the seed API)} *)
 
 val hc_avoiding : d:int -> n:int -> faults:fault list -> int array option

@@ -10,6 +10,7 @@ type round_metrics = {
   active : int;
   delivered_in_round : int;
   sent : int;
+  payload_words : int;
   wall_ns : float;
 }
 
@@ -19,6 +20,7 @@ type 's result = {
   delivered : int;
   max_inflight : int;
   max_port_load : int;
+  payload_total : int;
   trace : round_metrics array;
 }
 
@@ -103,7 +105,13 @@ let par_threshold = 1024
 let now_ns () =
   (Unix.gettimeofday () [@lint.allow "R1 per-round wall-clock trace metrics: reported, never branched on"]) *. 1e9
 
-let run ?max_rounds ?(domains = 1) ~topology ~faulty proto =
+(* Default payload sizing: every message counts as zero words, so
+   protocols that predate the accounting keep reporting 0 — the metric
+   is strictly opt-in. *)
+let zero_payload _ = 0
+
+let run ?max_rounds ?(domains = 1) ?(payload_words = zero_payload) ~topology
+    ~faulty proto =
   let n = Graphlib.Digraph.n_nodes topology in
   let max_rounds = Option.value max_rounds ~default:((4 * n) + 64) in
   let domains = max 1 domains in
@@ -126,6 +134,7 @@ let run ?max_rounds ?(domains = 1) ~topology ~faulty proto =
   let delivered = ref 0 in
   let max_inflight = ref 0 in
   let max_port_load = ref 0 in
+  let payload_total = ref 0 in
   let trace = ref [] in
   let executed = ref 0 in
   let finished = ref false in
@@ -141,6 +150,7 @@ let run ?max_rounds ?(domains = 1) ~topology ~faulty proto =
       let wa = !work.a and k = !work.vlen in
       let cur_boxes = !cur and nxt_boxes = !nxt in
       let round_delivered = ref 0 and round_sent = ref 0 in
+      let round_payload = ref 0 in
       (* Deliver the sends of node [v] (stepped this round) and schedule
          the recipients.  Called in ascending-sender order, which keeps
          every next-round inbox sorted by source. *)
@@ -156,6 +166,7 @@ let run ?max_rounds ?(domains = 1) ~topology ~faulty proto =
             if not (Graphlib.Digraph.mem_edge topology v dst) then
               raise (Illegal_send { round = r; src = v; dst });
             if live dst then begin
+              round_payload := !round_payload + payload_words payload;
               mb_push nxt_boxes.(dst) v payload;
               if not scheduled.(dst) then begin
                 scheduled.(dst) <- true;
@@ -207,11 +218,13 @@ let run ?max_rounds ?(domains = 1) ~topology ~faulty proto =
         done;
       delivered := !delivered + !round_delivered;
       max_inflight := max !max_inflight !round_delivered;
+      payload_total := !payload_total + !round_payload;
       trace :=
         {
           active = k;
           delivered_in_round = !round_delivered;
           sent = !round_sent;
+          payload_words = !round_payload;
           wall_ns = now_ns () -. t0;
         }
         :: !trace;
@@ -258,5 +271,6 @@ let run ?max_rounds ?(domains = 1) ~topology ~faulty proto =
     delivered = !delivered;
     max_inflight = !max_inflight;
     max_port_load = !max_port_load;
+    payload_total = !payload_total;
     trace = Array.of_list (List.rev !trace);
   }

@@ -54,6 +54,10 @@ type round_metrics = {
   active : int;  (** nodes stepped in this round *)
   delivered_in_round : int;  (** messages delivered in this round *)
   sent : int;  (** messages sent in this round (incl. drops to faulty nodes) *)
+  payload_words : int;
+      (** payload words accepted for delivery this round, as sized by
+          the [?payload_words] argument of {!run}; 0 when the caller
+          did not supply a sizing function *)
   wall_ns : float;  (** wall-clock nanoseconds spent executing the round *)
 }
 
@@ -67,6 +71,10 @@ type 's result = {
           single-port communication; the thesis's "factor of d" remark
           (§2.4) corresponds to a multi-port protocol with load d being
           serialized over d single-port rounds *)
+  payload_total : int;
+      (** sum of [payload_words] over the trace — the wire traffic of
+          the run in words, the figure the collective benchmarks turn
+          into bytes/step *)
   trace : round_metrics array;
       (** per-round metrics, [trace.(r)] for round index r;
           [Array.length trace = rounds] *)
@@ -82,6 +90,7 @@ exception Did_not_converge of int
 val run :
   ?max_rounds:int ->
   ?domains:int ->
+  ?payload_words:('m -> int) ->
   topology:Graphlib.Digraph.t ->
   faulty:(int -> bool) ->
   ('s, 'm) protocol ->
@@ -100,4 +109,9 @@ val run :
     concurrently for {e distinct} nodes (pure, or mutating only the
     stepped node's own state), which holds for every protocol in this
     repository.  Rounds below the threshold run sequentially, so small
-    protocols pay no spawn overhead. *)
+    protocols pay no spawn overhead.
+
+    [payload_words] sizes a message's payload in words for the traffic
+    accounting ([round_metrics.payload_words] / [payload_total]); it is
+    called once per message accepted for delivery, from the
+    coordinating domain.  Defaults to [fun _ -> 0]. *)

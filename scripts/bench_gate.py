@@ -40,6 +40,11 @@ EXACT = {
     # live churn: same contract — event outcomes are pure functions of
     # (seed, target, trials, events)
     "cfaults", "crepairs", "patched", "recomputed", "cunchanged", "cerrors",
+    # collective: schedule arithmetic and exact integer reductions —
+    # rings/ranks/phases fix the plan, rounds/delivered/wire_words the
+    # simulator execution, checksum the bit-exact payload contents
+    "rings", "ranks", "phases", "wire_words", "payload_words",
+    "max_link_load", "max_port_load", "checksum",
 }
 # measurement -> allowed factor in either direction
 RATIO = {
@@ -71,6 +76,9 @@ PERCENT_DEFAULT = 0.25
 
 MEASUREMENTS = EXACT | set(RATIO) | {
     "mean_ring_length", "mean_bstar_size", "mean_ecc", "mean_live_faults",
+    # derived from payload_words/rounds, both exact — the +/-25% window
+    # only absorbs float formatting drift
+    "bytes_per_step",
 }
 
 

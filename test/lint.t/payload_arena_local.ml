@@ -1,0 +1,11 @@
+(* Fixture: clean — the same payload arena confined to the run that
+   allocates it (the [Collective.Exec] discipline: each simulator step
+   writes only the stepped node's own slice, and the arena never
+   outlives the function).  R3 is about toplevel sharing, so a local
+   arena needs no [@@lint.domain_safe]. *)
+let run () =
+  let payload = Flatarr.make (16 * 4) 0 in
+  payload.{0} <- 1;
+  payload.{0}
+
+let par f = Domain.join (Domain.spawn f)

@@ -25,6 +25,16 @@ Each fixture trips exactly one rule, with the right id and location:
   r3_flatarr_state.ml:4:0: [R3] toplevel binding holds an off-heap Flatarr.Byte.make, shared under Domain.spawn; hoist it into the runtime state or annotate [@@lint.domain_safe "why"]
   debruijn-lint: 1 file(s), 1 finding(s)
   [1]
+  $ debruijn-lint r3_payload_arena.ml
+  r3_payload_arena.ml:6:0: [R3] toplevel binding holds a mutable Flatarr.make, shared under Domain.spawn; hoist it into the runtime state or annotate [@@lint.domain_safe "why"]
+  debruijn-lint: 1 file(s), 1 finding(s)
+  [1]
+
+A payload arena confined to the function that allocates it (the
+Collective.Exec buffer discipline) is clean without any annotation:
+
+  $ debruijn-lint payload_arena_local.ml
+  debruijn-lint: 1 file(s), 0 finding(s)
   $ debruijn-lint r4_arena_carve.ml
   r4_arena_carve.ml:3:18: [R4] Arena.carve: carving hands out aliasing views; arenas are carved only by the Workspace and Itopo scratch constructors
   debruijn-lint: 1 file(s), 1 finding(s)

@@ -1,0 +1,279 @@
+(* Tests for lib/collective: the arithmetic ring-collective schedule,
+   its rank-space reference executor, and the network execution over
+   embedded rings of B(d,n). *)
+
+module S = Collective.Schedule
+module E = Collective.Exec
+module W = Debruijn.Word
+module Co = Dhc.Compose
+module P = Dhc.Psi
+module Str = Dhc.Stream
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+(* A deterministic but irregular integer payload. *)
+let init ~rank ~chunk ~word = 1 + (((rank * 37) + (chunk * 11) + word) mod 53)
+
+(* ------------------------------------------------------------------ *)
+(* Schedule arithmetic *)
+
+let test_schedule_indices () =
+  List.iter
+    (fun ranks ->
+      List.iter
+        (fun op ->
+          let ph = S.phases op ~ranks in
+          check_int "phase count"
+            (match op with S.Allreduce -> 2 * (ranks - 1) | _ -> ranks - 1)
+            ph;
+          for phase = 0 to ph - 1 do
+            for r = 0 to ranks - 1 do
+              (* What r's predecessor sends in this phase is exactly what
+                 r receives. *)
+              check_int "recv = predecessor's send"
+                (S.send_chunk ~ranks ~rank:((r - 1 + ranks) mod ranks) ~phase)
+                (S.recv_chunk ~ranks ~rank:r ~phase)
+            done;
+            (* The ranks send pairwise distinct chunks each phase. *)
+            let sent =
+              List.init ranks (fun r -> S.send_chunk ~ranks ~rank:r ~phase)
+            in
+            check_int "all chunks in flight" ranks
+              (List.length (List.sort_uniq Int.compare sent))
+          done)
+        [ S.Reduce_scatter; S.All_gather; S.Allreduce ])
+    [ 2; 3; 5; 8 ]
+
+let test_schedule_boundaries () =
+  let b = S.boundaries ~ranks:4 ~length:10 in
+  Alcotest.(check (array int)) "evenly spread" [| 0; 2; 5; 7 |] b;
+  let b = S.boundaries ~ranks:5 ~length:5 in
+  Alcotest.(check (array int)) "dense ring" [| 0; 1; 2; 3; 4 |] b;
+  Alcotest.check_raises "ranks > length rejected"
+    (Invalid_argument "Schedule.boundaries: ranks > ring length") (fun () ->
+      ignore (S.boundaries ~ranks:6 ~length:5))
+
+(* The rank-space executor against closed-form expectations: the
+   sequential fold is the ground truth for every reducing chunk. *)
+let test_simulate_oracle () =
+  List.iter
+    (fun (ranks, cw) ->
+      let fold ~chunk ~word =
+        let acc = ref 0 in
+        for r = 0 to ranks - 1 do
+          acc := !acc + init ~rank:r ~chunk ~word
+        done;
+        !acc
+      in
+      (* Allreduce: every rank ends with the full reduced vector. *)
+      let buf = S.simulate S.Allreduce ~ranks ~chunk_words:cw ~init in
+      for r = 0 to ranks - 1 do
+        for c = 0 to ranks - 1 do
+          for w = 0 to cw - 1 do
+            check_int "allreduce word" (fold ~chunk:c ~word:w)
+              buf.(r).((c * cw) + w)
+          done
+        done
+      done;
+      (* Reduce-scatter: rank r owns the fully reduced owned_chunk. *)
+      let buf = S.simulate S.Reduce_scatter ~ranks ~chunk_words:cw ~init in
+      for r = 0 to ranks - 1 do
+        let c = S.owned_chunk ~ranks ~rank:r in
+        for w = 0 to cw - 1 do
+          check_int "reduce-scatter owned word" (fold ~chunk:c ~word:w)
+            buf.(r).((c * cw) + w)
+        done
+      done;
+      (* All-gather: every rank ends with chunk c = rank c's own data. *)
+      let buf = S.simulate S.All_gather ~ranks ~chunk_words:cw ~init in
+      for r = 0 to ranks - 1 do
+        for c = 0 to ranks - 1 do
+          for w = 0 to cw - 1 do
+            check_int "all-gather word"
+              (init ~rank:c ~chunk:c ~word:w)
+              buf.(r).((c * cw) + w)
+          done
+        done
+      done)
+    [ (2, 1); (3, 2); (8, 3) ]
+
+(* ------------------------------------------------------------------ *)
+(* Network execution *)
+
+let hamiltonian_ring ~d ~n =
+  Str.to_nodes (List.hd (Co.disjoint_streams_upto ~d ~n ~k:1))
+
+let run_ring ?domains ?(bidirectional = false) ?rings ~d ~n ~ranks ~chunk_words op =
+  let p = W.params ~d ~n in
+  let rings =
+    match rings with Some r -> r | None -> [ hamiltonian_ring ~d ~n ]
+  in
+  E.run ?domains ~p
+    ~faulty:(fun _ -> false)
+    ~rings
+    { E.op; ranks; chunk_words; bidirectional }
+
+let test_exec_verifies () =
+  List.iter
+    (fun op ->
+      List.iter
+        (fun (d, n, ranks, cw) ->
+          let p = W.params ~d ~n in
+          let r = run_ring ~d ~n ~ranks ~chunk_words:cw op in
+          check_bool "exact verification" true r.E.verified;
+          (* Each of the [phases] chunk waves crosses every ring edge
+             exactly once end to end: delivered = phases · L · rings. *)
+          check_int "delivered = phases x L x rings"
+            (r.E.phases * p.W.size * r.E.rings)
+            r.E.delivered;
+          check_int "wire accounting" (r.E.delivered * cw) r.E.wire_words;
+          check_int "edge-disjoint load" r.E.phases r.E.max_link_load)
+        [ (2, 4, 4, 2); (2, 5, 8, 1); (3, 3, 5, 3) ])
+    [ S.Reduce_scatter; S.All_gather; S.Allreduce ]
+
+let test_exec_striped_and_bidir () =
+  let d = 4 and n = 3 in
+  let k = P.psi d in
+  let rings = List.map Str.to_nodes (Co.disjoint_streams_upto ~d ~n ~k) in
+  let r1 = run_ring ~d ~n ~ranks:8 ~chunk_words:2 S.Allreduce in
+  let rk = run_ring ~rings ~d ~n ~ranks:8 ~chunk_words:2 S.Allreduce in
+  check_bool "striped verified" true rk.E.verified;
+  check_int "k rings" k rk.E.rings;
+  check_int "same rounds as one ring" r1.E.rounds rk.E.rounds;
+  check_int "k x payload" (k * r1.E.payload_words) rk.E.payload_words;
+  check_bool "k x goodput" true
+    (rk.E.bytes_per_step > 0.99 *. float_of_int k *. r1.E.bytes_per_step);
+  let rb =
+    run_ring ~bidirectional:true ~rings ~d ~n ~ranks:8 ~chunk_words:2 S.Allreduce
+  in
+  check_bool "bidirectional verified" true rb.E.verified;
+  check_int "both directions" (2 * k) rb.E.rings
+
+let test_exec_domains_bit_identical () =
+  let d = 4 and n = 3 in
+  let rings = List.map Str.to_nodes (Co.disjoint_streams_upto ~d ~n ~k:3) in
+  let a = run_ring ~rings ~d ~n ~ranks:8 ~chunk_words:2 S.Allreduce in
+  let b = run_ring ~domains:2 ~rings ~d ~n ~ranks:8 ~chunk_words:2 S.Allreduce in
+  check_bool "domains=2 verified" true b.E.verified;
+  check_int "same rounds" a.E.rounds b.E.rounds;
+  check_int "same delivered" a.E.delivered b.E.delivered;
+  check_int "same checksum" a.E.checksum b.E.checksum
+
+let test_exec_validation () =
+  let d = 2 and n = 4 in
+  let p = W.params ~d ~n in
+  let ring = hamiltonian_ring ~d ~n in
+  let spec = { E.op = S.Allreduce; ranks = 4; chunk_words = 1; bidirectional = false } in
+  Alcotest.check_raises "no rings" (Invalid_argument "Collective.Exec.run: no rings")
+    (fun () -> ignore (E.run ~p ~faulty:(fun _ -> false) ~rings:[] spec));
+  Alcotest.check_raises "faulty node on ring"
+    (Invalid_argument "Collective.Exec.run: ring touches a faulty node") (fun () ->
+      ignore (E.run ~p ~faulty:(fun v -> v = ring.(3)) ~rings:[ ring ] spec));
+  Alcotest.check_raises "unequal lengths"
+    (Invalid_argument "Collective.Exec.run: rings of unequal length") (fun () ->
+      ignore
+        (E.run ~p ~faulty:(fun _ -> false)
+           ~rings:[ ring; Array.sub ring 0 (Array.length ring - 2) ]
+           spec));
+  (* A ring crossing a dead link is rejected by the simulator itself —
+     a clean run proves the rings avoid the fault set. *)
+  let u = ring.(0) and v = ring.(1) in
+  check_bool "illegal send on faulted link" true
+    (match E.run ~edge_faults:[ (u, v) ] ~p ~faulty:(fun _ -> false) ~rings:[ ring ] spec with
+    | exception Netsim.Simulator.Illegal_send _ -> true
+    | _ -> false)
+
+(* ------------------------------------------------------------------ *)
+(* Properties *)
+
+let qsuite =
+  let open QCheck in
+  [
+    Test.make ~name:"striped = single ring = sequential fold" ~count:30
+      (triple (int_range 0 2) (int_range 2 8) (int_range 1 3))
+      (fun (opi, ranks, cw) ->
+        let op = List.nth [ S.Reduce_scatter; S.All_gather; S.Allreduce ] opi in
+        let d = 4 and n = 2 in
+        let k = 1 + (ranks mod P.psi d) in
+        let rings = List.map Str.to_nodes (Co.disjoint_streams_upto ~d ~n ~k) in
+        let p = W.params ~d ~n in
+        let seeded ~ring ~rank ~chunk ~word =
+          1 + (((ring * 101) + (rank * 13) + (chunk * 7) + (word * 3)) mod 89)
+        in
+        let r =
+          E.run ~init:seeded ~p
+            ~faulty:(fun _ -> false)
+            ~rings
+            { E.op; ranks; chunk_words = cw; bidirectional = false }
+        in
+        (* verified = exact equality against Schedule.simulate, itself
+           checked against the sequential fold in the unit tests. *)
+        r.E.verified && r.E.rings = k);
+    Test.make ~name:"random surviving rings verify under link faults" ~count:20
+      (pair (int_range 0 2) small_nat)
+      (fun (nf, seed) ->
+        let d = 4 and n = 2 in
+        let all = Co.disjoint_hamiltonian_streams ~d ~n in
+        let rng = Util.Rng.split seed 7 in
+        (* Fault nf distinct rings' first edges. *)
+        let victims =
+          List.filteri (fun i _ -> i < nf)
+            (List.map (fun st ->
+                 let u = Util.Rng.int rng st.Str.p.W.size in
+                 (u, st.Str.succ u))
+                all)
+        in
+        let survivors =
+          Dhc.Edge_fault.surviving_disjoint_streams ~d ~n ~faults:victims
+        in
+        match survivors with
+        | [] -> true
+        | sts ->
+            let p = W.params ~d ~n in
+            let r =
+              E.run ~edge_faults:victims ~p
+                ~faulty:(fun _ -> false)
+                ~rings:(List.map Str.to_nodes sts)
+                {
+                  E.op = S.Allreduce;
+                  ranks = 4;
+                  chunk_words = 2;
+                  bidirectional = false;
+                }
+            in
+            r.E.verified);
+    Test.make ~name:"domains stepping is bit-identical" ~count:10
+      (pair (int_range 2 4) (int_range 1 2))
+      (fun (domains, cw) ->
+        let d = 2 and n = 5 in
+        let a = run_ring ~d ~n ~ranks:6 ~chunk_words:cw S.Allreduce in
+        let b = run_ring ~domains ~d ~n ~ranks:6 ~chunk_words:cw S.Allreduce in
+        a.E.checksum = b.E.checksum
+        && a.E.rounds = b.E.rounds
+        && a.E.delivered = b.E.delivered
+        && b.E.verified);
+  ]
+
+let () =
+  Alcotest.run "collective"
+    [
+      ( "schedule",
+        [
+          Alcotest.test_case "send/recv indices" `Quick test_schedule_indices;
+          Alcotest.test_case "rank boundaries" `Quick test_schedule_boundaries;
+          Alcotest.test_case "reference executor vs fold oracle" `Quick
+            test_simulate_oracle;
+        ] );
+      ( "exec",
+        [
+          Alcotest.test_case "exact verification + invariants" `Quick
+            test_exec_verifies;
+          Alcotest.test_case "striping and bidirectional" `Quick
+            test_exec_striped_and_bidir;
+          Alcotest.test_case "domains bit-identity" `Quick
+            test_exec_domains_bit_identical;
+          Alcotest.test_case "validation" `Quick test_exec_validation;
+        ] );
+      ("properties", List.map (fun t -> QCheck_alcotest.to_alcotest ~long:false t) qsuite);
+    ]

@@ -544,6 +544,69 @@ let test_disjoint_streams_match_and_disjoint () =
       pairs streams)
     [ (2, 6); (4, 2); (6, 2); (9, 2); (12, 2) ]
 
+let test_disjoint_streams_upto () =
+  (* Every prefix size k in [1, ψ(d)] yields exactly k pairwise
+     edge-disjoint Hamiltonian streams; k outside that range fails
+     cleanly. *)
+  List.iter
+    (fun (d, n) ->
+      let psi = P.psi d in
+      for k = 1 to psi do
+        let sts = Co.disjoint_streams_upto ~d ~n ~k in
+        check_int "count = k" k (List.length sts);
+        List.iter
+          (fun st -> check_bool "hamiltonian" true (Str.is_hamiltonian st))
+          sts;
+        let rec pairs = function
+          | [] -> ()
+          | a :: rest ->
+              List.iter
+                (fun b -> check_bool "edge disjoint" true (Str.edge_disjoint a b))
+                rest;
+              pairs rest
+        in
+        pairs sts
+      done;
+      Alcotest.check_raises "k = 0 rejected"
+        (Invalid_argument
+           (Printf.sprintf
+              "Compose.disjoint_streams_upto: k = 0 outside [1, psi(%d) = %d]" d
+              psi)) (fun () -> ignore (Co.disjoint_streams_upto ~d ~n ~k:0));
+      Alcotest.check_raises "k = psi + 1 rejected"
+        (Invalid_argument
+           (Printf.sprintf
+              "Compose.disjoint_streams_upto: k = %d outside [1, psi(%d) = %d]"
+              (psi + 1) d psi)) (fun () ->
+          ignore (Co.disjoint_streams_upto ~d ~n ~k:(psi + 1))))
+    [ (2, 5); (4, 2); (4, 3); (9, 2) ]
+
+let test_surviving_disjoint_streams () =
+  (* Faulting j distinct rings' edges kills exactly those j rings: the
+     survivors avoid the fault set and keep their pairwise
+     disjointness. *)
+  let d = 4 and n = 3 in
+  let psi = P.psi d in
+  let all = Co.disjoint_hamiltonian_streams ~d ~n in
+  check_int "no faults: all survive" psi
+    (List.length (EF.surviving_disjoint_streams ~d ~n ~faults:[]));
+  let edge_of st =
+    let u = st.Str.start in
+    (u, st.Str.succ u)
+  in
+  List.iteri
+    (fun j _ ->
+      let faults = List.map edge_of (List.filteri (fun i _ -> i <= j) all) in
+      let survivors = EF.surviving_disjoint_streams ~d ~n ~faults in
+      check_int "one ring killed per faulted ring"
+        (psi - j - 1)
+        (List.length survivors);
+      List.iter
+        (fun st ->
+          check_bool "survivor avoids all faults" true
+            (List.for_all (fun (u, v) -> not (Str.contains_edge st u v)) faults))
+        survivors)
+    all
+
 let test_large_fault_set () =
   (* Fault every edge of the shifted cycle 1 + C of B(4,6): 4095 faults,
      vastly beyond φ(4) = 2, yet all owned by s = 1 — the construction
@@ -793,6 +856,10 @@ let () =
             test_stream_matches_materialized;
           Alcotest.test_case "disjoint families match + walk-disjoint" `Quick
             test_disjoint_streams_match_and_disjoint;
+          Alcotest.test_case "disjoint prefix families (upto k)" `Quick
+            test_disjoint_streams_upto;
+          Alcotest.test_case "surviving disjoint streams" `Quick
+            test_surviving_disjoint_streams;
           Alcotest.test_case "4095-fault set via bitset probe" `Quick
             test_large_fault_set;
           Alcotest.test_case "hashtable regime" `Quick test_faults_hashtable_regime;
