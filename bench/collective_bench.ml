@@ -1,20 +1,29 @@
 (* Collective traffic over embedded rings — ring reduce-scatter,
-   all-gather and allreduce driven through the network simulator on (a)
-   the FFC-embedded ring under node faults (Chapter 2) and (b) up to
-   psi(d) edge-disjoint Hamiltonian rings under link faults (Chapter 3).
+   all-gather and allreduce driven on (a) the FFC-embedded ring under
+   node faults (Chapter 2) and (b) up to psi(d) edge-disjoint
+   Hamiltonian rings under link faults (Chapter 3), each through BOTH
+   executors: the message-by-message netsim engine and the compiled
+   zero-copy fastpath.
 
-   Smoke: B(2,10) for the FFC cases and B(4,5) for striping; full:
-   B(2,16) and B(4,8).  Every run exact-verifies the reduced integer
-   payloads against the rank-space reference execution, so the gated
-   counters (rounds, delivered, wire words, link load, checksum) are
-   deterministic.  Wall times are machine-dependent; the one domain-
-   sweep row carries "domains" in its engine name so the CI gate
-   schema-checks it without windowing, and its checksum/rounds are
-   asserted bit-identical to the sequential run here instead.
+   Smoke: B(2,10) for the FFC cases, B(4,5) for striping, plus a
+   full-scale B(2,16) bidirectional fastpath allreduce (the PR lane
+   proves the compiled engine at real size on every PR); full adds
+   B(2,16)/B(4,8) on both engines and the B(2,22) fastpath rows with
+   their bytes/second figures (nightly big-instances).
 
-   The headline claim is enforced, not just reported: on the fault-free
-   instance the k-ring striped allreduce must move at least 0.8 k times
-   the application bytes per simulator step of the single-ring run. *)
+   Every run exact-verifies the reduced integer payloads against the
+   rank-space reference execution, and every fastpath run is asserted
+   counter-identical to its netsim sibling here (the CI gate
+   re-checks the pair from the JSON).  Wall times are machine-
+   dependent; rows with "domains" in the engine are schema-checked
+   only, their checksum/rounds asserted bit-identical to the
+   sequential run here instead.
+
+   Two claims are enforced, not just reported: the k-ring striped
+   allreduce must move >= 0.8k times the bytes per step of one ring,
+   and (full mode, where runs are long enough to time meaningfully)
+   the fastpath allreduce must beat netsim by >= 20x wall-clock and
+   >= 100x minor words on every matrix point. *)
 
 let jstr = Jrec.jstr
 let jint = Jrec.jint
@@ -23,6 +32,14 @@ let jbool = Jrec.jbool
 let record = Jrec.record
 
 let ops = [ Core.Collective_schedule.Reduce_scatter; All_gather; Allreduce ]
+
+(* Accounted wire throughput of the whole driver call (embed/stream
+   construction included): 8 x wire_words / wall.  The figure the
+   B(2,22) nightly rows exist for. *)
+let bytes_per_s (r : Core.Collective_exec.report) (g : Jrec.gc_timed) =
+  8.0
+  *. float_of_int r.Core.Collective_exec.wire_words
+  /. Float.max 1e-9 g.Jrec.wall_s
 
 let row ~engine ~d ~n ~f ~op (r : Core.Collective_exec.report) g =
   record
@@ -48,11 +65,12 @@ let row ~engine ~d ~n ~f ~op (r : Core.Collective_exec.report) g =
         ("checksum", jint r.Core.Collective_exec.checksum);
         ("verified", jbool r.Core.Collective_exec.verified);
         ("bytes_per_step", jnum r.Core.Collective_exec.bytes_per_step);
+        ("bytes_per_s", jnum (bytes_per_s r g));
       ])
 
 let show ~engine ~op (r : Core.Collective_exec.report) g =
   Printf.printf
-    "  %-13s %-22s rounds %6d  delivered %9d  B/step %8.1f  link<=%2d  ok %b  %6.2fs\n"
+    "  %-13s %-26s rounds %7d  delivered %10d  B/step %8.1f  link<=%3d  ok %b  %6.2fs\n"
     (Core.Collective_schedule.op_to_string op)
     engine r.Core.Collective_exec.rounds r.Core.Collective_exec.delivered
     r.Core.Collective_exec.bytes_per_step r.Core.Collective_exec.max_link_load
@@ -62,9 +80,50 @@ let check_verified ~what (r : Core.Collective_exec.report) =
   if not r.Core.Collective_exec.verified then
     failwith ("collective: exact verification failed: " ^ what)
 
+(* The two executors implement one spec: every deterministic counter
+   must agree bit-for-bit. *)
+let check_agreement ~what (a : Core.Collective_exec.report)
+    (b : Core.Collective_exec.report) =
+  let ok =
+    a.Core.Collective_exec.rings = b.Core.Collective_exec.rings
+    && a.Core.Collective_exec.ranks = b.Core.Collective_exec.ranks
+    && a.Core.Collective_exec.phases = b.Core.Collective_exec.phases
+    && a.Core.Collective_exec.rounds = b.Core.Collective_exec.rounds
+    && a.Core.Collective_exec.delivered = b.Core.Collective_exec.delivered
+    && a.Core.Collective_exec.wire_words = b.Core.Collective_exec.wire_words
+    && a.Core.Collective_exec.payload_words
+       = b.Core.Collective_exec.payload_words
+    && a.Core.Collective_exec.max_link_load
+       = b.Core.Collective_exec.max_link_load
+    && a.Core.Collective_exec.max_port_load
+       = b.Core.Collective_exec.max_port_load
+    && a.Core.Collective_exec.checksum = b.Core.Collective_exec.checksum
+  in
+  if not ok then
+    failwith ("collective: fastpath diverged from netsim: " ^ what)
+
+(* The tentpole acceptance floors, enforced where runs are long enough
+   to time meaningfully (full mode); always reported. *)
+let speedup ~what ~enforce (gn : Jrec.gc_timed) (gf : Jrec.gc_timed) =
+  let wall = gn.Jrec.wall_s /. Float.max 1e-9 gf.Jrec.wall_s in
+  let minor = gn.Jrec.minor_words /. Float.max 1.0 gf.Jrec.minor_words in
+  Printf.printf
+    "  fastpath vs netsim [%s]: wall x%.1f (floor 20), minor-words x%.1f (floor 100)%s\n"
+    what wall minor
+    (if enforce then "" else " [reported only]");
+  if enforce && wall < 20.0 then
+    failwith
+      (Printf.sprintf "collective: fastpath wall speedup x%.1f below 20x (%s)"
+         wall what);
+  if enforce && minor < 100.0 then
+    failwith
+      (Printf.sprintf
+         "collective: fastpath minor-words ratio x%.1f below 100x (%s)" minor
+         what)
+
 (* Chapter-2 side: the FFC-embedded ring under seeded random node
-   faults. *)
-let ffc_side ~d ~n ~ranks ~chunk_words ~fault_counts =
+   faults, both engines on every point. *)
+let ffc_side ~d ~n ~ranks ~chunk_words ~fault_counts ~enforce =
   let p = Core.Word.params ~d ~n in
   Printf.printf " FFC ring of B(%d,%d) (%d nodes), ranks %d, chunk %d words\n" d n
     p.Core.Word.size ranks chunk_words;
@@ -74,43 +133,67 @@ let ffc_side ~d ~n ~ranks ~chunk_words ~fault_counts =
       let faults = Core.Rng.sample_distinct rng ~k:f ~bound:p.Core.Word.size in
       List.iter
         (fun op ->
-          let r, g =
+          let run engine =
             Jrec.time_gc (fun () ->
                 Option.get
-                  (Core.collective_over_fault_free_ring ~d ~n ~faults ~op ~ranks
-                     ~chunk_words ()))
+                  (Core.collective_over_fault_free_ring ~engine ~d ~n ~faults
+                     ~op ~ranks ~chunk_words ()))
           in
+          let r, g = run Core.Netsim in
           check_verified ~what:(Printf.sprintf "ffc f=%d" f) r;
           show ~engine:(Printf.sprintf "ffc-ring f=%d" f) ~op r g;
-          row ~engine:"ffc-ring" ~d ~n ~f ~op r g)
+          row ~engine:"ffc-ring" ~d ~n ~f ~op r g;
+          let rf, gf = run Core.Fastpath in
+          check_verified ~what:(Printf.sprintf "ffc fastpath f=%d" f) rf;
+          check_agreement ~what:(Printf.sprintf "ffc f=%d" f) r rf;
+          show ~engine:(Printf.sprintf "ffc-ring fastpath f=%d" f) ~op rf gf;
+          row ~engine:"ffc-ring fastpath" ~d ~n ~f ~op rf gf;
+          if op = Core.Collective_schedule.Allreduce then
+            speedup ~what:(Printf.sprintf "ffc f=%d" f) ~enforce g gf)
         ops)
     fault_counts
 
 (* Chapter-3 side: striping across k edge-disjoint rings, plus the
    bidirectional and parallel-stepping variants, plus link faults. *)
-let striped_side ~d ~n ~ranks ~chunk_words =
+let striped_side ~d ~n ~ranks ~chunk_words ~enforce =
   let k = Core.Psi.psi d in
   let p = Core.Word.params ~d ~n in
   Printf.printf
     " striped rings of B(%d,%d) (%d nodes), psi(%d) = %d, ranks %d, chunk %d words\n"
     d n p.Core.Word.size d k ranks chunk_words;
-  let run ?domains ?(bidirectional = false) ?(edge_faults = []) ~k op =
+  let run ?(engine = Core.Netsim) ?domains ?(bidirectional = false)
+      ?(edge_faults = []) ~k op =
     Jrec.time_gc (fun () ->
         Option.get
-          (Core.striped_collective_over_disjoint_rings ?domains ~bidirectional
-             ~edge_faults ~d ~n ~k ~op ~ranks ~chunk_words ()))
+          (Core.striped_collective_over_disjoint_rings ~engine ?domains
+             ~bidirectional ~edge_faults ~d ~n ~k ~op ~ranks ~chunk_words ()))
+  in
+  (* Every netsim point paired with its fastpath sibling. *)
+  let pair ?bidirectional ?edge_faults ~what ~label ~k ~f op =
+    let r, g = run ?bidirectional ?edge_faults ~k op in
+    check_verified ~what r;
+    show ~engine:label ~op r g;
+    row ~engine:label ~d ~n ~f ~op r g;
+    let rf, gf =
+      run ~engine:Core.Fastpath ?bidirectional ?edge_faults ~k op
+    in
+    check_verified ~what:(what ^ " fastpath") rf;
+    check_agreement ~what rf r;
+    show ~engine:(label ^ " fastpath") ~op rf gf;
+    row ~engine:(label ^ " fastpath") ~d ~n ~f ~op rf gf;
+    if op = Core.Collective_schedule.Allreduce then speedup ~what ~enforce g gf;
+    (r, rf)
   in
   (* k = 1 vs k = psi(d), fault-free: the striping contract. *)
   List.iter
     (fun op ->
-      let r1, g1 = run ~k:1 op in
-      check_verified ~what:"striped k=1" r1;
-      show ~engine:"striped x1" ~op r1 g1;
-      row ~engine:"striped x1" ~d ~n ~f:0 ~op r1 g1;
-      let rk, gk = run ~k op in
-      check_verified ~what:(Printf.sprintf "striped k=%d" k) rk;
-      show ~engine:(Printf.sprintf "striped x%d" k) ~op rk gk;
-      row ~engine:(Printf.sprintf "striped x%d" k) ~d ~n ~f:0 ~op rk gk;
+      let r1, _ = pair ~what:"striped k=1" ~label:"striped x1" ~k:1 ~f:0 op in
+      let rk, rkf =
+        pair
+          ~what:(Printf.sprintf "striped k=%d" k)
+          ~label:(Printf.sprintf "striped x%d" k)
+          ~k ~f:0 op
+      in
       if op = Core.Collective_schedule.Allreduce then begin
         let gain =
           rk.Core.Collective_exec.bytes_per_step
@@ -124,7 +207,8 @@ let striped_side ~d ~n ~ranks ~chunk_words =
                "collective: striped allreduce gain x%.2f below the 0.8k floor"
                gain)
       end;
-      (* Parallel stepping must be bit-identical to the sequential run. *)
+      (* Parallel stepping must be bit-identical to the sequential run,
+         on both engines. *)
       if op = Core.Collective_schedule.Allreduce then begin
         let rd, gd = run ~domains:2 ~k op in
         if
@@ -137,25 +221,60 @@ let striped_side ~d ~n ~ranks ~chunk_words =
         show ~engine:(Printf.sprintf "striped x%d domains x2" k) ~op rd gd;
         row ~engine:(Printf.sprintf "striped x%d domains x2" k) ~d ~n ~f:0 ~op rd
           gd;
-        let rb, gb = run ~bidirectional:true ~k op in
-        check_verified ~what:"striped bidir" rb;
-        show ~engine:(Printf.sprintf "striped x%d bidir" k) ~op rb gb;
-        row ~engine:(Printf.sprintf "striped x%d bidir" k) ~d ~n ~f:0 ~op rb gb
+        let rfd, gfd = run ~engine:Core.Fastpath ~domains:2 ~k op in
+        check_agreement ~what:"fastpath domains=2" rfd rkf;
+        check_verified ~what:"fastpath domains=2" rfd;
+        show ~engine:(Printf.sprintf "striped x%d fastpath domains x2" k) ~op
+          rfd gfd;
+        row ~engine:(Printf.sprintf "striped x%d fastpath domains x2" k) ~d ~n
+          ~f:0 ~op rfd gfd;
+        ignore
+          (pair ~bidirectional:true ~what:"striped bidir"
+             ~label:(Printf.sprintf "striped x%d bidir" k)
+             ~k ~f:0 op)
       end)
     ops;
   (* Link faults: kill one ring's edge and stripe over the survivors. *)
   let st = List.hd (Core.Compose.disjoint_streams_upto ~d ~n ~k:1) in
   let u = st.Core.Stream.start in
   let edge_faults = [ (u, st.Core.Stream.succ u) ] in
-  let rf, gf = run ~edge_faults ~k Core.Collective_schedule.Allreduce in
-  check_verified ~what:"striped survivors" rf;
-  show
-    ~engine:(Printf.sprintf "striped survivors/%d" k)
-    ~op:Core.Collective_schedule.Allreduce rf gf;
-  row ~engine:"striped survivors" ~d ~n ~f:1 ~op:Core.Collective_schedule.Allreduce
-    rf gf;
+  let rf, _ =
+    pair ~edge_faults ~what:"striped survivors" ~label:"striped survivors" ~k
+      ~f:1 Core.Collective_schedule.Allreduce
+  in
   if rf.Core.Collective_exec.rings <> k - 1 then
     failwith "collective: one link fault should kill exactly one ring"
+
+(* The at-scale fastpath rows: instances the netsim engine cannot touch
+   in CI time, with their bytes/second figures.  The smoke lane runs a
+   full B(2,16) bidirectional allreduce on every PR; full mode adds the
+   B(2,22) (4.2M-node) FFC rows for the nightly artifact. *)
+let fastpath_scale ~d ~n ~ranks ~chunk_words ~bidirectional ~fault_counts =
+  let p = Core.Word.params ~d ~n in
+  Printf.printf
+    " fastpath at scale: FFC ring of B(%d,%d) (%d nodes), ranks %d, chunk %d words%s\n"
+    d n p.Core.Word.size ranks chunk_words
+    (if bidirectional then ", bidirectional" else "");
+  let op = Core.Collective_schedule.Allreduce in
+  List.iter
+    (fun f ->
+      let rng = Core.Rng.create 0x5eed in
+      let faults = Core.Rng.sample_distinct rng ~k:f ~bound:p.Core.Word.size in
+      let r, g =
+        Jrec.time_gc (fun () ->
+            Option.get
+              (Core.collective_over_fault_free_ring ~engine:Core.Fastpath
+                 ~bidirectional ~d ~n ~faults ~op ~ranks ~chunk_words ()))
+      in
+      check_verified ~what:(Printf.sprintf "fastpath scale f=%d" f) r;
+      let label =
+        if bidirectional then "ffc-ring bidir fastpath" else "ffc-ring fastpath"
+      in
+      show ~engine:(Printf.sprintf "%s f=%d" label f) ~op r g;
+      Printf.printf "    bytes/second %.3e (8 x %d wire words / %.2fs)\n"
+        (bytes_per_s r g) r.Core.Collective_exec.wire_words g.Jrec.wall_s;
+      row ~engine:label ~d ~n ~f ~op r g)
+    fault_counts
 
 let run ?(json = false) ?(smoke = false) () =
   print_endline (String.make 78 '-');
@@ -163,12 +282,20 @@ let run ?(json = false) ?(smoke = false) () =
     "COLLECTIVE - ring reduce-scatter / all-gather / allreduce over embedded rings";
   print_endline (String.make 78 '-');
   if smoke then begin
-    ffc_side ~d:2 ~n:10 ~ranks:16 ~chunk_words:4 ~fault_counts:[ 0; 2 ];
-    striped_side ~d:4 ~n:5 ~ranks:16 ~chunk_words:4
+    ffc_side ~d:2 ~n:10 ~ranks:16 ~chunk_words:4 ~fault_counts:[ 0; 2 ]
+      ~enforce:false;
+    striped_side ~d:4 ~n:5 ~ranks:16 ~chunk_words:4 ~enforce:false;
+    fastpath_scale ~d:2 ~n:16 ~ranks:64 ~chunk_words:8 ~bidirectional:true
+      ~fault_counts:[ 0 ]
   end
   else begin
-    ffc_side ~d:2 ~n:16 ~ranks:64 ~chunk_words:8 ~fault_counts:[ 0; 8 ];
-    striped_side ~d:4 ~n:8 ~ranks:64 ~chunk_words:8
+    ffc_side ~d:2 ~n:16 ~ranks:64 ~chunk_words:8 ~fault_counts:[ 0; 8 ]
+      ~enforce:true;
+    striped_side ~d:4 ~n:8 ~ranks:64 ~chunk_words:8 ~enforce:true;
+    fastpath_scale ~d:2 ~n:16 ~ranks:64 ~chunk_words:8 ~bidirectional:true
+      ~fault_counts:[ 0 ];
+    fastpath_scale ~d:2 ~n:22 ~ranks:64 ~chunk_words:1024 ~bidirectional:false
+      ~fault_counts:[ 0; 8 ]
   end;
   print_newline ();
   if json then Jrec.write "BENCH_collective.json"

@@ -309,7 +309,16 @@ let collective_cmd =
            ~doc:"Stripe the payload across $(docv) edge-disjoint Hamiltonian rings (Chapter 3); 0 (the default) runs on the FFC-embedded ring (Chapter 2).")
   in
   let ranks =
-    Arg.(value & opt int 8 & info [ "ranks" ] ~docv:"R" ~doc:"Logical participants per ring (clamped to the ring length).")
+    Arg.(value & opt int 8 & info [ "ranks" ] ~docv:"R"
+           ~doc:"Logical participants per ring (an error when above the ring length unless $(b,--clamp-ranks) is passed).")
+  in
+  let engine_arg =
+    Arg.(value & opt string "netsim" & info [ "engine" ] ~docv:"ENGINE"
+           ~doc:"Executor: netsim (message-by-message simulation) or fastpath (compiled zero-copy kernel; identical counters).")
+  in
+  let clamp_ranks =
+    Arg.(value & flag & info [ "clamp-ranks" ]
+           ~doc:"Clamp $(b,--ranks) to the ring length instead of erroring when it exceeds it.")
   in
   let chunk_words =
     Arg.(value & opt int 4 & info [ "chunk-words" ] ~docv:"W" ~doc:"Words per message chunk.")
@@ -327,40 +336,53 @@ let collective_cmd =
   let bidir =
     Arg.(value & flag & info [ "bidir" ] ~doc:"Also drive every ring in the reverse direction with its own payload stripe.")
   in
-  let run d n op_str rings_k ranks chunk_words faults seed domains bidir =
+  let run d n op_str rings_k ranks chunk_words faults seed domains bidir
+      engine_str clamp_ranks =
     let op =
       match Core.Collective_schedule.op_of_string op_str with
       | Some op -> op
       | None -> failwith (Printf.sprintf "bad op %S (want rs | ag | ar)" op_str)
     in
+    let engine =
+      match engine_str with
+      | "netsim" -> Core.Netsim
+      | "fastpath" -> Core.Fastpath
+      | s -> failwith (Printf.sprintf "bad engine %S (want netsim | fastpath)" s)
+    in
     let p = Core.Word.params ~d ~n in
     let rng = Core.Rng.create seed in
     let report =
-      if rings_k = 0 then begin
-        let fault_nodes =
-          Core.Rng.sample_distinct rng ~k:faults ~bound:p.Core.Word.size
-        in
-        Printf.printf "# %s over the FFC ring of B(%d,%d), %d node fault(s)\n"
-          (Core.Collective_schedule.op_to_string op) d n faults;
-        Core.collective_over_fault_free_ring ~domains ~bidirectional:bidir ~d ~n
-          ~faults:fault_nodes ~op ~ranks ~chunk_words ()
-      end
-      else begin
-        let rec sample k acc =
-          if k = 0 then List.rev acc
-          else
-            let u = Core.Rng.int rng p.Core.Word.size in
-            let succs = Core.Word.successors p u in
-            let v = List.nth succs (Core.Rng.int rng (List.length succs)) in
-            sample (k - 1) ((u, v) :: acc)
-        in
-        let edge_faults = sample faults [] in
-        Printf.printf
-          "# %s striped over %d edge-disjoint ring(s) of B(%d,%d), %d link fault(s)\n"
-          (Core.Collective_schedule.op_to_string op) rings_k d n faults;
-        Core.striped_collective_over_disjoint_rings ~domains ~bidirectional:bidir
-          ~edge_faults ~d ~n ~k:rings_k ~op ~ranks ~chunk_words ()
-      end
+      try
+        if rings_k = 0 then begin
+          let fault_nodes =
+            Core.Rng.sample_distinct rng ~k:faults ~bound:p.Core.Word.size
+          in
+          Printf.printf "# %s over the FFC ring of B(%d,%d), %d node fault(s)\n"
+            (Core.Collective_schedule.op_to_string op) d n faults;
+          Core.collective_over_fault_free_ring ~domains ~engine
+            ~bidirectional:bidir ~clamp_ranks ~d ~n ~faults:fault_nodes ~op
+            ~ranks ~chunk_words ()
+        end
+        else begin
+          let rec sample k acc =
+            if k = 0 then List.rev acc
+            else
+              let u = Core.Rng.int rng p.Core.Word.size in
+              let succs = Core.Word.successors p u in
+              let v = List.nth succs (Core.Rng.int rng (List.length succs)) in
+              sample (k - 1) ((u, v) :: acc)
+          in
+          let edge_faults = sample faults [] in
+          Printf.printf
+            "# %s striped over %d edge-disjoint ring(s) of B(%d,%d), %d link fault(s)\n"
+            (Core.Collective_schedule.op_to_string op) rings_k d n faults;
+          Core.striped_collective_over_disjoint_rings ~domains ~engine
+            ~bidirectional:bidir ~clamp_ranks ~edge_faults ~d ~n ~k:rings_k ~op
+            ~ranks ~chunk_words ()
+        end
+      with Invalid_argument msg ->
+        prerr_endline ("error: " ^ msg);
+        exit 2
     in
     match report with
     | None ->
@@ -383,7 +405,7 @@ let collective_cmd =
     (Cmd.info "collective"
        ~doc:"Ring collectives (reduce-scatter / all-gather / allreduce) over embedded rings.")
     Term.(const run $ d_arg $ n_arg $ op_arg $ rings $ ranks $ chunk_words $ faults
-          $ seed $ domains $ bidir)
+          $ seed $ domains $ bidir $ engine_arg $ clamp_ranks)
 
 let route_cmd =
   let src = Arg.(required & pos 0 (some string) None & info [] ~docv:"SRC") in

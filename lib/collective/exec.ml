@@ -31,7 +31,17 @@ type role =
   | Relay of { next : int }
   | Rank of { rank : int; next : int; base : int; mutable phase : int }
 
-type nstate = { mutable started : bool; roles : role array }
+(* [free] recycles the chunk arrays of consumed receives into the
+   node's own later sends — each rank allocates at most two [cw]-word
+   arrays over the whole run instead of one per phase.  The pool is
+   private to the node state, so the simulator's ?domains stepping
+   never shares a buffer across domains. *)
+type nstate = {
+  mutable started : bool;
+  roles : role array;
+  mutable free : int array list;
+}
+
 type msg = { ring : int; chunk : int; data : int array }
 
 let default_init ~ring ~rank ~chunk ~word =
@@ -46,34 +56,20 @@ let initial_word op ~init ~ring ~rank ~chunk ~word =
   | All_gather -> if chunk = rank then init ~ring ~rank ~chunk ~word else 0
   | Reduce_scatter | Allreduce -> init ~ring ~rank ~chunk ~word
 
-let run ?(domains = 1) ?(edge_faults = []) ?(init = default_init) ~p ~faulty
-    ~rings spec =
-  (match rings with [] -> invalid_arg "Collective.Exec.run: no rings" | _ -> ());
-  if spec.chunk_words < 1 then invalid_arg "Collective.Exec.run: chunk_words < 1";
-  let cycles = Array.of_list rings in
-  let length = Array.length cycles.(0) in
-  Array.iter
-    (fun c ->
-      if Array.length c <> length then
-        invalid_arg "Collective.Exec.run: rings of unequal length")
-    cycles;
-  if length < 2 then invalid_arg "Collective.Exec.run: ring shorter than 2";
-  (* Reverse directions are extra logical rings over the symmetric
-     closure: same nodes, reversed edge set, their own payload stripe. *)
-  let cycles =
-    if spec.bidirectional then
-      Array.append cycles
-        (Array.map
-           (fun c -> Array.init length (fun i -> c.(length - 1 - i)))
-           cycles)
-    else cycles
+let run_internal ~domains ~edge_faults ~clamp_ranks ~init ~p ~faulty ~rings
+    spec =
+  let c =
+    Compile.lower ~what:"Collective.Exec.run" ~clamp_ranks ~edge_faults
+      ~bidirectional:spec.bidirectional ~ranks:spec.ranks
+      ~chunk_words:spec.chunk_words ~p ~faulty ~rings
   in
-  let nrings = Array.length cycles in
-  let ranks = min spec.ranks length in
-  if ranks < 2 then invalid_arg "Collective.Exec.run: ranks < 2";
+  let cycles = c.Compile.cycles in
+  let nrings = c.Compile.nrings in
+  let length = c.Compile.length in
+  let ranks = c.Compile.ranks in
+  let bounds = c.Compile.bounds in
   let cw = spec.chunk_words in
   let ph = Schedule.phases spec.op ~ranks in
-  let bounds = Schedule.boundaries ~ranks ~length in
   (* Flat payload arena: rank r of ring j owns the [ranks·cw]-word
      slice at [((j·ranks) + r)·ranks·cw].  A step writes only the
      stepped node's own slice — the ?domains safety contract. *)
@@ -82,51 +78,52 @@ let run ?(domains = 1) ?(edge_faults = []) ?(init = default_init) ~p ~faulty
   for j = 0 to nrings - 1 do
     for r = 0 to ranks - 1 do
       let base = base_of ~ring:j ~rank:r in
-      for c = 0 to ranks - 1 do
+      for ch = 0 to ranks - 1 do
         for w = 0 to cw - 1 do
-          buf.{base + (c * cw) + w} <-
-            initial_word spec.op ~init ~ring:j ~rank:r ~chunk:c ~word:w
+          buf.{base + (ch * cw) + w} <-
+            initial_word spec.op ~init ~ring:j ~rank:r ~chunk:ch ~word:w
         done
       done
     done
   done;
-  (* Node → role tables, one pair of flat maps per ring. *)
+  (* Node → role tables, one pair of flat maps per ring (membership
+     already validated by [Compile.lower]). *)
   let rank_of = Array.init nrings (fun _ -> Array.make p.W.size (-1)) in
   let next_of = Array.init nrings (fun _ -> Array.make p.W.size (-1)) in
   Array.iteri
     (fun j cycle ->
       Array.iteri
-        (fun i v ->
-          if v < 0 || v >= p.W.size then
-            invalid_arg "Collective.Exec.run: ring node out of range";
-          if faulty v then invalid_arg "Collective.Exec.run: ring touches a faulty node";
-          if next_of.(j).(v) >= 0 then
-            invalid_arg "Collective.Exec.run: ring revisits a node";
-          next_of.(j).(v) <- cycle.((i + 1) mod length))
+        (fun i v -> next_of.(j).(v) <- cycle.((i + 1) mod length))
         cycle;
       Array.iteri (fun r pos -> rank_of.(j).(cycle.(pos)) <- r) bounds)
     cycles;
   (* Topology: the implicit De Bruijn edge set, materialized once for
      the simulator's neighbor check; symmetric closure under
-     bidirectional traffic; faulty links removed (so a ring crossing
-     one would be caught as an illegal send, not silently excused). *)
+     bidirectional traffic; faulty links removed through the O(1)
+     packed-key probe (so a ring crossing one would be caught as an
+     illegal send, not silently excused). *)
   let topology =
     let g = Graphlib.Digraph.of_successors p.W.size (W.successors p) in
     let g = if spec.bidirectional then Graphlib.Digraph.undirected_view g else g in
-    match edge_faults with
-    | [] -> g
-    | _ ->
-        Graphlib.Digraph.remove_edges g (fun (u, v) ->
-            List.exists
-              (fun (fu, fv) ->
-                (u = fu && v = fv) || (spec.bidirectional && u = fv && v = fu))
-              edge_faults)
+    if Compile.Fault_probe.is_empty c.Compile.probe then g
+    else
+      Graphlib.Digraph.remove_edges g (fun (u, v) ->
+          Compile.Fault_probe.mem c.Compile.probe u v)
   in
-  (* One send: copy the chunk out of the rank's slice into a fresh
+  (* One send: copy the chunk out of the rank's slice into a pooled
      array, so later slice writes never mutate in-flight payloads. *)
-  let mk_send ~next ~ring ~base ~phase ~rank =
+  let mk_send st ~next ~ring ~base ~phase ~rank =
     let chunk = Schedule.send_chunk ~ranks ~rank ~phase in
-    let data = Array.init cw (fun w -> buf.{base + (chunk * cw) + w}) in
+    let data =
+      match st.free with
+      | d :: rest ->
+          st.free <- rest;
+          d
+      | [] -> Array.make cw 0
+    in
+    for w = 0 to cw - 1 do
+      data.(w) <- buf.{base + (chunk * cw) + w}
+    done;
     (next, { ring; chunk; data })
   in
   let proto =
@@ -147,7 +144,7 @@ let run ?(domains = 1) ?(edge_faults = []) ?(init = default_init) ~p ~faulty
                 else if next_of.(j).(v) >= 0 then Relay { next = next_of.(j).(v) }
                 else Off)
           in
-          { started = false; roles });
+          { started = false; roles; free = [] });
       step =
         (fun ~round:_ _v st inbox ->
           let sends = ref [] in
@@ -158,7 +155,7 @@ let run ?(domains = 1) ?(edge_faults = []) ?(init = default_init) ~p ~faulty
                 match role with
                 | Rank rk ->
                     sends :=
-                      mk_send ~next:rk.next ~ring:j ~base:rk.base ~phase:0
+                      mk_send st ~next:rk.next ~ring:j ~base:rk.base ~phase:0
                         ~rank:rk.rank
                       :: !sends
                 | Relay _ | Off -> ())
@@ -175,10 +172,14 @@ let run ?(domains = 1) ?(edge_faults = []) ?(init = default_init) ~p ~faulty
                     buf.{off + w} <-
                       (if red then buf.{off + w} + m.data.(w) else m.data.(w))
                   done;
+                  (* The payload has been folded into the arena; the
+                     array is ours to recycle (the next send reads the
+                     arena, not the consumed message). *)
+                  st.free <- m.data :: st.free;
                   rk.phase <- rk.phase + 1;
                   if rk.phase < ph then
                     sends :=
-                      mk_send ~next:rk.next ~ring:m.ring ~base:rk.base
+                      mk_send st ~next:rk.next ~ring:m.ring ~base:rk.base
                         ~phase:rk.phase ~rank:rk.rank
                       :: !sends
               | Off -> ())
@@ -212,39 +213,41 @@ let run ?(domains = 1) ?(edge_faults = []) ?(init = default_init) ~p ~faulty
   done;
   (* Arithmetic congestion accounting: each ring edge carries exactly
      [segment_messages] messages, so the peak directed-link load is
-     that figure times the deepest ring-sharing of any edge.  Sharing
-     is counted by sorting the packed edge keys of every ring. *)
+     that figure times the deepest ring-sharing of any edge
+     ([Compile.max_edge_share] over the packed edge keys). *)
   let msgs = Schedule.segment_messages spec.op ~ranks in
-  let keys = Array.make (nrings * length) 0 in
-  Array.iteri
-    (fun j cycle ->
-      Array.iteri
-        (fun i u ->
-          keys.((j * length) + i) <-
-            (u * p.W.size) + cycle.((i + 1) mod length))
-        cycle)
-    cycles;
-  Array.sort Int.compare keys;
-  let max_share = ref 0 and run_len = ref 0 in
-  Array.iteri
-    (fun i k ->
-      if i > 0 && keys.(i - 1) = k then incr run_len else run_len := 1;
-      if !run_len > !max_share then max_share := !run_len)
-    keys;
+  let max_share = Compile.max_edge_share c in
   let payload_words = nrings * Schedule.payload_words spec.op ~ranks ~chunk_words:cw in
-  {
-    rings = nrings;
-    ranks;
-    phases = ph;
-    rounds = res.Netsim.Simulator.rounds;
-    delivered = res.Netsim.Simulator.delivered;
-    wire_words = res.Netsim.Simulator.payload_total;
-    payload_words;
-    bytes_per_step =
-      8.0 *. float_of_int payload_words
-      /. float_of_int (max 1 res.Netsim.Simulator.rounds);
-    max_link_load = !max_share * msgs;
-    max_port_load = res.Netsim.Simulator.max_port_load;
-    verified = !verified;
-    checksum = !checksum;
-  }
+  let report =
+    {
+      rings = nrings;
+      ranks;
+      phases = ph;
+      rounds = res.Netsim.Simulator.rounds;
+      delivered = res.Netsim.Simulator.delivered;
+      wire_words = res.Netsim.Simulator.payload_total;
+      payload_words;
+      bytes_per_step =
+        8.0 *. float_of_int payload_words
+        /. float_of_int (max 1 res.Netsim.Simulator.rounds);
+      max_link_load = max_share * msgs;
+      max_port_load = res.Netsim.Simulator.max_port_load;
+      verified = !verified;
+      checksum = !checksum;
+    }
+  in
+  (report, buf)
+
+let run ?(domains = 1) ?(edge_faults = []) ?(clamp_ranks = false)
+    ?(init = default_init) ~p ~faulty ~rings spec =
+  fst
+    (run_internal ~domains ~edge_faults ~clamp_ranks ~init ~p ~faulty ~rings
+       spec)
+
+let run_with_payload ?(domains = 1) ?(edge_faults = []) ?(clamp_ranks = false)
+    ?(init = default_init) ~p ~faulty ~rings spec =
+  let report, buf =
+    run_internal ~domains ~edge_faults ~clamp_ranks ~init ~p ~faulty ~rings
+      spec
+  in
+  (report, Fa.to_array buf)

@@ -32,7 +32,9 @@
 
 type spec = {
   op : Schedule.op;
-  ranks : int;  (** logical participants per ring, clamped to ring length *)
+  ranks : int;
+      (** logical participants per ring; more ranks than ring nodes is
+          an error unless the run is passed [~clamp_ranks:true] *)
   chunk_words : int;  (** words per message — the per-link per-round capacity *)
   bidirectional : bool;
       (** also drive every ring in the reverse direction with its own
@@ -43,7 +45,7 @@ type spec = {
 
 type report = {
   rings : int;  (** logical rings driven; directions count separately *)
-  ranks : int;  (** ranks per ring after clamping *)
+  ranks : int;  (** effective ranks per ring (after any requested clamp) *)
   phases : int;  (** schedule phases per ring ({!Schedule.phases}) *)
   rounds : int;  (** simulator rounds to quiescence *)
   delivered : int;  (** message hops (simulator [delivered]) *)
@@ -70,6 +72,7 @@ type report = {
 val run :
   ?domains:int ->
   ?edge_faults:(int * int) list ->
+  ?clamp_ranks:bool ->
   ?init:(ring:int -> rank:int -> chunk:int -> word:int -> int) ->
   p:Debruijn.Word.params ->
   faulty:(int -> bool) ->
@@ -79,18 +82,58 @@ val run :
 (** Drive one collective over every given ring simultaneously in a
     single simulator run.
 
-    Requirements (checked): at least one ring; all rings the same
-    length L ≥ 2 (they stripe one payload, so they must agree on rank
-    geometry); no ring visits a node twice or touches a node satisfying
-    [faulty]; consecutive ring nodes must be De Bruijn-adjacent (the
-    simulator rejects the send otherwise).  [ranks] is clamped to
-    [min ranks L] and must end ≥ 2; [chunk_words ≥ 1].
+    Requirements (checked by {!Compile.lower}): at least one ring; all
+    rings the same length L ≥ 2 (they stripe one payload, so they must
+    agree on rank geometry); no ring visits a node twice or touches a
+    node satisfying [faulty]; consecutive ring nodes must be De
+    Bruijn-adjacent (raises {!Netsim.Simulator.Illegal_send} with the
+    round the simulator would first attempt the send).  [spec.ranks >
+    L] raises [Invalid_argument] unless [clamp_ranks] is set, in which
+    case the count is clamped to L (the report's [ranks] field carries
+    the effective value); the resolved count must be ≥ 2;
+    [chunk_words ≥ 1].
 
     [edge_faults] removes the given directed De Bruijn edges from the
-    topology (both directions under [bidirectional]) — a ring crossing
-    a dead link makes the run raise {!Netsim.Simulator.Illegal_send},
-    so a clean return {e proves} the rings avoid the fault set.
+    topology (both directions under [bidirectional]) through an O(1)
+    packed-key probe — a ring crossing a dead link makes the run raise
+    {!Netsim.Simulator.Illegal_send}, so a clean return {e proves} the
+    rings avoid the fault set.
 
-    [init] gives the integer payload (defaults to a fixed splitmix-free
-    arithmetic mix); [domains] is passed to the simulator and is
-    bit-identical by its contract. *)
+    [init] gives the integer payload (defaults to {!default_init});
+    [domains] is passed to the simulator and is bit-identical by its
+    contract. *)
+
+val run_with_payload :
+  ?domains:int ->
+  ?edge_faults:(int * int) list ->
+  ?clamp_ranks:bool ->
+  ?init:(ring:int -> rank:int -> chunk:int -> word:int -> int) ->
+  p:Debruijn.Word.params ->
+  faulty:(int -> bool) ->
+  rings:int array list ->
+  spec ->
+  report * int array
+(** [run] plus a heap snapshot of the final payload arena (ring-major,
+    then rank-major, then chunk-major slices of [chunk_words] words) —
+    the word-for-word comparison target of the Fastpath agreement
+    qcheck. *)
+
+val default_init : ring:int -> rank:int -> chunk:int -> word:int -> int
+(** The default integer payload: a fixed arithmetic mix of the
+    coordinates, [1 + ((ring·1009 + rank·31 + chunk·7 + word) mod 97)].
+    Exposed so other executors and tests can reproduce the exact
+    default arena. *)
+
+val initial_word :
+  Schedule.op ->
+  init:(ring:int -> rank:int -> chunk:int -> word:int -> int) ->
+  ring:int ->
+  rank:int ->
+  chunk:int ->
+  word:int ->
+  int
+(** The initial arena contents per operation — the reducing operations
+    start from the full vector everywhere; all-gather starts from
+    per-rank ownership (chunk r live at rank r, the rest zero), the
+    same convention as {!Schedule.simulate}.  Shared with {!Fastpath}
+    so both executors fill bit-identical arenas. *)

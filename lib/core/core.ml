@@ -29,6 +29,19 @@ module Rng = Util.Rng
 module Compose = Dhc.Compose
 module Collective_schedule = Collective.Schedule
 module Collective_exec = Collective.Exec
+module Collective_fastpath = Collective.Fastpath
+
+type collective_engine = Netsim | Fastpath
+
+let collective_run ~engine ?domains ?edge_faults ?clamp_ranks ~p ~faulty
+    ~rings spec =
+  match engine with
+  | Netsim ->
+      Collective.Exec.run ?domains ?edge_faults ?clamp_ranks ~p ~faulty ~rings
+        spec
+  | Fastpath ->
+      Collective.Fastpath.run ?domains ?edge_faults ?clamp_ranks ~p ~faulty
+        ~rings spec
 
 let fault_free_ring ~d ~n ~faults =
   let p = Word.params ~d ~n in
@@ -75,20 +88,22 @@ let route ~d ~n ~faults x y =
 let necklace_count ~d ~n = Necklace_count.Count.total ~d ~n
 let necklace_count_of_length ~d ~n ~t = Necklace_count.Count.of_length ~d ~n ~t
 
-let collective_over_fault_free_ring ?domains ?(bidirectional = false) ~d ~n
-    ~faults ~op ~ranks ~chunk_words () =
+let collective_over_fault_free_ring ?domains ?(engine = Netsim)
+    ?(bidirectional = false) ?clamp_ranks ~d ~n ~faults ~op ~ranks
+    ~chunk_words () =
   let p = Word.params ~d ~n in
   Option.map
     (fun e ->
       let flags = Necklace.mark_faulty_necklaces p faults in
-      Collective.Exec.run ?domains ~p
+      collective_run ~engine ?domains ?clamp_ranks ~p
         ~faulty:(fun v -> flags.(v))
         ~rings:[ e.Ffc.Embed.cycle ]
         { Collective.Exec.op; ranks; chunk_words; bidirectional })
     (Ffc.Embed.embed p ~faults)
 
-let striped_collective_over_disjoint_rings ?domains ?(bidirectional = false)
-    ?(edge_faults = []) ~d ~n ~k ~op ~ranks ~chunk_words () =
+let striped_collective_over_disjoint_rings ?domains ?(engine = Netsim)
+    ?(bidirectional = false) ?clamp_ranks ?(edge_faults = []) ~d ~n ~k ~op
+    ~ranks ~chunk_words () =
   let p = Word.params ~d ~n in
   let streams =
     match edge_faults with
@@ -107,7 +122,7 @@ let striped_collective_over_disjoint_rings ?domains ?(bidirectional = false)
   | _ ->
       let rings = List.map Dhc.Stream.to_nodes streams in
       Some
-        (Collective.Exec.run ?domains ~edge_faults ~p
+        (collective_run ~engine ?domains ~edge_faults ?clamp_ranks ~p
            ~faulty:(fun _ -> false)
            ~rings
            { Collective.Exec.op; ranks; chunk_words; bidirectional })

@@ -50,6 +50,7 @@ module Rng = Util.Rng
 module Compose = Dhc.Compose
 module Collective_schedule = Collective.Schedule
 module Collective_exec = Collective.Exec
+module Collective_fastpath = Collective.Fastpath
 
 val fault_free_ring :
   d:int -> n:int -> faults:int list -> int array option
@@ -106,9 +107,18 @@ val necklace_count : d:int -> n:int -> int
 
 val necklace_count_of_length : d:int -> n:int -> t:int -> int
 
+type collective_engine = Netsim | Fastpath
+    (** Which executor drives a collective: [Netsim] simulates every
+        relay hop message-by-message over {!Collective.Exec};
+        [Fastpath] runs the compiled zero-copy kernel of
+        {!Collective.Fastpath}.  Identical reports for identical
+        inputs — the agreement is qcheck-pinned. *)
+
 val collective_over_fault_free_ring :
   ?domains:int ->
+  ?engine:collective_engine ->
   ?bidirectional:bool ->
+  ?clamp_ranks:bool ->
   d:int ->
   n:int ->
   faults:int list ->
@@ -119,12 +129,14 @@ val collective_over_fault_free_ring :
   Collective.Exec.report option
 (** One-call driver for the Chapter-2 setting: embed the FFC ring
     avoiding the faulty processors, then run the given collective over
-    it on the network simulator, exact-verifying the reduced values.
-    [None] when no ring survives the fault set. *)
+    it with the chosen [engine] (default [Netsim]), exact-verifying
+    the reduced values.  [None] when no ring survives the fault set. *)
 
 val striped_collective_over_disjoint_rings :
   ?domains:int ->
+  ?engine:collective_engine ->
   ?bidirectional:bool ->
+  ?clamp_ranks:bool ->
   ?edge_faults:(int * int) list ->
   d:int ->
   n:int ->
@@ -137,7 +149,8 @@ val striped_collective_over_disjoint_rings :
 (** One-call driver for the Chapter-3 setting: take [k] of the ψ(d)
     pairwise edge-disjoint Hamiltonian rings (the survivors of
     [edge_faults], when given) and stripe one collective across all of
-    them in a single simulator run — k× the application bytes per step
-    of the single-ring schedule.  [None] when no ring survives.
+    them in a single run of the chosen [engine] — k× the application
+    bytes per step of the single-ring schedule.  [None] when no ring
+    survives.
     @raise Invalid_argument if [edge_faults] is empty and k is outside
     [1, ψ(d)]. *)

@@ -18,6 +18,14 @@ Rows whose engine mentions "domains" are skipped outright (the domain
 count is machine-dependent).  A baseline row with no counterpart in the
 fresh run fails the gate (coverage loss); extra fresh rows only warn.
 
+Collective rows are additionally cross-checked within the fresh run:
+every row whose engine ends in " fastpath" must agree on ALL exact
+counters (rounds, delivered, wire words, link/port load, checksum, ...)
+with its netsim sibling — the row with the same identity minus the
+" fastpath" suffix — because the two executors implement one spec.
+Fastpath-only rows (the at-scale instances netsim cannot touch) have no
+sibling and are windowed against the baseline like everything else.
+
 Both files are also schema-linted: every row must carry the uniform
 measurement triple — wall_s plus a minor- and a major-heap allocation
 figure (minor_words/major_words or their _per_trial variants) — so no
@@ -71,6 +79,9 @@ RATIO = {
     # they are skipped anyway; listed here to keep the field out of row
     # identity if that ever changes
     "speedup_vs_x1": 8.0,
+    # collective throughput: wire_words is exact but the divisor is
+    # wall-clock, so same window as wall_s
+    "bytes_per_s": 4.0,
 }
 PERCENT_DEFAULT = 0.25
 
@@ -153,6 +164,30 @@ def compare(key, base, fresh, failures):
                     f"{dict(key)}: {field} = {got}, baseline {want} (outside +/-{tol:.0%})")
 
 
+def cross_check(fresh, failures):
+    """Fastpath rows must carry byte-identical exact counters to their
+    netsim siblings within the same fresh run.  The sibling is the row
+    whose identity matches after stripping the trailing " fastpath" from
+    the engine; at-scale fastpath-only rows have none and are skipped."""
+    checked = 0
+    for key, row in fresh.items():
+        engine = str(row.get("engine", ""))
+        if not engine.endswith(" fastpath"):
+            continue
+        sibling_row = dict(row)
+        sibling_row["engine"] = engine[: -len(" fastpath")]
+        sibling = fresh.get(identity(sibling_row))
+        if sibling is None:
+            continue
+        checked += 1
+        for field in sorted(EXACT):
+            if field in row and field in sibling and row[field] != sibling[field]:
+                failures.append(
+                    f"{dict(key)}: fastpath {field} = {row[field]} but netsim "
+                    f"sibling has {sibling[field]} (engines must agree exactly)")
+    print(f"bench gate: {checked} fastpath rows cross-checked against netsim siblings")
+
+
 def main():
     if len(sys.argv) != 3:
         sys.exit(__doc__)
@@ -160,6 +195,7 @@ def main():
     failures = []
     base = load(base_path, failures)
     fresh = load(fresh_path, failures)
+    cross_check(fresh, failures)
     for key, row in base.items():
         if key not in fresh:
             failures.append(f"baseline row missing from fresh run: {dict(key)}")

@@ -149,6 +149,37 @@ carries its own stripe over the symmetric closure):
   # delivered 1792  wire-words 7168  payload-words 128  max-link-load 14  max-port-load 2
   verified true  checksum 51216
 
+The compiled fastpath executor reproduces the netsim report
+byte-for-byte (same pins as the first collective above):
+
+  $ debruijn-rings collective -d 2 -n 8 --op allreduce --faults 2 --engine fastpath
+  # allreduce over the FFC ring of B(2,8), 2 node fault(s)
+  # rings 1  ranks 8  phases 14  rounds 432
+  # delivered 3444  wire-words 13776  payload-words 32  max-link-load 14  max-port-load 1
+  verified true  checksum 95144
+
+... including under parallel phase execution across domains:
+
+  $ debruijn-rings collective -d 4 -n 3 --rings 3 --op ar --faults 1 --engine fastpath --domains 2
+  # allreduce striped over 3 edge-disjoint ring(s) of B(4,3), 1 link fault(s)
+  # rings 2  ranks 8  phases 14  rounds 113
+  # delivered 1792  wire-words 7168  payload-words 64  max-link-load 14  max-port-load 2
+  verified true  checksum 197216
+
+Asking for more ranks than the ring has processors is an error unless
+clamping is requested explicitly:
+
+  $ debruijn-rings collective -d 2 -n 6 --op ag --ranks 99 2>&1
+  error: Collective.Exec.run: spec.ranks 99 > ring length 64 (pass ~clamp_ranks:true to clamp)
+  # all-gather over the FFC ring of B(2,6), 0 node fault(s)
+  [2]
+
+  $ debruijn-rings collective -d 2 -n 6 --op ag --ranks 99 --clamp-ranks --engine fastpath
+  # all-gather over the FFC ring of B(2,6), 0 node fault(s)
+  # rings 1  ranks 64  phases 63  rounds 64
+  # delivered 4032  wire-words 16128  payload-words 256  max-link-load 63  max-port-load 1
+  verified true  checksum 811328
+
 Fault-tolerant routing (Proposition 2.2):
 
   $ debruijn-rings route -d 3 -n 3 012 221 --fault 020

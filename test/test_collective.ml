@@ -185,6 +185,147 @@ let test_exec_validation () =
     | _ -> false)
 
 (* ------------------------------------------------------------------ *)
+(* Fastpath: the compiled executor against the netsim oracle *)
+
+module F = Collective.Fastpath
+
+let same_report (a : E.report) (b : E.report) =
+  a.E.rings = b.E.rings && a.E.ranks = b.E.ranks && a.E.phases = b.E.phases
+  && a.E.rounds = b.E.rounds
+  && a.E.delivered = b.E.delivered
+  && a.E.wire_words = b.E.wire_words
+  && a.E.payload_words = b.E.payload_words
+  && Float.equal a.E.bytes_per_step b.E.bytes_per_step
+  && a.E.max_link_load = b.E.max_link_load
+  && a.E.max_port_load = b.E.max_port_load
+  && a.E.verified && b.E.verified
+  && a.E.checksum = b.E.checksum
+
+let same_payload a b =
+  Array.length a = Array.length b && Array.for_all2 Int.equal a b
+
+(* The FFC-embedded ring under node faults: relay-lengthened,
+   non-uniform segments — the geometry the closed-form accounting has
+   to get right. *)
+let ffc_ring_and_faulty ~d ~n ~faults =
+  let p = W.params ~d ~n in
+  let flags = Debruijn.Necklace.mark_faulty_necklaces p faults in
+  match Ffc.Embed.embed p ~faults with
+  | Some e -> (e.Ffc.Embed.cycle, fun v -> flags.(v))
+  | None -> Alcotest.fail "FFC embed failed"
+
+let agree ?edge_faults ?(faulty = fun _ -> false) ~what ~p ~rings spec =
+  let re, pe = E.run_with_payload ?edge_faults ~p ~faulty ~rings spec in
+  let rf, pf = F.run_with_payload ?edge_faults ~p ~faulty ~rings spec in
+  check_bool (what ^ ": reports agree") true (same_report re rf);
+  check_bool (what ^ ": payload arenas agree") true (same_payload pe pf)
+
+let test_fastpath_matches_netsim () =
+  List.iter
+    (fun op ->
+      (* Fault-free Hamiltonian ring, uniform segments. *)
+      let p = W.params ~d:2 ~n:4 in
+      agree ~what:"B(2,4) hamiltonian" ~p
+        ~rings:[ hamiltonian_ring ~d:2 ~n:4 ]
+        { E.op; ranks = 4; chunk_words = 2; bidirectional = false };
+      (* FFC ring under node faults: relay-lengthened segments. *)
+      let ring, faulty = ffc_ring_and_faulty ~d:2 ~n:5 ~faults:[ 3; 17 ] in
+      agree ~faulty ~what:"B(2,5) FFC f=2" ~p:(W.params ~d:2 ~n:5)
+        ~rings:[ ring ]
+        { E.op; ranks = 6; chunk_words = 1; bidirectional = false };
+      agree ~faulty ~what:"B(2,5) FFC f=2 bidir" ~p:(W.params ~d:2 ~n:5)
+        ~rings:[ ring ]
+        { E.op; ranks = 6; chunk_words = 2; bidirectional = true };
+      (* Striped edge-disjoint rings, shared relay nodes. *)
+      let rings = List.map Str.to_nodes (Co.disjoint_streams_upto ~d:4 ~n:2 ~k:3) in
+      agree ~what:"B(4,2) striped x3" ~p:(W.params ~d:4 ~n:2) ~rings
+        { E.op; ranks = 8; chunk_words = 2; bidirectional = false };
+      agree ~what:"B(4,2) striped x3 bidir" ~p:(W.params ~d:4 ~n:2) ~rings
+        { E.op; ranks = 5; chunk_words = 1; bidirectional = true })
+    [ S.Reduce_scatter; S.All_gather; S.Allreduce ];
+  (* Survivors of link faults, with the faults actually removed. *)
+  let sts =
+    Dhc.Edge_fault.surviving_disjoint_streams ~d:4 ~n:2 ~faults:[ (0, 1) ]
+  in
+  agree ~edge_faults:[ (0, 1) ] ~what:"B(4,2) survivors"
+    ~p:(W.params ~d:4 ~n:2)
+    ~rings:(List.map Str.to_nodes sts)
+    { E.op = S.Allreduce; ranks = 4; chunk_words = 2; bidirectional = false }
+
+(* The closed-form rounds formula against hand-computed pipeline
+   timings on a uniform ring: every segment has length L/R, so the
+   last phase-(ph−1) receive lands at round ph·(L/R) and the simulator
+   counts one more executed round. *)
+let test_fastpath_closed_form () =
+  let d = 2 and n = 4 in
+  let p = W.params ~d ~n in
+  let ring = hamiltonian_ring ~d ~n in
+  let run op =
+    F.run ~p ~faulty:(fun _ -> false) ~rings:[ ring ]
+      { E.op; ranks = 4; chunk_words = 1; bidirectional = false }
+  in
+  let ar = run S.Allreduce in
+  check_int "allreduce rounds = 2(R-1)(L/R)+1" ((6 * 4) + 1) ar.E.rounds;
+  check_int "allreduce delivered = ph*L" (6 * 16) ar.E.delivered;
+  check_int "single ring port load" 1 ar.E.max_port_load;
+  check_int "single ring link load = phases" 6 ar.E.max_link_load;
+  let rs = run S.Reduce_scatter in
+  check_int "reduce-scatter rounds" ((3 * 4) + 1) rs.E.rounds;
+  (* And the same figures from the measuring executor. *)
+  let ns op =
+    E.run ~p ~faulty:(fun _ -> false) ~rings:[ ring ]
+      { E.op; ranks = 4; chunk_words = 1; bidirectional = false }
+  in
+  check_int "netsim agrees (ar)" (ns S.Allreduce).E.rounds ar.E.rounds;
+  check_int "netsim agrees (rs)" (ns S.Reduce_scatter).E.rounds rs.E.rounds
+
+let test_clamp_ranks () =
+  let d = 2 and n = 4 in
+  let p = W.params ~d ~n in
+  let ring = hamiltonian_ring ~d ~n in
+  let spec ranks =
+    { E.op = S.Allreduce; ranks; chunk_words = 1; bidirectional = false }
+  in
+  Alcotest.check_raises "exec rejects ranks > length"
+    (Invalid_argument
+       "Collective.Exec.run: spec.ranks 99 > ring length 16 (pass \
+        ~clamp_ranks:true to clamp)") (fun () ->
+      ignore (E.run ~p ~faulty:(fun _ -> false) ~rings:[ ring ] (spec 99)));
+  Alcotest.check_raises "fastpath rejects ranks > length"
+    (Invalid_argument
+       "Collective.Fastpath.run: spec.ranks 99 > ring length 16 (pass \
+        ~clamp_ranks:true to clamp)") (fun () ->
+      ignore (F.run ~p ~faulty:(fun _ -> false) ~rings:[ ring ] (spec 99)));
+  let re = E.run ~clamp_ranks:true ~p ~faulty:(fun _ -> false) ~rings:[ ring ] (spec 99) in
+  let rf = F.run ~clamp_ranks:true ~p ~faulty:(fun _ -> false) ~rings:[ ring ] (spec 99) in
+  check_int "exec clamps to length" 16 re.E.ranks;
+  check_bool "clamped runs agree" true (same_report re rf)
+
+let test_fastpath_illegal_send () =
+  let d = 2 and n = 4 in
+  let p = W.params ~d ~n in
+  let ring = hamiltonian_ring ~d ~n in
+  let spec =
+    { E.op = S.Allreduce; ranks = 4; chunk_words = 1; bidirectional = false }
+  in
+  (* Faulting the edge at ring position i kills the phase-0 wave at
+     segment offset i mod (L/R) — the compile-time raise carries the
+     round the simulator would first attempt that send. *)
+  List.iter
+    (fun pos ->
+      match
+        F.run
+          ~edge_faults:[ (ring.(pos), ring.(pos + 1)) ]
+          ~p ~faulty:(fun _ -> false) ~rings:[ ring ] spec
+      with
+      | exception Netsim.Simulator.Illegal_send { round; src; dst } ->
+          check_int "illegal send round = segment offset" (pos mod 4) round;
+          check_int "illegal send src" ring.(pos) src;
+          check_int "illegal send dst" ring.(pos + 1) dst
+      | _ -> Alcotest.fail "expected Illegal_send")
+    [ 0; 1; 6 ]
+
+(* ------------------------------------------------------------------ *)
 (* Properties *)
 
 let qsuite =
@@ -253,6 +394,82 @@ let qsuite =
         && a.E.rounds = b.E.rounds
         && a.E.delivered = b.E.delivered
         && b.E.verified);
+    (* The tentpole pin: identical report counters and word-identical
+       payload arenas across ops x ranks x chunk_words x bidirectional
+       x node-fault draws (FFC rings, relay-lengthened segments). *)
+    Test.make ~name:"fastpath = netsim (reports + payload arenas)" ~count:25
+      (quad (int_range 0 2) (int_range 2 10) (int_range 1 3)
+         (pair bool (int_range 0 3)))
+      (fun (opi, ranks, cw, (bidir, nf)) ->
+        let op = List.nth [ S.Reduce_scatter; S.All_gather; S.Allreduce ] opi in
+        let d = 2 and n = 5 in
+        let faults = List.filteri (fun i _ -> i < nf) [ 5; 11; 23 ] in
+        let ring, faulty = ffc_ring_and_faulty ~d ~n ~faults in
+        let p = W.params ~d ~n in
+        let spec = { E.op; ranks; chunk_words = cw; bidirectional = bidir } in
+        let seeded ~ring ~rank ~chunk ~word =
+          1 + (((ring * 211) + (rank * 17) + (chunk * 5) + (word * 3)) mod 83)
+        in
+        let re, pe =
+          E.run_with_payload ~init:seeded ~p ~faulty ~rings:[ ring ] spec
+        in
+        let rf, pf =
+          F.run_with_payload ~init:seeded ~p ~faulty ~rings:[ ring ] spec
+        in
+        same_report re rf && same_payload pe pf);
+    (* Same pin over the Chapter-3 side: striped survivors of random
+       link-fault draws. *)
+    Test.make ~name:"fastpath = netsim (striped survivors)" ~count:20
+      (pair (int_range 0 2) small_nat)
+      (fun (nf, seed) ->
+        let d = 4 and n = 2 in
+        let all = Co.disjoint_hamiltonian_streams ~d ~n in
+        let rng = Util.Rng.split seed 11 in
+        let victims =
+          List.filteri (fun i _ -> i < nf)
+            (List.map (fun st ->
+                 let u = Util.Rng.int rng st.Str.p.W.size in
+                 (u, st.Str.succ u))
+                all)
+        in
+        match
+          Dhc.Edge_fault.surviving_disjoint_streams ~d ~n ~faults:victims
+        with
+        | [] -> true
+        | sts ->
+            let p = W.params ~d ~n in
+            let rings = List.map Str.to_nodes sts in
+            let spec =
+              { E.op = S.Allreduce; ranks = 6; chunk_words = 2; bidirectional = false }
+            in
+            let re, pe =
+              E.run_with_payload ~edge_faults:victims ~p
+                ~faulty:(fun _ -> false) ~rings spec
+            in
+            let rf, pf =
+              F.run_with_payload ~edge_faults:victims ~p
+                ~faulty:(fun _ -> false) ~rings spec
+            in
+            same_report re rf && same_payload pe pf);
+    (* The deterministic-commit contract: any ?domains splits commit
+       bit-identical arenas. *)
+    Test.make ~name:"fastpath ?domains 1/2/4 bit-identity" ~count:10
+      (pair (int_range 0 2) (int_range 1 2))
+      (fun (opi, cw) ->
+        let op = List.nth [ S.Reduce_scatter; S.All_gather; S.Allreduce ] opi in
+        let d = 4 and n = 2 in
+        let rings = List.map Str.to_nodes (Co.disjoint_streams_upto ~d ~n ~k:3) in
+        let p = W.params ~d ~n in
+        let spec = { E.op; ranks = 8; chunk_words = cw; bidirectional = true } in
+        let run domains =
+          F.run_with_payload ~domains ~p ~faulty:(fun _ -> false) ~rings spec
+        in
+        let r1, p1 = run 1 in
+        let r2, p2 = run 2 in
+        let r4, p4 = run 4 in
+        r1.E.verified
+        && same_report r1 r2 && same_report r1 r4
+        && same_payload p1 p2 && same_payload p1 p4);
   ]
 
 let () =
@@ -274,6 +491,16 @@ let () =
           Alcotest.test_case "domains bit-identity" `Quick
             test_exec_domains_bit_identical;
           Alcotest.test_case "validation" `Quick test_exec_validation;
+        ] );
+      ( "fastpath",
+        [
+          Alcotest.test_case "matches netsim across configs" `Quick
+            test_fastpath_matches_netsim;
+          Alcotest.test_case "closed-form rounds/congestion" `Quick
+            test_fastpath_closed_form;
+          Alcotest.test_case "clamp_ranks policy" `Quick test_clamp_ranks;
+          Alcotest.test_case "illegal send at compile time" `Quick
+            test_fastpath_illegal_send;
         ] );
       ("properties", List.map (fun t -> QCheck_alcotest.to_alcotest ~long:false t) qsuite);
     ]
