@@ -42,7 +42,12 @@ let successor_map ?domains ?ws (m : Spanning.modified) =
   | Some k when k > 1 && p.W.size >= Graphlib.Itopo.par_threshold ->
       Sched.with_pool ~domains:k (fun pool ->
           Sched.parallel_for pool ~chunk:Graphlib.Itopo.chunk_size ~lo:0
-            ~hi:p.W.size (fun _ clo chi -> fill clo chi))
+            ~hi:p.W.size
+            (fun _ clo chi ->
+              (fill clo chi
+              [@lint.par_write
+                "fill writes succ.{x} only for x in [clo, chi) — the \
+                 chunk range itself — from read-only in_bstar/override"])))
   | _ -> fill 0 p.W.size);
   succ
 

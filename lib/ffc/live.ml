@@ -329,12 +329,16 @@ let patch_derived t =
       dirty_bucket t old_w
     end;
     if t.in_bstar.(r) then begin
-      let best = ref r in
-      Nk.iter_nodes_from p r (fun y ->
-          if
-            t.dist.(y) < t.dist.(!best)
-            || (t.dist.(y) = t.dist.(!best) && y < !best)
-          then best := y);
+      let best = (ref r [@lint.allow "R7 one chosen-scan ref per marked necklace"]) in
+      Nk.iter_nodes_from p r
+        ((fun y ->
+           if
+             t.dist.(y) < t.dist.(!best)
+             || (t.dist.(y) = t.dist.(!best) && y < !best)
+           then best := y)
+        [@lint.allow
+          "R7 necklace-iterator callback: one closure per marked necklace, \
+           amortized over its <= w nodes"]);
       t.chosen.(r) <- !best;
       if r <> root_rep then begin
         let w = !best / d in
@@ -354,8 +358,12 @@ let patch_derived t =
       if t.in_bstar.(x) then t.successor.(x) <- (x mod stride * d) + (x / stride)
     done;
     vec_clear t.members;
-    let parent_rep = ref (-1) in
-    let c = ref t.bucket_head.(w) in
+    let parent_rep =
+      (ref (-1) [@lint.allow "R7 one parent-consensus ref per dirty bucket"])
+    in
+    let c =
+      (ref t.bucket_head.(w) [@lint.allow "R7 one bucket-walk cursor per dirty bucket"])
+    in
     while !c >= 0 do
       let r = !c in
       vec_push t.members r;
@@ -374,7 +382,7 @@ let patch_derived t =
       let m = t.members.buf in
       for i = 1 to t.members.len - 1 do
         let x = m.(i) in
-        let j = ref (i - 1) in
+        let j = (ref (i - 1) [@lint.allow "R7 insertion-sort cursor, one per member"]) in
         while !j >= 0 && m.(!j) > x do
           m.(!j + 1) <- m.(!j);
           decr j
@@ -390,6 +398,7 @@ let patch_derived t =
       done
     end
   done
+[@@lint.hot]
 
 (* ------------------------------------------------------------------ *)
 (* fault: splice the dead necklace out and repair distances downstream  *)
@@ -411,13 +420,17 @@ let remove_necklace t rep =
   vec_clear t.affected;
   vec_clear t.changed;
   (* 1. drop the necklace's nodes *)
-  Nk.iter_nodes_from p rep (fun y ->
-      t.in_bstar.(y) <- false;
-      hist_dec t t.dist.(y);
-      t.dist.(y) <- -1;
-      t.successor.(y) <- -1;
-      t.bsize <- t.bsize - 1;
-      vec_push t.changed y);
+  Nk.iter_nodes_from p rep
+    ((fun y ->
+       t.in_bstar.(y) <- false;
+       hist_dec t t.dist.(y);
+       t.dist.(y) <- -1;
+       t.successor.(y) <- -1;
+       t.bsize <- t.bsize - 1;
+       vec_push t.changed y)
+    [@lint.allow
+      "R7 necklace-drop callback: one closure per removed necklace, \
+       amortized over its <= w nodes"]);
   (* 2. identify downstream nodes whose BFS level lost all support.
      Invalidation is conservative (an affected predecessor does not
      support), so phase 3 recomputes an exact superset of the nodes
@@ -430,7 +443,7 @@ let remove_necklace t rep =
       if t.in_bstar.(z) then vec_push t.queue z
     done
   done;
-  let qi = ref 0 in
+  let qi = (ref 0 [@lint.allow "R7 one invalidation-queue cursor per event"]) in
   while !qi < t.queue.len do
     let z = t.queue.buf.(!qi) in
     incr qi;
@@ -454,7 +467,9 @@ let remove_necklace t rep =
   for i = 0 to t.affected.len - 1 do
     let v = t.affected.buf.(i) in
     let pre = v / d in
-    let best = ref max_int in
+    let best =
+      (ref max_int [@lint.allow "R7 one boundary-seed ref per affected node"])
+    in
     for a = 0 to d - 1 do
       let u = (a * stride) + pre in
       if t.in_bstar.(u) && t.aff_stamp.(u) <> t.stamp && t.dist.(u) + 1 < !best
@@ -463,10 +478,10 @@ let remove_necklace t rep =
     t.cand.(v) <- !best;
     if !best < max_int then bq_push t !best v
   done;
-  let dv = ref 0 in
+  let dv = (ref 0 [@lint.allow "R7 one level cursor per event"]) in
   while !dv <= t.bq_hi do
     let level = t.bq.(!dv) in
-    let li = ref 0 in
+    let li = (ref 0 [@lint.allow "R7 one within-level cursor per level"]) in
     while !li < level.len do
       let v = level.buf.(!li) in
       incr li;
@@ -510,6 +525,7 @@ let remove_necklace t rep =
       vec_push t.changed v
     end
   done
+[@@lint.hot]
 
 (* ------------------------------------------------------------------ *)
 (* repair: graft the revived necklace back and relax shortcuts          *)

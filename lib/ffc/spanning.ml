@@ -44,7 +44,12 @@ let fill_parents ?domains ~(bfs : It.bfs) ~in_bstar ~node_parent ~stride ~d ()
           Sched.parallel_for pool ~chunk:It.chunk_size ~lo:1 ~hi:bfs.It.count
             (fun _ clo chi ->
               for i = clo to chi - 1 do
-                scan i
+                (scan i
+                [@lint.par_write
+                  "scan i writes only node_parent.{order.{i}}, and the \
+                   discovery order is a permutation — distinct i, \
+                   distinct slot; the value is a pure function of the \
+                   final dist array"])
               done))
   | _ ->
       for i = 1 to bfs.It.count - 1 do

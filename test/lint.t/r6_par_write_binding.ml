@@ -1,0 +1,11 @@
+(* R6 escape, binding form: [@@lint.par_write] on a let inside the body
+   covers the writes in that binding's right-hand side. *)
+let sweep pool (out : int array) n =
+  Sched.parallel_for pool ~chunk:64 ~lo:0 ~hi:n (fun _ci lo hi ->
+      let bump i =
+        out.(0) <- out.(0) + i
+        [@@lint.par_write "fixture: slot 0 is owned by chunk 0 alone"]
+      in
+      for i = lo to hi - 1 do
+        bump i
+      done)

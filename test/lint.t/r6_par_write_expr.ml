@@ -1,0 +1,10 @@
+(* R6 escape, expression form: the offending write carries its own
+   [@lint.par_write "proof"]. *)
+let total = ref 0
+
+let sweep pool n =
+  Sched.parallel_for pool ~chunk:64 ~lo:0 ~hi:n (fun _ci lo hi ->
+      for i = lo to hi - 1 do
+        ((total := !total + i)
+        [@lint.par_write "fixture: the pool is single-domain here"])
+      done)

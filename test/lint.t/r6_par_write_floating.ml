@@ -1,0 +1,11 @@
+(* R6 escape, floating form: a file-scope [@@@lint.par_write] covers
+   every parallel body below it. *)
+[@@@lint.par_write "fixture: whole-file disjointness argued offline"]
+
+let total = ref 0
+
+let sweep pool n =
+  Sched.parallel_for pool ~chunk:64 ~lo:0 ~hi:n (fun _ci lo hi ->
+      for i = lo to hi - 1 do
+        total := !total + i
+      done)

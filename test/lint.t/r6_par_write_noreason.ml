@@ -1,0 +1,9 @@
+(* A [@lint.par_write] without a reason suppresses nothing and is
+   itself reported. *)
+let total = ref 0
+
+let sweep pool n =
+  Sched.parallel_for pool ~chunk:64 ~lo:0 ~hi:n (fun _ci lo hi ->
+      for i = lo to hi - 1 do
+        ((total := !total + i) [@lint.par_write])
+      done)

@@ -1,0 +1,10 @@
+(* R6: a parallel_for body that writes captured state — once at a fixed
+   index, once through a captured ref cell. *)
+let total = ref 0
+
+let sweep pool (out : int array) n =
+  Sched.parallel_for pool ~chunk:64 ~lo:0 ~hi:n (fun _ci lo hi ->
+      for i = lo to hi - 1 do
+        out.(0) <- out.(0) + i;
+        total := !total + i
+      done)

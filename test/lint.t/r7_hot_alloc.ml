@@ -1,0 +1,8 @@
+(* R7: allocation constructs inside a [@lint.hot] scope. *)
+let kernel (out : int array) n =
+  (for i = 0 to n - 1 do
+     let pair = (i, i * i) in
+     let tmp = Array.make 4 0 in
+     out.(i) <- fst pair + tmp.(0)
+   done)
+  [@lint.hot]

@@ -1,0 +1,11 @@
+(* R7 escape: the same hot scope with a reasoned [@lint.allow] on each
+   allocation site is clean. *)
+let kernel (out : int array) n =
+  (for i = 0 to n - 1 do
+     let pair = ((i, i * i) [@lint.allow "R7 fixture: one pair per item"]) in
+     let tmp =
+       (Array.make 4 0 [@lint.allow "R7 fixture: scratch, hoisted in prod"])
+     in
+     out.(i) <- fst pair + tmp.(0)
+   done)
+  [@lint.hot]

@@ -1,0 +1,3 @@
+(* R8: a suppression that silences no live finding is itself an
+   error. *)
+let safe x = (x + 1 [@lint.allow "R5 nothing here is unsafe"])

@@ -6,6 +6,21 @@ The rule registry:
   R3  no mutable toplevel state in Domain-reachable code (annotate with [@@lint.domain_safe])
   R4  arena confinement: Workspace internals and Arena carving stay in the pipeline; ?ws never escapes into data
   R5  no Obj.magic/%identity; no Printf in lib/
+  R6  parallel_for bodies write only worker-local state or chunk-derived indices ([@lint.par_write "proof"] to override)
+  R7  [@lint.hot] scopes stay allocation-free (escape: [@lint.allow "R7 why"])
+  R8  suppression audit: every lint attribute must silence a live finding (no escape hatch)
+
+  $ debruijn-lint --list-rules --json
+  [
+    {"id": "R1", "summary": "no Stdlib.Random / Unix.gettimeofday outside Util.Rng and bench/jrec.ml"},
+    {"id": "R2", "summary": "no polymorphic =/compare/Hashtbl.hash on structured values"},
+    {"id": "R3", "summary": "no mutable toplevel state in Domain-reachable code (annotate with [@@lint.domain_safe])"},
+    {"id": "R4", "summary": "arena confinement: Workspace internals and Arena carving stay in the pipeline; ?ws never escapes into data"},
+    {"id": "R5", "summary": "no Obj.magic/%identity; no Printf in lib/"},
+    {"id": "R6", "summary": "parallel_for bodies write only worker-local state or chunk-derived indices ([@lint.par_write \"proof\"] to override)"},
+    {"id": "R7", "summary": "[@lint.hot] scopes stay allocation-free (escape: [@lint.allow \"R7 why\"])"},
+    {"id": "R8", "summary": "suppression audit: every lint attribute must silence a live finding (no escape hatch)"}
+  ]
 
 Each fixture trips exactly one rule, with the right id and location:
 
@@ -52,6 +67,73 @@ Collective.Exec buffer discipline) is clean without any annotation:
   debruijn-lint: 1 file(s), 1 finding(s)
   [1]
 
+R6, the parallel disjoint-write check: a parallel_for body that writes
+captured state at a fixed index, or through a captured ref, is flagged
+at each write site (this is the build failure a deleted
+[@lint.par_write] produces):
+
+  $ debruijn-lint r6_shared_write.ml
+  r6_shared_write.ml:8:8: [R6] Array.set writes captured state at an index not derived from the chunk parameters; prove disjointness with [@lint.par_write "proof"]
+  r6_shared_write.ml:9:8: [R6] (:=) mutates state captured by the parallel_for body; keep writes worker-local or annotate [@lint.par_write "proof"]
+  debruijn-lint: 1 file(s), 2 finding(s)
+  [1]
+
+All three [@lint.par_write "proof"] placements silence it — on the
+offending expression, on an enclosing binding, and floating at file
+scope:
+
+  $ debruijn-lint r6_par_write_expr.ml
+  debruijn-lint: 1 file(s), 0 finding(s)
+  $ debruijn-lint r6_par_write_binding.ml
+  debruijn-lint: 1 file(s), 0 finding(s)
+  $ debruijn-lint r6_par_write_floating.ml
+  debruijn-lint: 1 file(s), 0 finding(s)
+
+A [@lint.par_write] without a reason suppresses nothing and is itself
+reported:
+
+  $ debruijn-lint r6_par_write_noreason.ml
+  r6_par_write_noreason.ml:8:8: [R6] (:=) mutates state captured by the parallel_for body; keep writes worker-local or annotate [@lint.par_write "proof"]
+  r6_par_write_noreason.ml:8:31: [R6] [@lint.par_write] requires a non-empty reason string
+  debruijn-lint: 1 file(s), 2 finding(s)
+  [1]
+
+R7, the zero-alloc hot-path check: allocation constructs inside a
+[@lint.hot] scope are flagged per site (this is the build failure one
+new allocation in a hot kernel produces), and a reasoned [@lint.allow
+"R7 why"] on each site clears them:
+
+  $ debruijn-lint r7_hot_alloc.ml
+  r7_hot_alloc.ml:4:16: [R7] tuple construction inside a [@lint.hot] scope; hoist it out of the hot path or annotate [@lint.allow "R7 why"]
+  r7_hot_alloc.ml:5:15: [R7] Array.make allocates inside a [@lint.hot] scope; hoist it out of the hot path or annotate [@lint.allow "R7 why"]
+  debruijn-lint: 1 file(s), 2 finding(s)
+  [1]
+  $ debruijn-lint r7_hot_allow.ml
+  debruijn-lint: 1 file(s), 0 finding(s)
+
+R8, the suppression audit: an [@lint.allow] that silences no live
+finding is itself an error, at the attribute's location:
+
+  $ debruijn-lint r8_dead_allow.ml
+  r8_dead_allow.ml:3:20: [R8] dead suppression: this [@lint.allow] never silences a live R5 finding; delete the attribute or narrow its rule list
+  debruijn-lint: 1 file(s), 1 finding(s)
+  [1]
+
+The same audit applies to [@lint.par_write]: one attached where no
+parallel write needs it goes dead and is reported (see
+r6_par_write_expr.ml for the live counterpart):
+
+  $ cat > dead_par_write.ml <<'EOF'
+  > let f pool n =
+  >   Sched.parallel_for pool ~chunk:8 ~lo:0 ~hi:n
+  >     ((fun _ci lo hi -> ignore (lo + hi))
+  >     [@lint.par_write "nothing shared is written here"])
+  > EOF
+  $ debruijn-lint dead_par_write.ml
+  dead_par_write.ml:4:4: [R8] dead suppression: this [@lint.par_write] never silences a live R6 finding; delete the attribute or narrow its rule list
+  debruijn-lint: 1 file(s), 1 finding(s)
+  [1]
+
 Every suppression form silences its finding:
 
   $ debruijn-lint suppressed.ml
@@ -66,6 +148,23 @@ itself reported:
   debruijn-lint: 1 file(s), 2 finding(s)
   [1]
 
+Path allowlists match by normalized path, not raw string, so the R1
+carve-out for lib/util/rng.ml holds from any invocation root:
+
+  $ mkdir -p proj/lib/util
+  $ cat > proj/lib/util/rng.ml <<'EOF'
+  > let roll st = Random.State.int st 6
+  > EOF
+  $ debruijn-lint proj
+  debruijn-lint: 1 file(s), 0 finding(s)
+  $ cat > proj/lib/util/other.ml <<'EOF'
+  > let roll () = Random.int 6
+  > EOF
+  $ debruijn-lint proj
+  proj/lib/util/other.ml:1:14: [R1] Random.int: ambient PRNG breaks seeded reproducibility; use Util.Rng
+  debruijn-lint: 2 file(s), 1 finding(s)
+  [1]
+
 Machine-readable output:
 
   $ debruijn-lint --json r5_obj.ml
@@ -74,14 +173,46 @@ Machine-readable output:
   ]
   [1]
 
+SARIF for code-scanning upload (note the 1-based startColumn):
+
+  $ debruijn-lint --sarif r5_obj.ml
+  {
+    "$schema": "https://json.schemastore.org/sarif-2.1.0.json",
+    "version": "2.1.0",
+    "runs": [
+      {
+        "tool": {
+          "driver": {
+            "name": "debruijn-lint",
+            "rules": [
+              {"id": "R0", "shortDescription": {"text": "malformed lint attribute"}},
+              {"id": "R1", "shortDescription": {"text": "no Stdlib.Random / Unix.gettimeofday outside Util.Rng and bench/jrec.ml"}},
+              {"id": "R2", "shortDescription": {"text": "no polymorphic =/compare/Hashtbl.hash on structured values"}},
+              {"id": "R3", "shortDescription": {"text": "no mutable toplevel state in Domain-reachable code (annotate with [@@lint.domain_safe])"}},
+              {"id": "R4", "shortDescription": {"text": "arena confinement: Workspace internals and Arena carving stay in the pipeline; ?ws never escapes into data"}},
+              {"id": "R5", "shortDescription": {"text": "no Obj.magic/%identity; no Printf in lib/"}},
+              {"id": "R6", "shortDescription": {"text": "parallel_for bodies write only worker-local state or chunk-derived indices ([@lint.par_write \"proof\"] to override)"}},
+              {"id": "R7", "shortDescription": {"text": "[@lint.hot] scopes stay allocation-free (escape: [@lint.allow \"R7 why\"])"}},
+              {"id": "R8", "shortDescription": {"text": "suppression audit: every lint attribute must silence a live finding (no escape hatch)"}}
+            ]
+          }
+        },
+        "results": [
+          {"ruleId": "R5", "level": "error", "message": {"text": "Obj.magic: Obj breaks type safety"}, "locations": [{"physicalLocation": {"artifactLocation": {"uri": "r5_obj.ml"}, "region": {"startLine": 2, "startColumn": 34}}}]}
+        ]
+      }
+    ]
+  }
+  [1]
+
 Usage errors:
 
   $ debruijn-lint
-  usage: debruijn-lint [--json] [--list-rules] PATH...
+  usage: debruijn-lint [--json|--sarif] [--list-rules] PATH...
   [2]
   $ debruijn-lint --frobnicate lib
   debruijn-lint: unknown option --frobnicate
-  usage: debruijn-lint [--json] [--list-rules] PATH...
+  usage: debruijn-lint [--json|--sarif] [--list-rules] PATH...
   [2]
   $ debruijn-lint no/such/path
   debruijn-lint: no such path no/such/path

@@ -1,0 +1,192 @@
+(* Regression tests for the debruijn-lint kernel-safety rules: generated
+   fixture trees are linted with the real binary (path in the
+   DEBRUIJN_LINT environment variable, wired by the dune action) and
+   the exit code and reported rule/line pairs are checked against the
+   generator's own accounting. *)
+
+let lint_exe =
+  match Sys.getenv_opt "DEBRUIJN_LINT" with
+  | Some p when p <> "" ->
+      if Filename.is_relative p then Filename.concat (Sys.getcwd ()) p else p
+  | _ -> failwith "DEBRUIJN_LINT not set; run via dune runtest"
+
+let with_temp_dir f =
+  let dir = Filename.temp_file "lintfix" "" in
+  Sys.remove dir;
+  Sys.mkdir dir 0o755;
+  Fun.protect
+    ~finally:(fun () ->
+      Array.iter
+        (fun n -> Sys.remove (Filename.concat dir n))
+        (Sys.readdir dir);
+      Sys.rmdir dir)
+    (fun () -> f dir)
+
+let write_file dir name contents =
+  let oc = open_out (Filename.concat dir name) in
+  output_string oc contents;
+  close_out oc
+
+(* Run the linter in --json mode on [dir]: (exit code, combined output). *)
+let run_lint dir =
+  let out = Filename.temp_file "lintout" ".json" in
+  let cmd =
+    Printf.sprintf "%s --json %s > %s 2>&1" (Filename.quote lint_exe)
+      (Filename.quote dir) (Filename.quote out)
+  in
+  let code = Sys.command cmd in
+  let ic = open_in_bin out in
+  let s = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  Sys.remove out;
+  (code, s)
+
+let lint_src src =
+  with_temp_dir (fun dir ->
+      write_file dir "gen.ml" src;
+      run_lint dir)
+
+let count_sub s sub =
+  let ls = String.length s and lsub = String.length sub in
+  let n = ref 0 in
+  for i = 0 to ls - lsub do
+    if String.sub s i lsub = sub then incr n
+  done;
+  !n
+
+let has_finding out ~rule ~line =
+  (* The emitter prints one finding per line, so rule and location of
+     the same finding share a line of output. *)
+  String.split_on_char '\n' out
+  |> List.exists (fun l ->
+         count_sub l (Printf.sprintf "\"rule\": \"%s\"" rule) > 0
+         && count_sub l (Printf.sprintf "\"line\": %d" line) > 0)
+
+let pad_lines pad = String.concat "" (List.init pad (fun _ -> "(* pad *)\n"))
+
+(* --- R6: parallel disjoint-write ---------------------------------- *)
+
+(* [k] writes in the loop body, at lines pad+4 .. pad+3+k; each targets
+   slot 0 of the captured array (not chunk-derived) unless [safe]. *)
+let r6_src ~pad ~k ~safe ~floating_proof =
+  let writes =
+    List.init k (fun j ->
+        let stmt = if safe then "out.(i + 0) <- i" else "out.(0) <- i" in
+        if j = k - 1 then "        " ^ stmt ^ "\n"
+        else "        " ^ stmt ^ ";\n")
+  in
+  (if floating_proof then
+     "[@@@lint.par_write \"qcheck fixture: serial pool\"]\n"
+   else "")
+  ^ pad_lines pad
+  ^ "let sweep pool (out : int array) n =\n"
+  ^ "  Sched.parallel_for pool ~chunk:8 ~lo:0 ~hi:n (fun _ci lo hi ->\n"
+  ^ "      for i = lo to hi - 1 do\n" ^ String.concat "" writes ^ "      done)\n"
+
+let r6_violations =
+  QCheck.Test.make ~count:10 ~name:"R6 flags each non-derived write at its line"
+    QCheck.(pair (int_range 0 6) (int_range 1 4))
+    (fun (pad, k) ->
+      let code, out =
+        lint_src (r6_src ~pad ~k ~safe:false ~floating_proof:false)
+      in
+      code = 1
+      && count_sub out "\"rule\": \"R6\"" = k
+      && List.for_all
+           (fun j -> has_finding out ~rule:"R6" ~line:(pad + 4 + j))
+           (List.init k Fun.id))
+
+let r6_chunk_derived_clean =
+  QCheck.Test.make ~count:10 ~name:"R6 accepts chunk-derived writes"
+    QCheck.(pair (int_range 0 6) (int_range 1 4))
+    (fun (pad, k) ->
+      let code, out =
+        lint_src (r6_src ~pad ~k ~safe:true ~floating_proof:false)
+      in
+      code = 0 && count_sub out "\"rule\"" = 0)
+
+let r6_par_write_suppresses =
+  QCheck.Test.make ~count:10
+    ~name:"R6 [@@@lint.par_write] silences the writes and stays live"
+    QCheck.(pair (int_range 0 6) (int_range 1 4))
+    (fun (pad, k) ->
+      (* the proof also has to keep R8 quiet: a suppression that fires
+         is not a dead suppression *)
+      let code, out =
+        lint_src (r6_src ~pad ~k ~safe:false ~floating_proof:true)
+      in
+      code = 0 && count_sub out "\"rule\"" = 0)
+
+(* --- R7: zero-alloc hot scopes ------------------------------------ *)
+
+(* One allocation construct in the loop body of a hot kernel, at line
+   pad+3. *)
+let r7_allocs = [ "(i, i + 1)"; "Array.make 2 0"; "[ i ]"; "Some i" ]
+
+let r7_src ~pad ~alloc ~allowed =
+  let site =
+    match alloc with
+    | None -> "i + 1"
+    | Some a ->
+        if allowed then "(" ^ a ^ " [@lint.allow \"R7 qcheck fixture\"])" else a
+  in
+  pad_lines pad ^ "let kernel n =\n" ^ "  (for i = 0 to n - 1 do\n"
+  ^ "     ignore (" ^ site ^ ")\n" ^ "   done)\n" ^ "  [@lint.hot]\n"
+
+let r7_violations =
+  QCheck.Test.make ~count:16 ~name:"R7 flags the allocation at its line"
+    QCheck.(pair (int_range 0 6) (int_range 0 3))
+    (fun (pad, which) ->
+      let alloc = List.nth r7_allocs which in
+      let code, out =
+        lint_src (r7_src ~pad ~alloc:(Some alloc) ~allowed:false)
+      in
+      code = 1
+      && count_sub out "\"rule\": \"R7\"" = 1
+      && has_finding out ~rule:"R7" ~line:(pad + 3))
+
+let r7_alloc_free_clean =
+  QCheck.Test.make ~count:10 ~name:"R7 accepts allocation-free kernels"
+    QCheck.(int_range 0 6)
+    (fun pad ->
+      let code, out = lint_src (r7_src ~pad ~alloc:None ~allowed:false) in
+      code = 0 && count_sub out "\"rule\"" = 0)
+
+let r7_allow_suppresses =
+  QCheck.Test.make ~count:16
+    ~name:"R7 [@lint.allow] silences the site and stays live"
+    QCheck.(pair (int_range 0 6) (int_range 0 3))
+    (fun (pad, which) ->
+      let alloc = List.nth r7_allocs which in
+      let code, out =
+        lint_src (r7_src ~pad ~alloc:(Some alloc) ~allowed:true)
+      in
+      code = 0 && count_sub out "\"rule\"" = 0)
+
+(* --- R8: the audit sees a proof that proves nothing ---------------- *)
+
+let r8_dead_proof () =
+  let code, out =
+    lint_src (r6_src ~pad:0 ~k:1 ~safe:true ~floating_proof:true)
+  in
+  Alcotest.(check int) "exit code" 1 code;
+  Alcotest.(check bool) "one R8 finding" true
+    (count_sub out "\"rule\": \"R8\"" = 1)
+
+let qsuite =
+  [
+    r6_violations;
+    r6_chunk_derived_clean;
+    r6_par_write_suppresses;
+    r7_violations;
+    r7_alloc_free_clean;
+    r7_allow_suppresses;
+  ]
+
+let () =
+  Alcotest.run "lint"
+    [
+      ( "kernel-safety",
+        List.map (fun t -> QCheck_alcotest.to_alcotest ~long:false t) qsuite );
+      ("audit", [ Alcotest.test_case "dead par_write proof" `Quick r8_dead_proof ]);
+    ]

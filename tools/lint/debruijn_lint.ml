@@ -1,17 +1,19 @@
 (* debruijn-lint: the invariant-enforcing static-analysis pass.
 
-   Usage: debruijn-lint [--json] [--list-rules] PATH...
+   Usage: debruijn-lint [--json|--sarif] [--list-rules] PATH...
 
    Walks every .ml under the given paths (files or directories) with
-   the rules of Lint_rules (R1-R5) and reports findings as
+   the rules of Lint_rules (R1-R8) and reports findings as
 
      file:line:col: [Rn] message
 
-   (or a JSON array with --json).  Exit status: 0 clean, 1 findings,
-   2 usage / parse errors.  Suppressions: [@lint.allow "Rn reason"] on
-   an expression, [@@lint.allow ...] on a binding or structure item,
-   [@@@lint.allow ...] for the rest of a module, and
-   [@@lint.domain_safe "why"] for R3 (reason mandatory).
+   (or a JSON array with --json, or SARIF 2.1.0 with --sarif).  Exit
+   status: 0 clean, 1 findings, 2 usage / parse errors.  Suppressions:
+   [@lint.allow "Rn reason"] on an expression, [@@lint.allow ...] on a
+   binding or structure item, [@@@lint.allow ...] for the rest of a
+   module, [@@lint.domain_safe "why"] for R3 and [@lint.par_write
+   "proof"] for R6 (reasons mandatory for both).  Every suppression
+   must silence a live finding or the R8 audit flags it.
 
    `dune build @lint` runs this over lib/, bench/ and bin/. *)
 
@@ -41,7 +43,7 @@ let parse_impl path =
   close_in ic;
   result
 
-(* ---- pass 1: Domain.-use detection --------------------------------- *)
+(* ---- pass 1: per-file facts ----------------------------------------- *)
 
 let uses_domain (str : structure) =
   let found = ref false in
@@ -73,29 +75,55 @@ let mutable_labels (str : structure) =
   scan#structure str;
   tbl
 
-(* ---- suppression-aware walker -------------------------------------- *)
+(* File-local module aliases ([module Fa = Graphlib.Flatarr] maps
+   "Fa" -> "Flatarr"), so the R6/R7 vocabularies resolve aliased calls
+   the way the R1-R3 path matching already resolves qualified ones. *)
+let module_aliases (str : structure) =
+  let tbl = Hashtbl.create 8 in
+  let scan =
+    object
+      inherit Ast_traverse.iter as super
 
-let payload_string (a : attribute) =
-  match a.attr_payload with
-  | PStr
-      [
-        {
-          pstr_desc =
-            Pstr_eval ({ pexp_desc = Pexp_constant (Pconst_string (s, _, _)); _ }, _);
-          _;
-        };
-      ] ->
-      Some s
-  | _ -> None
+      method! module_binding mb =
+        (match (mb.pmb_name.txt, mb.pmb_expr.pmod_desc) with
+        | Some alias, Pmod_ident { txt; _ } -> (
+            match List.rev (Lint_rules.flat txt) with
+            | target :: _ -> Hashtbl.replace tbl alias target
+            | [] -> ())
+        | _ -> ());
+        super#module_binding mb
+    end
+  in
+  scan#structure str;
+  tbl
+
+(* ---- suppression-aware walker -------------------------------------- *)
 
 class walker (rules : Lint_rules.rule list) (ctx : Lint_rules.file_ctx)
   (add : Lint_rules.finding -> unit) =
   object (self)
     inherit Ast_traverse.iter as super
 
-    val mutable stack : string list list = []
+    (* Innermost frame first; each frame holds the suppression records
+       attached to one node.  Consulting a record marks it fired — the
+       R8 audit's liveness signal. *)
+    val mutable stack : Lint_rules.suppression list list = []
 
-    method private suppressed id = List.exists (fun ids -> List.mem id ids) stack
+    method private suppressed id =
+      let rec go = function
+        | [] -> false
+        | frame :: rest -> (
+            match
+              List.find_opt
+                (fun (s : Lint_rules.suppression) -> List.mem id s.Lint_rules.sids)
+                frame
+            with
+            | Some s ->
+                Lint_rules.fire s id;
+                true
+            | None -> go rest)
+      in
+      go stack
 
     method private emit : Lint_rules.emit =
       fun ~id ~loc msg ->
@@ -109,40 +137,33 @@ class walker (rules : Lint_rules.rule list) (ctx : Lint_rules.file_ctx)
               msg;
             }
 
-    (* Rule ids suppressed by one attribute, or [] if it is not a lint
-       attribute.  A [@lint.domain_safe] without a reason is itself a
-       finding (the reason is the documentation R3 trades safety for). *)
-    method private attr_ids (a : attribute) =
-      match a.attr_name.txt with
-      | "lint.allow" -> (
-          match payload_string a with
-          | Some s when String.trim s <> "" ->
-              String.split_on_char ','
-                (List.hd (String.split_on_char ' ' (String.trim s)))
-          | _ ->
-              self#emit ~id:"R0" ~loc:a.attr_loc
-                "[@lint.allow] needs a payload: \"R1\" or \"R1,R2 reason...\"";
-              [])
-      | "lint.domain_safe" -> (
-          match payload_string a with
-          | Some s when String.trim s <> "" -> [ "R3" ]
-          | _ ->
-              self#emit ~id:"R3" ~loc:a.attr_loc
-                "[@lint.domain_safe] requires a non-empty reason string";
-              [])
-      | _ -> []
+    method private collect attrs =
+      List.filter_map
+        (fun a ->
+          match Lint_rules.suppression_of_attr self#emit ctx a with
+          | Some s when s.Lint_rules.swellformed -> Some s
+          | _ -> None)
+        attrs
 
-    method private collect attrs = List.concat_map (fun a -> self#attr_ids a) attrs
-
-    method private with_suppressions ids (f : unit -> unit) =
-      stack <- ids :: stack;
+    method private with_suppressions frame (f : unit -> unit) =
+      stack <- frame :: stack;
       f ();
       stack <- List.tl stack
 
     method! expression e =
+      let saved_ws = ctx.Lint_rules.ws_fun in
+      (match e.pexp_desc with
+      | Pexp_function (params, _, _) when Lint_rules.has_optional_ws_param params ->
+          ctx.Lint_rules.ws_fun <- true
+      | _ -> ());
       self#with_suppressions (self#collect e.pexp_attributes) (fun () ->
           List.iter (fun (r : Lint_rules.rule) -> r.on_expr self#emit ctx e) rules;
-          super#expression e)
+          super#expression e);
+      ctx.Lint_rules.ws_fun <- saved_ws
+
+    method! value_binding vb =
+      self#with_suppressions (self#collect vb.pvb_attributes) (fun () ->
+          super#value_binding vb)
 
     method! structure_item it =
       let inner_attrs =
@@ -163,7 +184,7 @@ class walker (rules : Lint_rules.rule list) (ctx : Lint_rules.file_ctx)
       List.iter
         (fun (it : structure_item) ->
           match it.pstr_desc with
-          | Pstr_attribute a -> stack <- self#attr_ids a :: stack
+          | Pstr_attribute a -> stack <- self#collect [ a ] :: stack
           | _ -> self#structure_item it)
         items;
       let rec unwind l = if List.length l > depth then unwind (List.tl l) else l in
@@ -172,19 +193,7 @@ class walker (rules : Lint_rules.rule list) (ctx : Lint_rules.file_ctx)
 
 (* ---- reporting ------------------------------------------------------ *)
 
-let json_escape s =
-  let buf = Buffer.create (String.length s + 8) in
-  String.iter
-    (fun c ->
-      match c with
-      | '"' -> Buffer.add_string buf "\\\""
-      | '\\' -> Buffer.add_string buf "\\\\"
-      | '\n' -> Buffer.add_string buf "\\n"
-      | '\t' -> Buffer.add_string buf "\\t"
-      | c when Char.code c < 0x20 -> Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
-      | c -> Buffer.add_char buf c)
-    s;
-  Buffer.contents buf
+let json_escape = Lint_sarif.json_escape
 
 let print_human (f : Lint_rules.finding) =
   Printf.printf "%s:%d:%d: [%s] %s\n" f.file f.line f.col f.rule_id f.msg
@@ -199,12 +208,23 @@ let print_json findings =
     findings;
   print_string (if findings = [] then "]\n" else "\n]\n")
 
+let print_rules_json () =
+  print_string "[";
+  List.iteri
+    (fun i (r : Lint_rules.rule) ->
+      if i > 0 then print_string ",";
+      Printf.printf "\n  {\"id\": \"%s\", \"summary\": \"%s\"}" r.Lint_rules.id
+        (json_escape r.Lint_rules.summary))
+    Lint_rules.all;
+  print_string "\n]\n"
+
 (* ---- driver --------------------------------------------------------- *)
 
-let usage = "usage: debruijn-lint [--json] [--list-rules] PATH..."
+let usage = "usage: debruijn-lint [--json|--sarif] [--list-rules] PATH..."
 
 let () =
   let json = ref false in
+  let sarif = ref false in
   let list_rules = ref false in
   let paths = ref [] in
   Array.iteri
@@ -212,6 +232,7 @@ let () =
       if i > 0 then
         match arg with
         | "--json" -> json := true
+        | "--sarif" -> sarif := true
         | "--list-rules" -> list_rules := true
         | "--help" | "-h" ->
             print_endline usage;
@@ -223,9 +244,12 @@ let () =
         | path -> paths := path :: !paths)
     Sys.argv;
   if !list_rules then begin
-    List.iter
-      (fun (r : Lint_rules.rule) -> Printf.printf "%s  %s\n" r.Lint_rules.id r.Lint_rules.summary)
-      Lint_rules.all;
+    if !json then print_rules_json ()
+    else
+      List.iter
+        (fun (r : Lint_rules.rule) ->
+          Printf.printf "%s  %s\n" r.Lint_rules.id r.Lint_rules.summary)
+        Lint_rules.all;
     exit 0
   end;
   let roots = List.rev !paths in
@@ -261,38 +285,50 @@ let () =
       Hashtbl.replace file_domain path d;
       if d then Lint_project.mark_domain_user project path)
     parsed;
-  (* pass 2: run the rules *)
+  (* pass 2: run the rules, then audit each file's suppressions (R8) *)
   let findings = ref [] in
+  let add f = findings := f :: !findings in
   List.iter
     (fun (path, str) ->
       let ctx =
         {
           Lint_rules.path;
-          in_lib = String.length path >= 4 && String.sub path 0 4 = "lib/";
+          in_lib = Lint_project.under_dir "lib" path;
           domain_scope =
             Lint_project.in_domain_scope project path
             || Hashtbl.find file_domain path;
           mutable_labels = mutable_labels str;
+          aliases = module_aliases str;
+          suppressions = Hashtbl.create 16;
+          ws_fun = false;
         }
       in
-      let w = new walker Lint_rules.all ctx (fun f -> findings := f :: !findings) in
-      w#structure str)
+      let w = new walker Lint_rules.all ctx add in
+      w#structure str;
+      Lint_rules.audit_suppressions ctx add)
     parsed;
   let findings =
-    List.sort
+    (* the R6/R7 sub-scans and the walker can meet the same node twice
+       (e.g. a [@lint.hot] closure inside another hot scope); identical
+       findings collapse *)
+    List.sort_uniq
       (fun (a : Lint_rules.finding) (b : Lint_rules.finding) ->
         match String.compare a.file b.file with
         | 0 -> (
             match Int.compare a.line b.line with
             | 0 -> (
                 match Int.compare a.col b.col with
-                | 0 -> String.compare a.rule_id b.rule_id
+                | 0 -> (
+                    match String.compare a.rule_id b.rule_id with
+                    | 0 -> String.compare a.msg b.msg
+                    | c -> c)
                 | c -> c)
             | c -> c)
         | c -> c)
       !findings
   in
-  if !json then print_json findings
+  if !sarif then Lint_sarif.print findings
+  else if !json then print_json findings
   else begin
     List.iter print_human findings;
     Printf.printf "debruijn-lint: %d file(s), %d finding(s)\n" (List.length parsed)

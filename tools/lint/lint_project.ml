@@ -31,6 +31,35 @@ let normalize path =
   let path = if String.length path > 2 && String.sub path 0 2 = "./" then String.sub path 2 (String.length path - 2) else path in
   String.concat "/" (String.split_on_char '\\' path)
 
+(* ---- project-root-relative path matching --------------------------- *)
+
+(* Allowlists name files relative to the project root, but the lint
+   roots may be absolute, ./-prefixed, or handed in from a parent
+   directory (a dune sandbox root, `debruijn-lint ../lib`).  So a
+   root-relative entry matches a scanned path when it is the whole path
+   or a suffix starting at a '/' segment boundary. *)
+let same_path rel path =
+  let rel = normalize rel and path = normalize path in
+  rel = path
+  ||
+  let lr = String.length rel and lp = String.length path in
+  lp > lr + 1 && String.sub path (lp - lr) lr = rel && path.[lp - lr - 1] = '/'
+
+(* [under_dir "lib" path]: is [path] inside a root-relative directory,
+   wherever the root sits in the absolute path? *)
+let under_dir dir path =
+  let path = normalize path in
+  let prefix = dir ^ "/" in
+  let lpre = String.length prefix and lp = String.length path in
+  (lp > lpre && String.sub path 0 lpre = prefix)
+  ||
+  let probe = "/" ^ prefix in
+  let lpr = String.length probe in
+  let rec scan i =
+    i + lpr <= lp && (String.sub path i lpr = probe || scan (i + 1))
+  in
+  scan 0
+
 (* ---- dune-file mining ---------------------------------------------- *)
 
 let field name = function

@@ -1,0 +1,60 @@
+(* SARIF 2.1.0 emitter for the findings, so `debruijn-lint --sarif`
+   output uploads directly as a GitHub code-scanning artifact.  The
+   emitter is deliberately minimal and deterministic: tool metadata
+   from the rule registry (plus the synthetic R0 for malformed
+   attributes), one [result] per finding, 1-based columns as the
+   format requires. *)
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let rule_meta =
+  ("R0", "malformed lint attribute")
+  :: List.map (fun (r : Lint_rules.rule) -> (r.Lint_rules.id, r.Lint_rules.summary)) Lint_rules.all
+
+let print (findings : Lint_rules.finding list) =
+  print_string "{\n";
+  print_string "  \"$schema\": \"https://json.schemastore.org/sarif-2.1.0.json\",\n";
+  print_string "  \"version\": \"2.1.0\",\n";
+  print_string "  \"runs\": [\n";
+  print_string "    {\n";
+  print_string "      \"tool\": {\n";
+  print_string "        \"driver\": {\n";
+  print_string "          \"name\": \"debruijn-lint\",\n";
+  print_string "          \"rules\": [\n";
+  List.iteri
+    (fun i (id, summary) ->
+      Printf.printf
+        "            {\"id\": \"%s\", \"shortDescription\": {\"text\": \"%s\"}}%s\n" id
+        (json_escape summary)
+        (if i < List.length rule_meta - 1 then "," else ""))
+    rule_meta;
+  print_string "          ]\n";
+  print_string "        }\n";
+  print_string "      },\n";
+  print_string "      \"results\": [\n";
+  List.iteri
+    (fun i (f : Lint_rules.finding) ->
+      Printf.printf
+        "        {\"ruleId\": \"%s\", \"level\": \"error\", \"message\": {\"text\": \
+         \"%s\"}, \"locations\": [{\"physicalLocation\": {\"artifactLocation\": \
+         {\"uri\": \"%s\"}, \"region\": {\"startLine\": %d, \"startColumn\": %d}}}]}%s\n"
+        f.rule_id (json_escape f.msg) (json_escape f.file) f.line (f.col + 1)
+        (if i < List.length findings - 1 then "," else ""))
+    findings;
+  print_string "      ]\n";
+  print_string "    }\n";
+  print_string "  ]\n";
+  print_string "}\n"
